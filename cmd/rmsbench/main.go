@@ -1,0 +1,116 @@
+// Command rmsbench regenerates the tables and figures of the FD-RMS paper's
+// evaluation (Section IV) on scaled datasets, printing aligned text tables.
+//
+// Usage:
+//
+//	rmsbench -exp table1                 # Table I: dataset statistics
+//	rmsbench -exp fig4                   # skyline sizes of synthetic data
+//	rmsbench -exp fig5 -datasets Indep   # effect of eps on FD-RMS
+//	rmsbench -exp fig6                   # effect of result size r (all algorithms)
+//	rmsbench -exp fig7                   # effect of k
+//	rmsbench -exp fig8                   # scalability in d and n
+//	rmsbench -exp ablation-cover         # stable cover vs per-op re-greedy
+//	rmsbench -exp ablation-cone          # cone-tree pruning effectiveness
+//	rmsbench -exp ablation-topk          # top-k fast-path requery rate
+//	rmsbench -exp all                    # everything above
+//
+// Flags -scale, -samples, -m, -recomputes, -budget and -seed control the
+// reproduction scale; see EXPERIMENTS.md for the settings used to produce
+// the recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fdrms/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | all")
+		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
+		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
+		m          = flag.Int("m", 2048, "FD-RMS utility sample upper bound M")
+		recomputes = flag.Int("recomputes", 10, "timed recomputations per static run (0 = every skyline change)")
+		budget     = flag.Duration("budget", 20*time.Second, "per-recompute budget before a static algorithm is skipped")
+		seed       = flag.Int64("seed", 1, "random seed")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Scale:         *scale,
+		MRRSamples:    *samples,
+		M:             *m,
+		MaxRecomputes: *recomputes,
+		StaticBudget:  *budget,
+		Seed:          *seed,
+	}
+	var names []string
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+
+	// perDataset streams one table per dataset so long sweeps show progress.
+	perDataset := func(f func(bench.Options, ...string) []*bench.Table) {
+		list := names
+		if len(list) == 0 {
+			list = bench.DatasetNames
+		}
+		for _, name := range list {
+			for _, t := range f(opt, name) {
+				t.Fprint(os.Stdout)
+			}
+		}
+	}
+
+	run := func(e string) {
+		start := time.Now()
+		switch e {
+		case "table1":
+			bench.Table1(opt).Fprint(os.Stdout)
+		case "fig4":
+			for _, t := range bench.Fig4(opt) {
+				t.Fprint(os.Stdout)
+			}
+		case "fig5":
+			perDataset(bench.Fig5)
+		case "fig6":
+			perDataset(bench.Fig6)
+		case "fig7":
+			perDataset(bench.Fig7)
+		case "fig8":
+			for _, t := range bench.Fig8(opt) {
+				t.Fprint(os.Stdout)
+			}
+		case "ablation-cover":
+			bench.AblationCover(opt, names...).Fprint(os.Stdout)
+		case "ablation-cone":
+			bench.AblationCone(opt, names...).Fprint(os.Stdout)
+		case "ablation-topk":
+			bench.AblationTopK(opt, names...).Fprint(os.Stdout)
+		case "nonlinear":
+			for _, t := range bench.Nonlinear(opt, names...) {
+				t.Fprint(os.Stdout)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear"} {
+			run(e)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,95 @@
+// Hotels: the multi-criteria decision-making scenario from the paper's
+// introduction. A booking site scores every hotel on price, rating,
+// location and amenities, and wants to surface a page of representatives
+// such that EVERY user — whatever their priorities — finds something close
+// to their personal best. Prices and availability change constantly, so the
+// representative set is maintained with FD-RMS rather than recomputed.
+//
+// Run with: go run ./examples/hotels
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fdrms/rms"
+)
+
+type hotel struct {
+	name string
+	// price (cheaper=better, already inverted), rating, location, amenities
+	scores []float64
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// A city with 2000 hotels: quality correlates across attributes
+	// (well-run hotels score high on rating AND amenities), with noise.
+	hotels := make([]hotel, 2000)
+	pts := make([]rms.Point, len(hotels))
+	for i := range hotels {
+		quality := rng.Float64()
+		mk := func() float64 {
+			v := 0.55*quality + 0.45*rng.Float64()
+			if v > 1 {
+				v = 1
+			}
+			return v
+		}
+		// Price fights quality: better hotels cost more.
+		price := 1 - 0.6*quality - 0.4*rng.Float64()
+		if price < 0 {
+			price = 0
+		}
+		hotels[i] = hotel{
+			name:   fmt.Sprintf("hotel-%04d", i),
+			scores: []float64{price, mk(), rng.Float64(), mk()},
+		}
+		pts[i] = rms.Point{ID: i, Values: hotels[i].scores}
+	}
+
+	// One front page of 8 hotels; k=2 means "as good as anyone's 2nd pick".
+	d, err := rms.NewDynamic(4, pts, rms.Options{K: 2, R: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(stage string) {
+		fmt.Printf("--- %s ---\n", stage)
+		for _, p := range d.Result() {
+			h := hotels[p.ID]
+			fmt.Printf("  %s  price=%.2f rating=%.2f location=%.2f amenities=%.2f\n",
+				h.name, h.scores[0], h.scores[1], h.scores[2], h.scores[3])
+		}
+	}
+	show(fmt.Sprintf("front page over %d hotels", len(pts)))
+
+	// A flash sale: 50 random hotels drop their price (update = delete +
+	// insert with the same ID, as the paper prescribes).
+	for i := 0; i < 50; i++ {
+		id := rng.Intn(len(hotels))
+		s := append([]float64(nil), hotels[id].scores...)
+		s[0] = 0.9 + 0.1*rng.Float64() // near-best price
+		hotels[id].scores = s
+		if err := d.Insert(rms.Point{ID: id, Values: s}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	show("after a 50-hotel flash sale")
+
+	// 100 hotels sell out and disappear from inventory.
+	removed := 0
+	for removed < 100 {
+		id := rng.Intn(len(hotels))
+		if d.Contains(id) {
+			d.Delete(id)
+			removed++
+		}
+	}
+	show("after 100 hotels sold out")
+
+	st := d.Stats()
+	fmt.Printf("\nmaintenance state: m=%d utility samples, cover=%d sets, %d stabilize takeovers\n",
+		st.M, st.CoverSize, st.Takeovers)
+}

@@ -1,0 +1,105 @@
+// Sensors: the IoT scenario from the paper's introduction. A fleet of
+// sensors streams multi-dimensional health statistics (throughput, battery,
+// uptime, signal, coverage, accuracy) to a gateway; devices connect,
+// disconnect and re-report constantly. The gateway keeps a k-RMS panel of
+// representative devices — useful for dashboards and for picking probe
+// targets — and FD-RMS keeps the panel current at microsecond-level cost
+// per event instead of recomputing on every change.
+//
+// Run with: go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fdrms/rms"
+)
+
+const dim = 6
+
+func reading(rng *rand.Rand, id int) rms.Point {
+	v := make([]float64, dim)
+	for j := range v {
+		v[j] = rng.Float64()
+	}
+	return rms.Point{ID: id, Values: v}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// 5000 sensors online at start.
+	initial := make([]rms.Point, 5000)
+	for i := range initial {
+		initial[i] = reading(rng, i)
+	}
+	start := time.Now()
+	d, err := rms.NewDynamic(dim, initial, rms.Options{K: 1, R: 12, Epsilon: 0.004, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initialized over %d sensors in %v\n", len(initial), time.Since(start).Round(time.Millisecond))
+
+	// Simulate a day of churn: connects, disconnects, and metric updates.
+	const events = 20000
+	nextID := len(initial)
+	live := make([]int, len(initial))
+	for i := range live {
+		live[i] = i
+	}
+	var busiest time.Duration
+	t0 := time.Now()
+	for e := 0; e < events; e++ {
+		s := time.Now()
+		switch rng.Intn(3) {
+		case 0: // a new sensor joins
+			if err := d.Insert(reading(rng, nextID)); err != nil {
+				log.Fatal(err)
+			}
+			live = append(live, nextID)
+			nextID++
+		case 1: // a sensor drops off
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			d.Delete(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // a sensor re-reports its stats (update = delete + insert)
+			if len(live) == 0 {
+				continue
+			}
+			id := live[rng.Intn(len(live))]
+			if err := d.Insert(reading(rng, id)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if dt := time.Since(s); dt > busiest {
+			busiest = dt
+		}
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("processed %d events in %v (avg %v/event, worst %v)\n",
+		events, elapsed.Round(time.Millisecond),
+		(elapsed / events).Round(time.Microsecond), busiest.Round(time.Microsecond))
+
+	fmt.Printf("%d sensors online; representative panel:\n", d.Len())
+	for _, p := range d.Result() {
+		fmt.Printf("  sensor-%05d  %v\n", p.ID, rounded(p.Values))
+	}
+	st := d.Stats()
+	fmt.Printf("maintenance state: m=%d utility samples, cover=%d, reassignments=%d\n",
+		st.M, st.CoverSize, st.Reassignments)
+}
+
+func rounded(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*100)) / 100
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdrms/internal/dataset"
+	"fdrms/internal/geom"
+	"fdrms/internal/regret"
+	"fdrms/internal/skyline"
+)
+
+func paperPoints() []geom.Point {
+	return []geom.Point{
+		geom.NewPoint(1, 0.2, 1.0),
+		geom.NewPoint(2, 0.6, 0.8),
+		geom.NewPoint(3, 0.7, 0.5),
+		geom.NewPoint(4, 1.0, 0.1),
+		geom.NewPoint(5, 0.4, 0.3),
+		geom.NewPoint(6, 0.2, 0.7),
+		geom.NewPoint(7, 0.3, 0.9),
+		geom.NewPoint(8, 0.6, 0.6),
+	}
+}
+
+// every algorithm must return at most r tuples drawn from P, and for k=1
+// they must lie on the skyline.
+func TestBasicContracts(t *testing.T) {
+	ds := dataset.Indep(300, 4, 1)
+	onSky := make(map[int]bool)
+	for _, p := range skyline.Compute(ds.Points) {
+		onSky[p.ID] = true
+	}
+	inP := make(map[int]bool)
+	for _, p := range ds.Points {
+		inP[p.ID] = true
+	}
+	for _, alg := range All(7) {
+		for _, r := range []int{1, 5, 20} {
+			got := alg.Compute(ds.Points, 4, 1, r)
+			if len(got) > r {
+				t.Errorf("%s: |Q| = %d > r = %d", alg.Name(), len(got), r)
+			}
+			for _, p := range got {
+				if !inP[p.ID] {
+					t.Errorf("%s: tuple %d not from P", alg.Name(), p.ID)
+				}
+				if !onSky[p.ID] {
+					t.Errorf("%s: tuple %d not on the skyline (k=1)", alg.Name(), p.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	for _, alg := range All(3) {
+		if got := alg.Compute(nil, 3, 1, 5); len(got) != 0 {
+			t.Errorf("%s: empty P returned %d tuples", alg.Name(), len(got))
+		}
+		if got := alg.Compute(paperPoints(), 2, 1, 0); len(got) != 0 {
+			t.Errorf("%s: r=0 returned %d tuples", alg.Name(), len(got))
+		}
+		one := []geom.Point{geom.NewPoint(0, 0.5, 0.5)}
+		got := alg.Compute(one, 2, 1, 3)
+		if len(got) != 1 || got[0].ID != 0 {
+			t.Errorf("%s: singleton P returned %v", alg.Name(), got)
+		}
+	}
+}
+
+func TestSupportsK(t *testing.T) {
+	k1Only := map[string]bool{"Greedy": true, "GeoGreedy": true, "DMM-RRMS": true, "DMM-Greedy": true, "Sphere": true}
+	for _, alg := range All(1) {
+		if !alg.SupportsK(1) {
+			t.Errorf("%s must support k=1", alg.Name())
+		}
+		if k1Only[alg.Name()] && alg.SupportsK(3) {
+			t.Errorf("%s should not claim k=3 support", alg.Name())
+		}
+		if !k1Only[alg.Name()] && !alg.SupportsK(3) {
+			t.Errorf("%s should support k=3", alg.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Greedy", "Greedy*", "GeoGreedy", "DMM-RRMS", "DMM-Greedy", "eps-Kernel", "HS", "Sphere", "DP-2D"} {
+		if _, ok := ByName(name, 1); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("nonsense", 1); ok {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+// On the paper's toy database every algorithm should achieve near-zero
+// regret with r = 3 (the skyline has 5 tuples, and {p1, p2, p4} already
+// reaches mrr_1 = 0 by Example 1).
+func TestToyDatabaseQuality(t *testing.T) {
+	P := paperPoints()
+	ev := regret.NewEvaluator(P, 2, 1, 5000, 1)
+	for _, alg := range All(5) {
+		Q := alg.Compute(P, 2, 1, 3)
+		if mrr := ev.MRR(Q); mrr > 0.12 {
+			t.Errorf("%s: mrr_1 = %v on the toy database with r=3", alg.Name(), mrr)
+		}
+	}
+}
+
+// Greedy is the quality reference (paper: best quality, worst speed): on a
+// modest dataset it must beat or match the discretized algorithms, and
+// eps-Kernel should trail (Fig. 6's quality ordering).
+func TestQualityOrdering(t *testing.T) {
+	ds := dataset.AntiCor(400, 4, 3)
+	ev := regret.NewEvaluator(ds.Points, 4, 1, 30000, 2)
+	r := 10
+	mrr := make(map[string]float64)
+	for _, alg := range All(11) {
+		mrr[alg.Name()] = ev.MRR(alg.Compute(ds.Points, 4, 1, r))
+	}
+	if mrr["Greedy"] > mrr["eps-Kernel"]+0.02 {
+		t.Errorf("Greedy (%v) should not be clearly worse than eps-Kernel (%v)",
+			mrr["Greedy"], mrr["eps-Kernel"])
+	}
+	for name, v := range mrr {
+		if v > 0.5 {
+			t.Errorf("%s: implausibly bad mrr %v", name, v)
+		}
+	}
+}
+
+// Quality must improve (weakly) with r for the greedy family.
+func TestQualityMonotoneInR(t *testing.T) {
+	ds := dataset.Indep(300, 3, 5)
+	ev := regret.NewEvaluator(ds.Points, 3, 1, 10000, 3)
+	for _, alg := range []Algorithm{NewGreedy(), NewSphere(9), NewHittingSet(9)} {
+		prev := 1.1
+		for _, r := range []int{2, 5, 15} {
+			m := ev.MRR(alg.Compute(ds.Points, 3, 1, r))
+			if m > prev+0.03 {
+				t.Errorf("%s: mrr at r=%d is %v, worse than at smaller r (%v)", alg.Name(), r, m, prev)
+			}
+			prev = m
+		}
+	}
+}
+
+// k-RMS capable algorithms: regret must (weakly) drop as k grows, by
+// definition of the measure.
+func TestKRMSQuality(t *testing.T) {
+	ds := dataset.Indep(300, 3, 7)
+	r := 8
+	for _, alg := range []Algorithm{NewGreedyStar(13), NewHittingSet(13), NewEpsKernel(13)} {
+		prev := 1.1
+		for _, k := range []int{1, 3, 5} {
+			Q := alg.Compute(ds.Points, 3, k, r)
+			ev := regret.NewEvaluator(ds.Points, 3, k, 10000, 4)
+			m := ev.MRR(Q)
+			if m > prev+0.05 {
+				t.Errorf("%s: mrr_k at k=%d is %v, should not exceed k-1's %v by this much", alg.Name(), k, m, prev)
+			}
+			prev = m
+		}
+	}
+}
+
+// GeoGreedy must match Greedy's quality on low dimensions (paper: "runs
+// much faster than GREEDY while achieving equivalent quality").
+func TestGeoGreedyMatchesGreedy(t *testing.T) {
+	ds := dataset.Indep(250, 3, 11)
+	ev := regret.NewEvaluator(ds.Points, 3, 1, 20000, 5)
+	g := ev.MRR(NewGreedy().Compute(ds.Points, 3, 1, 8))
+	gg := ev.MRR(NewGeoGreedy(11).Compute(ds.Points, 3, 1, 8))
+	if gg > g+0.03 {
+		t.Errorf("GeoGreedy mrr %v should match Greedy mrr %v", gg, g)
+	}
+}
+
+// DP-2D is (quasi-)exact on 2-D inputs: nothing may beat it by a margin.
+func TestDP2DOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		n := 40 + rng.Intn(60)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.NewPoint(i, rng.Float64(), rng.Float64())
+		}
+		ev := regret.NewEvaluator(pts, 2, 1, 20000, int64(trial))
+		r := 4
+		dp := ev.MRR(NewDP2D().Compute(pts, 2, 1, r))
+		greedy := ev.MRR(NewGreedy().Compute(pts, 2, 1, r))
+		if dp > greedy+0.01 {
+			t.Errorf("trial %d: DP-2D mrr %v beaten by Greedy %v", trial, dp, greedy)
+		}
+	}
+}
+
+func TestDP2DPanicsOnHighDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dim != 2")
+		}
+	}()
+	NewDP2D().Compute(dataset.Indep(10, 3, 1).Points, 3, 1, 2)
+}
+
+// Determinism: same seed, same result.
+func TestDeterminism(t *testing.T) {
+	ds := dataset.Indep(200, 4, 19)
+	for _, mk := range []func() Algorithm{
+		func() Algorithm { return NewGreedyStar(5) },
+		func() Algorithm { return NewSphere(5) },
+		func() Algorithm { return NewHittingSet(5) },
+		func() Algorithm { return NewDMMGreedy(5) },
+		func() Algorithm { return NewEpsKernel(5) },
+	} {
+		a, b := mk().Compute(ds.Points, 4, 1, 10), mk().Compute(ds.Points, 4, 1, 10)
+		if len(a) != len(b) {
+			t.Errorf("%s: nondeterministic result size", mk().Name())
+			continue
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Errorf("%s: nondeterministic result", mk().Name())
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkGreedyR10(b *testing.B) {
+	ds := dataset.Indep(2000, 4, 1)
+	alg := NewGreedy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Compute(ds.Points, 4, 1, 10)
+	}
+}
+
+func BenchmarkSphereR50(b *testing.B) {
+	ds := dataset.Indep(10000, 6, 1)
+	alg := NewSphere(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Compute(ds.Points, 6, 1, 50)
+	}
+}
+
+func BenchmarkHittingSetR50(b *testing.B) {
+	ds := dataset.Indep(10000, 6, 1)
+	alg := NewHittingSet(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Compute(ds.Points, 6, 1, 50)
+	}
+}

@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"fdrms/internal/geom"
+)
+
+// The two DMM algorithms of Asudeh et al. (SIGMOD 2017) discretize the
+// utility space into N directions and work on the regret matrix
+//
+//	M[i][j] = 1 − <u_i, p_j> / ω(u_i, P),
+//
+// the regret ratio the singleton {p_j} leaves in direction u_i. Choosing r
+// tuples so that the maximum over directions of the minimum matrix entry is
+// smallest is a min-max discretization of 1-RMS.
+//
+// DMM-RRMS binary-searches the answer τ and tests feasibility as a set
+// cover (direction i is covered by tuple j when M[i][j] <= τ); DMM-GREEDY
+// picks tuples greedily to minimize the running max-regret directly. Both
+// inherit the paper's observed weakness: quality collapses once r grows
+// past what the discretization resolves (Fig. 6), and memory grows with
+// N × |skyline|, which is why they cannot scale past d = 7 (Fig. 8).
+
+// dmmBase holds the shared discretization.
+type dmmBase struct {
+	seed int64
+	dirs int
+}
+
+func (b dmmBase) matrix(pool []geom.Point, dim int) ([]geom.Vector, [][]float64) {
+	dirs := make([]geom.Vector, 0, b.dirs+dim)
+	for i := 0; i < dim; i++ {
+		dirs = append(dirs, geom.Basis(dim, i))
+	}
+	s := geom.NewUnitSampler(dim, b.seed)
+	dirs = append(dirs, s.SampleN(b.dirs)...)
+
+	m := make([][]float64, len(dirs))
+	for i, u := range dirs {
+		width := 0.0
+		row := make([]float64, len(pool))
+		for _, p := range pool {
+			if sc := geom.Score(u, p); sc > width {
+				width = sc
+			}
+		}
+		for j, p := range pool {
+			if width <= 0 {
+				row[j] = 0
+				continue
+			}
+			row[j] = 1 - geom.Score(u, p)/width
+		}
+		m[i] = row
+	}
+	return dirs, m
+}
+
+// DMMRRMS is the binary-search variant.
+type DMMRRMS struct{ dmmBase }
+
+// NewDMMRRMS returns the DMM-RRMS baseline.
+func NewDMMRRMS(seed int64) *DMMRRMS { return &DMMRRMS{dmmBase{seed: seed, dirs: 1000}} }
+
+// Name implements Algorithm.
+func (*DMMRRMS) Name() string { return "DMM-RRMS" }
+
+// SupportsK implements Algorithm: DMM is defined for k = 1 only.
+func (*DMMRRMS) SupportsK(k int) bool { return k == 1 }
+
+// Compute implements Algorithm.
+func (a *DMMRRMS) Compute(P []geom.Point, dim, k, r int) []geom.Point {
+	pool := candidatePool(P, 1)
+	if len(pool) == 0 || r <= 0 {
+		return nil
+	}
+	_, m := a.matrix(pool, dim)
+
+	// The answer is one of the matrix entries; binary search over the
+	// sorted distinct values.
+	values := distinctValues(m)
+	lo, hi := 0, len(values)-1
+	var best []int
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		sel := coverWithThreshold(m, values[mid], r)
+		if sel != nil {
+			best = sel
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		best = coverWithThreshold(m, math.Inf(1), r)
+	}
+	out := make([]geom.Point, 0, len(best))
+	for _, j := range best {
+		out = append(out, pool[j])
+	}
+	return sortByID(out)
+}
+
+func distinctValues(m [][]float64) []float64 {
+	seen := make(map[float64]bool)
+	for _, row := range m {
+		for _, v := range row {
+			seen[v] = true
+		}
+	}
+	out := make([]float64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// coverWithThreshold greedily covers all directions with tuples whose
+// regret is <= tau, returning nil when more than r tuples are needed.
+func coverWithThreshold(m [][]float64, tau float64, r int) []int {
+	nDirs := len(m)
+	if nDirs == 0 {
+		return []int{}
+	}
+	nPts := len(m[0])
+	uncovered := make([]bool, nDirs)
+	remaining := nDirs
+	for i := range uncovered {
+		uncovered[i] = true
+	}
+	var sel []int
+	for remaining > 0 {
+		if len(sel) == r {
+			return nil
+		}
+		bestJ, bestCount := -1, 0
+		for j := 0; j < nPts; j++ {
+			count := 0
+			for i := 0; i < nDirs; i++ {
+				if uncovered[i] && m[i][j] <= tau {
+					count++
+				}
+			}
+			if count > bestCount {
+				bestJ, bestCount = j, count
+			}
+		}
+		if bestJ < 0 {
+			return nil // some direction cannot reach tau at all
+		}
+		sel = append(sel, bestJ)
+		for i := 0; i < nDirs; i++ {
+			if uncovered[i] && m[i][bestJ] <= tau {
+				uncovered[i] = false
+				remaining--
+			}
+		}
+	}
+	return sel
+}
+
+// DMMGreedy picks tuples greedily on the matrix.
+type DMMGreedy struct{ dmmBase }
+
+// NewDMMGreedy returns the DMM-GREEDY baseline.
+func NewDMMGreedy(seed int64) *DMMGreedy { return &DMMGreedy{dmmBase{seed: seed, dirs: 1000}} }
+
+// Name implements Algorithm.
+func (*DMMGreedy) Name() string { return "DMM-Greedy" }
+
+// SupportsK implements Algorithm: DMM is defined for k = 1 only.
+func (*DMMGreedy) SupportsK(k int) bool { return k == 1 }
+
+// Compute implements Algorithm.
+func (a *DMMGreedy) Compute(P []geom.Point, dim, k, r int) []geom.Point {
+	pool := candidatePool(P, 1)
+	if len(pool) == 0 || r <= 0 {
+		return nil
+	}
+	_, m := a.matrix(pool, dim)
+	nDirs := len(m)
+	nPts := len(pool)
+
+	// cur[i] = min regret over chosen tuples for direction i.
+	cur := make([]float64, nDirs)
+	for i := range cur {
+		cur[i] = math.Inf(1)
+	}
+	chosen := make(map[int]bool)
+	var sel []int
+	for len(sel) < r && len(sel) < nPts {
+		bestJ := -1
+		bestVal := math.Inf(1)
+		for j := 0; j < nPts; j++ {
+			if chosen[j] {
+				continue
+			}
+			// Max regret if tuple j were added.
+			worst := 0.0
+			for i := 0; i < nDirs; i++ {
+				v := cur[i]
+				if m[i][j] < v {
+					v = m[i][j]
+				}
+				if v > worst {
+					worst = v
+				}
+			}
+			if worst < bestVal || (worst == bestVal && bestJ >= 0 && pool[j].ID < pool[bestJ].ID) {
+				bestJ, bestVal = j, worst
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		chosen[bestJ] = true
+		sel = append(sel, bestJ)
+		for i := 0; i < nDirs; i++ {
+			if m[i][bestJ] < cur[i] {
+				cur[i] = m[i][bestJ]
+			}
+		}
+		if bestVal <= 1e-12 {
+			break
+		}
+	}
+	out := make([]geom.Point, 0, len(sel))
+	for _, j := range sel {
+		out = append(out, pool[j])
+	}
+	return sortByID(out)
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"math"
+
+	"fdrms/internal/geom"
+)
+
+// DP2D solves 1-RMS on two-dimensional databases (essentially) exactly —
+// the "first type" of algorithm in the paper's taxonomy (Section I), which
+// exploits the fact that 2-D k-RMS is polynomial while d >= 3 is NP-hard.
+//
+// In two dimensions the utility class is the quarter circle θ ∈ [0, π/2],
+// and the set of directions in which a tuple p stays within (1−ε) of the
+// database-wide best score is an angular interval (the score ratio is
+// quasi-concave in θ). RMS therefore reduces to covering the quarter circle
+// with r intervals: binary search the smallest feasible ε, testing
+// feasibility with the classic greedy interval-cover sweep. The circle is
+// discretized on a fine grid, so the result is exact up to grid resolution
+// (1/Grid of the quarter circle).
+type DP2D struct {
+	// Grid is the number of angular samples (default 2048).
+	Grid int
+}
+
+// NewDP2D returns the 2-D exact solver with the default grid.
+func NewDP2D() *DP2D { return &DP2D{Grid: 2048} }
+
+// Name implements Algorithm.
+func (*DP2D) Name() string { return "DP-2D" }
+
+// SupportsK implements Algorithm: k = 1 only.
+func (*DP2D) SupportsK(k int) bool { return k == 1 }
+
+// Compute implements Algorithm. It panics if dim != 2, since the reduction
+// is specific to two dimensions.
+func (a *DP2D) Compute(P []geom.Point, dim, k, r int) []geom.Point {
+	if dim != 2 {
+		panic("baseline: DP-2D requires dim == 2")
+	}
+	pool := candidatePool(P, 1)
+	if len(pool) == 0 || r <= 0 {
+		return nil
+	}
+	grid := a.Grid
+	if grid < 2 {
+		grid = 2048
+	}
+	// Scores per (angle, tuple) and the directional width per angle.
+	width := make([]float64, grid)
+	scores := make([][]float64, grid)
+	for i := 0; i < grid; i++ {
+		theta := float64(i) / float64(grid-1) * math.Pi / 2
+		u := geom.Vector{math.Cos(theta), math.Sin(theta)}
+		row := make([]float64, len(pool))
+		for j, p := range pool {
+			row[j] = geom.Score(u, p)
+			if row[j] > width[i] {
+				width[i] = row[j]
+			}
+		}
+		scores[i] = row
+	}
+
+	feasible := func(eps float64) []int {
+		// Interval of each tuple: angles where it stays within (1-eps).
+		lo := make([]int, len(pool))
+		hi := make([]int, len(pool))
+		for j := range pool {
+			lo[j], hi[j] = -1, -2
+			for i := 0; i < grid; i++ {
+				if scores[i][j] >= (1-eps)*width[i] {
+					if lo[j] < 0 {
+						lo[j] = i
+					}
+					hi[j] = i
+				}
+			}
+		}
+		// Greedy interval cover of [0, grid).
+		var sel []int
+		pos := 0
+		for pos < grid {
+			bestJ, bestHi := -1, pos-1
+			for j := range pool {
+				if lo[j] >= 0 && lo[j] <= pos && hi[j] > bestHi {
+					bestJ, bestHi = j, hi[j]
+				}
+			}
+			if bestJ < 0 {
+				return nil
+			}
+			sel = append(sel, bestJ)
+			if len(sel) > r {
+				return nil
+			}
+			pos = bestHi + 1
+		}
+		return sel
+	}
+
+	loEps, hiEps := 0.0, 1.0
+	var best []int
+	for iter := 0; iter < 30; iter++ {
+		eps := (loEps + hiEps) / 2
+		if sel := feasible(eps); sel != nil {
+			best = sel
+			hiEps = eps
+		} else {
+			loEps = eps
+		}
+	}
+	if best == nil {
+		best = feasible(1.0)
+	}
+	out := make([]geom.Point, 0, len(best))
+	for _, j := range best {
+		out = append(out, pool[j])
+	}
+	return sortByID(out)
+}

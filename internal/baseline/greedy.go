@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"fdrms/internal/geom"
+	"fdrms/internal/kernel"
+	"fdrms/internal/regret"
+)
+
+// Greedy is the LP-based greedy heuristic of Nanongkai et al. (PVLDB 2010)
+// for 1-RMS: starting from the best tuple of an arbitrary direction, it
+// repeatedly adds the tuple that currently inflicts the maximum regret
+// ratio on the chosen set, computed exactly with one LP per candidate.
+// It has no approximation guarantee but high empirical quality — and the
+// highest cost of all baselines, as the paper's Fig. 6 shows.
+type Greedy struct{}
+
+// NewGreedy returns the GREEDY baseline.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Algorithm.
+func (*Greedy) Name() string { return "Greedy" }
+
+// SupportsK implements Algorithm: GREEDY is defined for k = 1 only.
+func (*Greedy) SupportsK(k int) bool { return k == 1 }
+
+// Compute implements Algorithm.
+func (*Greedy) Compute(P []geom.Point, dim, k, r int) []geom.Point {
+	return lpGreedy(candidatePool(P, 1), dim, r)
+}
+
+// lpGreedy is the shared core of GREEDY and GEOGREEDY.
+func lpGreedy(cands []geom.Point, dim, r int) []geom.Point {
+	if len(cands) == 0 || r <= 0 {
+		return nil
+	}
+	// Seed with the extreme point of the all-ones direction.
+	ones := make(geom.Vector, dim)
+	for i := range ones {
+		ones[i] = 1
+	}
+	geom.Normalize(ones)
+	first, _ := kernel.Extreme(cands, ones)
+	Q := []geom.Point{first}
+	chosen := map[int]bool{first.ID: true}
+
+	for len(Q) < r && len(Q) < len(cands) {
+		var worst geom.Point
+		worstDelta := 0.0
+		found := false
+		for _, p := range cands {
+			if chosen[p.ID] {
+				continue
+			}
+			delta, err := regret.PointRegretLP(p, Q)
+			if err != nil {
+				continue
+			}
+			if !found || delta > worstDelta {
+				worst, worstDelta, found = p, delta, true
+			}
+		}
+		if !found || worstDelta <= 1e-12 {
+			break // zero regret: Q already covers every direction
+		}
+		Q = append(Q, worst)
+		chosen[worst.ID] = true
+	}
+	return sortByID(Q)
+}
+
+// GeoGreedy is the geometric greedy of Peng & Wong (ICDE 2014): the same
+// greedy loop as GREEDY, but run only over the happy points — tuples that
+// are the top-1 of at least one utility direction (the vertices of the
+// upper convex hull). The happy-point set is extracted with a dense
+// direction net; the paper's exact convex-hull-based extraction is
+// equivalent for the utility class U and this substitution keeps the
+// candidate-reduction behaviour that gives GEOGREEDY its speedup.
+type GeoGreedy struct {
+	seed    int64
+	netSize int
+}
+
+// NewGeoGreedy returns the GEOGREEDY baseline.
+func NewGeoGreedy(seed int64) *GeoGreedy { return &GeoGreedy{seed: seed, netSize: 4096} }
+
+// Name implements Algorithm.
+func (*GeoGreedy) Name() string { return "GeoGreedy" }
+
+// SupportsK implements Algorithm: GEOGREEDY is defined for k = 1 only.
+func (*GeoGreedy) SupportsK(k int) bool { return k == 1 }
+
+// Compute implements Algorithm.
+func (g *GeoGreedy) Compute(P []geom.Point, dim, k, r int) []geom.Point {
+	sky := candidatePool(P, 1)
+	happy := kernel.ExtremePoints(sky, kernel.Net(dim, g.netSize, g.seed))
+	return lpGreedy(happy, dim, r)
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"sort"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/kdtree"
+)
+
+// MinSize solves the dual formulation of k-RMS studied by Agarwal et al.
+// (SEA 2017) and Kumar & Sintos (ALENEX 2018), which the paper adapts its
+// ε-KERNEL and HS baselines from: instead of fixing the size r and
+// minimizing the regret, fix a regret budget eps and return the smallest
+// subset Q with mrr_k(Q) <= eps (with respect to a sampled utility test
+// set of the given size).
+//
+// The reduction is the sampled hitting set: Q must contain at least one
+// ε-approximate top-k tuple of every sampled utility, and the greedy
+// hitting set is an O(log)-approximation of the smallest such Q.
+func MinSize(P []geom.Point, dim, k int, eps float64, samples int, seed int64) []geom.Point {
+	if len(P) == 0 {
+		return nil
+	}
+	pool := candidatePool(P, k)
+	dirs := make([]geom.Vector, 0, samples+dim)
+	for i := 0; i < dim; i++ {
+		dirs = append(dirs, geom.Basis(dim, i))
+	}
+	s := geom.NewUnitSampler(dim, seed)
+	dirs = append(dirs, s.SampleN(samples)...)
+
+	tree := kdtree.New(dim, P)
+	// memberOf[j] lists the directions whose Φ_{k,ε} contains pool[j].
+	memberOf := make([][]int, len(pool))
+	needed := 0
+	hit := make([]bool, len(dirs))
+	for i, u := range dirs {
+		kth, ok := tree.KthScore(u, k)
+		if !ok || kth <= 0 {
+			hit[i] = true
+			continue
+		}
+		tau := (1 - eps) * kth
+		any := false
+		for j, p := range pool {
+			if geom.Score(u, p) >= tau {
+				memberOf[j] = append(memberOf[j], i)
+				any = true
+			}
+		}
+		if !any {
+			hit[i] = true // only reachable for k > 1 when pool ⊂ P misses the top-k
+			continue
+		}
+		needed++
+	}
+
+	var sel []geom.Point
+	for needed > 0 {
+		bestJ, bestCount := -1, 0
+		for j := range pool {
+			c := 0
+			for _, i := range memberOf[j] {
+				if !hit[i] {
+					c++
+				}
+			}
+			if c > bestCount {
+				bestJ, bestCount = j, c
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		sel = append(sel, pool[bestJ])
+		for _, i := range memberOf[bestJ] {
+			if !hit[i] {
+				hit[i] = true
+				needed--
+			}
+		}
+	}
+	sort.Slice(sel, func(a, b int) bool { return sel[a].ID < sel[b].ID })
+	return sel
+}

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"testing"
+
+	"fdrms/internal/dataset"
+	"fdrms/internal/regret"
+)
+
+func TestMinSizeBasics(t *testing.T) {
+	ds := dataset.Indep(400, 3, 1)
+	q := MinSize(ds.Points, 3, 1, 0.05, 1000, 2)
+	if len(q) == 0 {
+		t.Fatal("empty answer")
+	}
+	// The answer must honour the regret budget on an independent test set
+	// (allowing sampling slack).
+	ev := regret.NewEvaluator(ds.Points, 3, 1, 20000, 3)
+	if mrr := ev.MRR(q); mrr > 0.05+0.03 {
+		t.Fatalf("mrr %v exceeds budget 0.05 by more than sampling slack", mrr)
+	}
+	if MinSize(nil, 3, 1, 0.05, 100, 1) != nil {
+		t.Fatal("empty P should give nil")
+	}
+}
+
+// A looser budget must never need more tuples.
+func TestMinSizeMonotoneInEps(t *testing.T) {
+	ds := dataset.AntiCor(500, 4, 5)
+	prev := 1 << 30
+	for _, eps := range []float64{0.01, 0.05, 0.2} {
+		q := MinSize(ds.Points, 4, 1, eps, 1000, 7)
+		if len(q) > prev {
+			t.Fatalf("eps=%v needs %d tuples, more than tighter budget's %d", eps, len(q), prev)
+		}
+		prev = len(q)
+	}
+}
+
+// Near-total tolerance needs only a tuple or two.
+func TestMinSizeLooseBudget(t *testing.T) {
+	ds := dataset.Indep(300, 3, 9)
+	q := MinSize(ds.Points, 3, 1, 0.9, 500, 11)
+	if len(q) > 3 {
+		t.Fatalf("eps=0.9 should need at most a few tuples, got %d", len(q))
+	}
+}
+
+// Min-size and size-constrained HS are duals: running HS with r equal to
+// the min-size answer must reach a regret no worse than ~eps.
+func TestMinSizeDualToHS(t *testing.T) {
+	ds := dataset.Indep(400, 3, 13)
+	eps := 0.08
+	q := MinSize(ds.Points, 3, 1, eps, 1000, 15)
+	hs := NewHittingSet(15).Compute(ds.Points, 3, 1, len(q))
+	ev := regret.NewEvaluator(ds.Points, 3, 1, 20000, 17)
+	if m := ev.MRR(hs); m > eps+0.05 {
+		t.Fatalf("HS at r=%d reaches mrr %v, far above the dual budget %v", len(q), m, eps)
+	}
+}
+
+func TestMinSizeKGreaterThanOne(t *testing.T) {
+	ds := dataset.Indep(300, 3, 19)
+	q := MinSize(ds.Points, 3, 3, 0.05, 800, 21)
+	if len(q) == 0 {
+		t.Fatal("empty answer for k=3")
+	}
+	ev := regret.NewEvaluator(ds.Points, 3, 3, 10000, 23)
+	if m := ev.MRR(q); m > 0.05+0.03 {
+		t.Fatalf("k=3 mrr %v exceeds budget", m)
+	}
+}

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"fdrms/internal/geom"
+	"fdrms/internal/kernel"
+)
+
+// Sphere re-implements SPHERE (Xie et al., SIGMOD 2018), the
+// state-of-the-art static 1-RMS algorithm with a restriction-free bound.
+// The published algorithm seeds the answer with boundary points (the
+// extreme tuple of every axis), places a set of anchor directions evenly on
+// the nonnegative unit sphere, and takes for each the tuple closest to the
+// scaled anchor (equivalently, the top scorer), finishing with a greedy
+// fill. This re-implementation follows that structure: basis extremes
+// first, then sampled sphere anchors processed in a worst-direction-first
+// greedy order until r tuples are chosen.
+type Sphere struct {
+	seed    int64
+	anchors int
+}
+
+// NewSphere returns the SPHERE baseline.
+func NewSphere(seed int64) *Sphere { return &Sphere{seed: seed, anchors: 4000} }
+
+// Name implements Algorithm.
+func (*Sphere) Name() string { return "Sphere" }
+
+// SupportsK implements Algorithm: SPHERE is defined for k = 1 only.
+func (*Sphere) SupportsK(k int) bool { return k == 1 }
+
+// Compute implements Algorithm.
+func (s *Sphere) Compute(P []geom.Point, dim, k, r int) []geom.Point {
+	pool := candidatePool(P, 1)
+	if len(pool) == 0 || r <= 0 {
+		return nil
+	}
+	var Q []geom.Point
+	chosen := make(map[int]bool)
+	add := func(p geom.Point) {
+		if !chosen[p.ID] && len(Q) < r {
+			chosen[p.ID] = true
+			Q = append(Q, p)
+		}
+	}
+	// Stage 1: boundary tuples — the extreme of each axis.
+	for i := 0; i < dim; i++ {
+		if p, ok := kernel.Extreme(pool, geom.Basis(dim, i)); ok {
+			add(p)
+		}
+	}
+	// Stage 2: anchor directions, covered in worst-regret-first order.
+	anchors := geom.NewUnitSampler(dim, s.seed).SampleN(s.anchors)
+	width := make([]float64, len(anchors))
+	top := make([]geom.Point, len(anchors))
+	for i, u := range anchors {
+		p, _ := kernel.Extreme(pool, u)
+		top[i] = p
+		width[i] = geom.Score(u, p)
+	}
+	bestQ := make([]float64, len(anchors))
+	for i, u := range anchors {
+		for _, q := range Q {
+			if sc := geom.Score(u, q); sc > bestQ[i] {
+				bestQ[i] = sc
+			}
+		}
+	}
+	for len(Q) < r {
+		worst, worstReg := -1, 1e-12
+		for i := range anchors {
+			if width[i] <= 0 {
+				continue
+			}
+			if reg := 1 - bestQ[i]/width[i]; reg > worstReg {
+				worst, worstReg = i, reg
+			}
+		}
+		if worst < 0 {
+			break // all anchors already satisfied
+		}
+		p := top[worst]
+		if chosen[p.ID] {
+			// The anchor's top tuple is taken yet regret persists — the
+			// sampled anchors cannot improve further.
+			break
+		}
+		add(p)
+		for i, u := range anchors {
+			if sc := geom.Score(u, p); sc > bestQ[i] {
+				bestQ[i] = sc
+			}
+		}
+	}
+	return sortByID(Q)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+
+	"fdrms/internal/baseline"
+	"fdrms/internal/nonlinear"
+	"fdrms/internal/workload"
+)
+
+// Nonlinear compares k-RMS answers across utility classes (the paper's
+// future-work direction, implemented in internal/nonlinear): for each
+// dataset it computes a class-aware answer per class and cross-scores every
+// answer under every class, exposing how much regret a linear-tuned answer
+// leaves under convex and multiplicative preferences.
+func Nonlinear(o Options, names ...string) []*Table {
+	o = o.withDefaults()
+	if len(names) == 0 {
+		names = []string{"Indep", "AntiCor"}
+	}
+	classes := []nonlinear.Class{
+		nonlinear.Linear{},
+		nonlinear.ConvexLq{Q: 2},
+		nonlinear.ConvexLq{Q: 4},
+		nonlinear.Multiplicative{},
+	}
+	var out []*Table
+	for _, name := range names {
+		ds := loadDataset(name, o)
+		w := workload.Generate(ds, o.Seed)
+		r := capR(defaultR(name), ds.N())
+		final := w.Snapshots()[workload.NumCheckpoints-1]
+
+		evs := make([]*nonlinear.Evaluator, len(classes))
+		for i, c := range classes {
+			evs[i] = nonlinear.NewEvaluator(c, final, ds.Dim, 1, o.MRRSamples/4, o.Seed+700)
+		}
+
+		t := &Table{
+			Title:  fmt.Sprintf("Extension: utility classes — %s (k=1, r=%d, final snapshot)", name, r),
+			Header: []string{"answer tuned for", "mrr:linear", "mrr:convex-L2", "mrr:convex-L4", "mrr:multiplicative"},
+			Notes: []string{
+				"rows: which class the answer was computed for; columns: the class it is scored under",
+			},
+		}
+		for _, tuned := range classes {
+			q := nonlinear.Compute(tuned, final, ds.Dim, 1, r, 1500, o.Seed)
+			row := []string{tuned.Name()}
+			for i := range classes {
+				row = append(row, fmtMRR(evs[i].MRR(q)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		// Reference: the linear-world Sphere answer scored under every class.
+		sphere := baseline.NewSphere(o.Seed).Compute(final, ds.Dim, 1, r)
+		row := []string{"Sphere (linear)"}
+		for i := range classes {
+			row = append(row, fmtMRR(evs[i].MRR(sphere)))
+		}
+		t.Rows = append(t.Rows, row)
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+// Package conetree implements the utility index (UI) of Section III-C: an
+// angular binary-space-partitioning tree over the sampled utility vectors,
+// following the cone tree of Ram & Gray (KDD 2012).
+//
+// Linear top-k results depend only on a utility vector's direction, so the
+// tree clusters utilities with high cosine similarity. Each node keeps a
+// unit center, the maximum angle from the center to any vector in its
+// subtree, and the minimum pruning threshold of its subtree. For an
+// inserted tuple p the score of any u in the node is bounded by
+//
+//	<u, p> <= ‖p‖ · cos(max(0, θ(center, p) − maxAngle)),
+//
+// (spherical triangle inequality), so whole clusters whose bound falls
+// below their minimum threshold are skipped — this is how FD-RMS touches
+// only the u(Δt) utilities whose approximate top-k results an insertion can
+// change (the top-down scheme of Yu et al., SIGMOD 2012).
+package conetree
+
+import (
+	"math"
+
+	"fdrms/internal/geom"
+)
+
+const leafCapacity = 8
+
+// Item is one indexed utility vector with its pruning threshold, typically
+// (1-ε)·ω_k(u, P). A tuple p can affect u only when <u, p> >= Threshold.
+type Item struct {
+	ID        int
+	U         geom.Vector
+	Threshold float64
+}
+
+// Tree is a dynamic cone tree over utility vectors.
+type Tree struct {
+	root  *node
+	dim   int
+	items map[int]*entry
+	churn int // structural deletions since the last rebuild
+}
+
+type entry struct {
+	item Item
+	leaf *node
+}
+
+type node struct {
+	parent      *node
+	left, right *node
+	center      geom.Vector // unit mean direction, conservative
+	maxAngle    float64     // max angle(center, u) over the subtree
+	minThresh   float64     // min Threshold over the subtree
+	ids         []int       // leaf payload (nil for internal nodes)
+	count       int
+}
+
+// New builds a cone tree over the given items.
+func New(dim int, items []Item) *Tree {
+	t := &Tree{dim: dim, items: make(map[int]*entry, len(items))}
+	for _, it := range items {
+		t.items[it.ID] = &entry{item: it}
+	}
+	ids := make([]int, 0, len(items))
+	for _, it := range items {
+		ids = append(ids, it.ID)
+	}
+	t.root = t.build(nil, ids)
+	return t
+}
+
+// Len returns the number of indexed utilities.
+func (t *Tree) Len() int { return len(t.items) }
+
+// build constructs a subtree over ids (splitting by two far-apart pivots, as
+// in Algorithm 9 of Ram & Gray).
+func (t *Tree) build(parent *node, ids []int) *node {
+	if len(ids) == 0 {
+		return nil
+	}
+	n := &node{parent: parent, count: len(ids)}
+	if len(ids) <= leafCapacity {
+		n.ids = append([]int(nil), ids...)
+		for _, id := range ids {
+			t.items[id].leaf = n
+		}
+		t.refreshLeaf(n)
+		return n
+	}
+	// Pivot a: farthest (by angle) from ids[0]; pivot b: farthest from a.
+	a := t.farthestFrom(ids, t.items[ids[0]].item.U)
+	b := t.farthestFrom(ids, t.items[a].item.U)
+	ua, ub := t.items[a].item.U, t.items[b].item.U
+	var left, right []int
+	for _, id := range ids {
+		u := t.items[id].item.U
+		if geom.CosAngle(u, ua) >= geom.CosAngle(u, ub) {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// Degenerate (e.g., all identical directions): force a leaf chain.
+		n.ids = append([]int(nil), ids...)
+		for _, id := range ids {
+			t.items[id].leaf = n
+		}
+		t.refreshLeaf(n)
+		return n
+	}
+	n.left = t.build(n, left)
+	n.right = t.build(n, right)
+	t.refreshInternal(n)
+	return n
+}
+
+func (t *Tree) farthestFrom(ids []int, u geom.Vector) int {
+	best, bestCos := ids[0], math.Inf(1)
+	for _, id := range ids {
+		if c := geom.CosAngle(t.items[id].item.U, u); c < bestCos {
+			bestCos = c
+			best = id
+		}
+	}
+	return best
+}
+
+// refreshLeaf recomputes a leaf's center, maxAngle, minThresh, and count
+// from its payload.
+func (t *Tree) refreshLeaf(n *node) {
+	n.count = len(n.ids)
+	if n.count == 0 {
+		n.center = nil
+		n.maxAngle = 0
+		n.minThresh = math.Inf(1)
+		return
+	}
+	center := make(geom.Vector, t.dim)
+	for _, id := range n.ids {
+		center = geom.Add(center, t.items[id].item.U)
+	}
+	geom.Normalize(center)
+	n.center = center
+	n.maxAngle = 0
+	n.minThresh = math.Inf(1)
+	for _, id := range n.ids {
+		it := t.items[id].item
+		if a := geom.Angle(center, it.U); a > n.maxAngle {
+			n.maxAngle = a
+		}
+		if it.Threshold < n.minThresh {
+			n.minThresh = it.Threshold
+		}
+	}
+}
+
+// refreshInternal recomputes an internal node's summary from its children.
+// Children with count 0 are ignored.
+func (t *Tree) refreshInternal(n *node) {
+	n.count = 0
+	n.minThresh = math.Inf(1)
+	var weighted geom.Vector
+	for _, c := range []*node{n.left, n.right} {
+		if c == nil || c.count == 0 {
+			continue
+		}
+		n.count += c.count
+		if c.minThresh < n.minThresh {
+			n.minThresh = c.minThresh
+		}
+		w := geom.Scale(c.center, float64(c.count))
+		if weighted == nil {
+			weighted = w
+		} else {
+			weighted = geom.Add(weighted, w)
+		}
+	}
+	if n.count == 0 {
+		n.center = nil
+		n.maxAngle = 0
+		return
+	}
+	geom.Normalize(weighted)
+	n.center = weighted
+	// Conservative bound: a child's members are within child.maxAngle of the
+	// child center, which is within angle(center, child.center) of ours.
+	n.maxAngle = 0
+	for _, c := range []*node{n.left, n.right} {
+		if c == nil || c.count == 0 {
+			continue
+		}
+		if a := geom.Angle(n.center, c.center) + c.maxAngle; a > n.maxAngle {
+			n.maxAngle = a
+		}
+	}
+	if n.maxAngle > math.Pi {
+		n.maxAngle = math.Pi
+	}
+}
+
+// Insert adds a utility vector. Inserting an existing ID replaces it.
+func (t *Tree) Insert(it Item) {
+	if _, ok := t.items[it.ID]; ok {
+		t.Delete(it.ID)
+	}
+	e := &entry{item: it}
+	t.items[it.ID] = e
+	if t.root == nil || t.root.count == 0 {
+		t.rebuild()
+		return
+	}
+	n := t.root
+	for n.ids == nil {
+		// Descend toward the child whose center is angularly closer,
+		// enlarging the cone along the way so bounds stay valid.
+		if a := geom.Angle(n.center, it.U); a > n.maxAngle {
+			n.maxAngle = a
+		}
+		if it.Threshold < n.minThresh {
+			n.minThresh = it.Threshold
+		}
+		n.count++
+		l, r := n.left, n.right
+		switch {
+		case l == nil || l.count == 0:
+			n = r
+		case r == nil || r.count == 0:
+			n = l
+		case geom.CosAngle(l.center, it.U) >= geom.CosAngle(r.center, it.U):
+			n = l
+		default:
+			n = r
+		}
+	}
+	n.ids = append(n.ids, it.ID)
+	e.leaf = n
+	if a := geom.Angle(n.center, it.U); a > n.maxAngle {
+		n.maxAngle = a
+	}
+	if it.Threshold < n.minThresh {
+		n.minThresh = it.Threshold
+	}
+	n.count++
+	if len(n.ids) > 4*leafCapacity {
+		t.rebuild() // keep leaves from degenerating into linear scans
+	}
+}
+
+// Delete removes a utility vector by id; it reports whether it was present.
+func (t *Tree) Delete(id int) bool {
+	e, ok := t.items[id]
+	if !ok {
+		return false
+	}
+	delete(t.items, id)
+	leaf := e.leaf
+	for i, x := range leaf.ids {
+		if x == id {
+			leaf.ids = append(leaf.ids[:i], leaf.ids[i+1:]...)
+			break
+		}
+	}
+	t.refreshLeaf(leaf)
+	for n := leaf.parent; n != nil; n = n.parent {
+		t.refreshInternal(n)
+	}
+	t.churn++
+	if t.churn > len(t.items)/2+leafCapacity {
+		t.rebuild()
+	}
+	return true
+}
+
+// SetThreshold updates the pruning threshold for id and repairs subtree
+// minima along the leaf-to-root path.
+func (t *Tree) SetThreshold(id int, tau float64) {
+	e, ok := t.items[id]
+	if !ok {
+		return
+	}
+	e.item.Threshold = tau
+	leaf := e.leaf
+	min := math.Inf(1)
+	for _, x := range leaf.ids {
+		if th := t.items[x].item.Threshold; th < min {
+			min = th
+		}
+	}
+	leaf.minThresh = min
+	for n := leaf.parent; n != nil; n = n.parent {
+		min = math.Inf(1)
+		for _, c := range []*node{n.left, n.right} {
+			if c != nil && c.count > 0 && c.minThresh < min {
+				min = c.minThresh
+			}
+		}
+		n.minThresh = min
+	}
+}
+
+// Threshold returns the current threshold of id.
+func (t *Tree) Threshold(id int) (float64, bool) {
+	e, ok := t.items[id]
+	if !ok {
+		return 0, false
+	}
+	return e.item.Threshold, true
+}
+
+func (t *Tree) rebuild() {
+	ids := make([]int, 0, len(t.items))
+	for id := range t.items {
+		ids = append(ids, id)
+	}
+	t.root = t.build(nil, ids)
+	t.churn = 0
+}
+
+// Affected returns the IDs of every indexed utility u with
+// <u, p> >= Threshold(u), i.e., the utilities whose ε-approximate top-k
+// result the insertion of p can change. Visited leaves check exactly;
+// pruned subtrees are guaranteed to contain no match.
+func (t *Tree) Affected(p geom.Point) []int {
+	if t.root == nil || t.root.count == 0 {
+		return nil
+	}
+	normP := geom.Norm(p.Coords)
+	var out []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.count == 0 {
+			return
+		}
+		// Upper bound of <u, p> over the cone.
+		theta := geom.Angle(n.center, p.Coords) - n.maxAngle
+		if theta < 0 {
+			theta = 0
+		}
+		if normP*math.Cos(theta) < n.minThresh {
+			return
+		}
+		if n.ids != nil {
+			for _, id := range n.ids {
+				it := t.items[id].item
+				if geom.Score(it.U, p) >= it.Threshold {
+					out = append(out, id)
+				}
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// Visited counts the leaf items whose exact score would be evaluated for p;
+// it is Affected without the final filter and exists for the cone-pruning
+// ablation experiment.
+func (t *Tree) Visited(p geom.Point) int {
+	if t.root == nil || t.root.count == 0 {
+		return 0
+	}
+	normP := geom.Norm(p.Coords)
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.count == 0 {
+			return
+		}
+		theta := geom.Angle(n.center, p.Coords) - n.maxAngle
+		if theta < 0 {
+			theta = 0
+		}
+		if normP*math.Cos(theta) < n.minThresh {
+			return
+		}
+		if n.ids != nil {
+			count += len(n.ids)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return count
+}

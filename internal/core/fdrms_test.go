@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/dataset"
+	"fdrms/internal/geom"
+	"fdrms/internal/regret"
+)
+
+// paperPoints is the 8-tuple database of Fig. 1 / Fig. 3.
+func paperPoints() []geom.Point {
+	return []geom.Point{
+		geom.NewPoint(1, 0.2, 1.0),
+		geom.NewPoint(2, 0.6, 0.8),
+		geom.NewPoint(3, 0.7, 0.5),
+		geom.NewPoint(4, 1.0, 0.1),
+		geom.NewPoint(5, 0.4, 0.3),
+		geom.NewPoint(6, 0.2, 0.7),
+		geom.NewPoint(7, 0.3, 0.9),
+		geom.NewPoint(8, 0.6, 0.6),
+	}
+}
+
+func mustNew(t *testing.T, dim int, pts []geom.Point, cfg Config) *FDRMS {
+	t.Helper()
+	f, err := New(dim, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	pts := paperPoints()
+	bad := []Config{
+		{K: 0, R: 3, Eps: 0.01, M: 9},
+		{K: 1, R: 0, Eps: 0.01, M: 9},
+		{K: 1, R: 3, Eps: 0, M: 9},
+		{K: 1, R: 3, Eps: 1, M: 9},
+		{K: 1, R: 3, Eps: 0.01, M: 3},
+		{K: 1, R: 1, Eps: 0.01, M: 1}, // M below dimension too
+	}
+	for i, cfg := range bad {
+		if _, err := New(2, pts, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+// Example 3 scenario of the paper: k=1, r=3, ε=0.002, M=9 on the Fig. 1
+// database, then insert p9 = (0.9, 0.6) and delete p1. The exact sampled
+// utility vectors differ from the paper's, so the specific result tuples
+// can differ; the structural behaviour must match.
+func TestPaperExample3Scenario(t *testing.T) {
+	cfg := Config{K: 1, R: 3, Eps: 0.002, M: 9, Seed: 7}
+	f := mustNew(t, 2, paperPoints(), cfg)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Result()); got > 3 {
+		t.Fatalf("|Q0| = %d, want <= 3", got)
+	}
+
+	// Q0 must be a high-quality 1-RMS result.
+	ev := regret.NewEvaluator(f.Points(), 2, 1, 5000, 1)
+	if mrr := ev.MRR(f.Result()); mrr > 0.12 {
+		t.Fatalf("mrr_1(Q0) = %v, expected a small regret on the toy data", mrr)
+	}
+
+	// Insert p9 (0.9, 0.6): it dominates p3 and p8 and should quickly enter
+	// most top-1 sets.
+	f.Insert(geom.NewPoint(9, 0.9, 0.6))
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Result()); got > 3 {
+		t.Fatalf("|Q1| = %d, want <= 3", got)
+	}
+
+	// Delete p1 (0.2, 1.0), a skyline tuple in every variant.
+	f.Delete(1)
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range f.Result() {
+		if p.ID == 1 {
+			t.Fatal("deleted tuple p1 still in the result")
+		}
+	}
+	ev2 := regret.NewEvaluator(f.Points(), 2, 1, 5000, 2)
+	if mrr := ev2.MRR(f.Result()); mrr > 0.15 {
+		t.Fatalf("mrr_1(Q2) = %v after updates, too large", mrr)
+	}
+}
+
+func TestResultSizeAlwaysWithinR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := dataset.Indep(300, 4, 11)
+	cfg := Config{K: 1, R: 10, Eps: 0.01, M: 256, Seed: 3}
+	f := mustNew(t, 4, ds.Points[:150], cfg)
+	next := 1000
+	for op := 0; op < 200; op++ {
+		if rng.Intn(2) == 0 {
+			v := make(geom.Vector, 4)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			f.Insert(geom.Point{ID: next, Coords: v})
+			next++
+		} else {
+			pts := f.Points()
+			if len(pts) > 0 {
+				f.Delete(pts[rng.Intn(len(pts))].ID)
+			}
+		}
+		if got := len(f.Result()); got > cfg.R {
+			t.Fatalf("op %d: |Q| = %d exceeds r = %d", op, got, cfg.R)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMissingIsNoop(t *testing.T) {
+	f := mustNew(t, 2, paperPoints(), Config{K: 1, R: 3, Eps: 0.01, M: 16, Seed: 1})
+	before := f.Stats()
+	f.Delete(12345)
+	after := f.Stats()
+	if before != after {
+		t.Fatalf("stats changed on missing delete: %+v -> %+v", before, after)
+	}
+}
+
+func TestInsertDimensionMismatchPanics(t *testing.T) {
+	f := mustNew(t, 2, paperPoints(), Config{K: 1, R: 3, Eps: 0.01, M: 16, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong dimension")
+		}
+	}()
+	f.Insert(geom.NewPoint(99, 1, 2, 3))
+}
+
+// Deleting every tuple and re-inserting must stay consistent.
+func TestDrainAndRefill(t *testing.T) {
+	pts := paperPoints()
+	f := mustNew(t, 2, pts, Config{K: 2, R: 3, Eps: 0.01, M: 32, Seed: 5})
+	for _, p := range pts {
+		f.Delete(p.ID)
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting %d: %v", p.ID, err)
+		}
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", f.Len())
+	}
+	if got := len(f.Result()); got != 0 {
+		t.Fatalf("result of empty database has %d tuples", got)
+	}
+	for _, p := range pts {
+		f.Insert(p)
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("after inserting %d: %v", p.ID, err)
+		}
+	}
+	if f.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(pts))
+	}
+	ev := regret.NewEvaluator(f.Points(), 2, 2, 3000, 6)
+	if mrr := ev.MRR(f.Result()); mrr > 0.15 {
+		t.Fatalf("mrr after refill = %v", mrr)
+	}
+}
+
+// The dynamic result must stay close in quality to a from-scratch rebuild.
+func TestDynamicMatchesScratchQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := dataset.Indep(400, 3, 21)
+	cfg := Config{K: 1, R: 8, Eps: 0.02, M: 512, Seed: 13}
+	f := mustNew(t, 3, ds.Points[:200], cfg)
+	next := 10000
+	for op := 0; op < 300; op++ {
+		if rng.Intn(2) == 0 {
+			v := make(geom.Vector, 3)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			f.Insert(geom.Point{ID: next, Coords: v})
+			next++
+		} else {
+			pts := f.Points()
+			f.Delete(pts[rng.Intn(len(pts))].ID)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	scratch := mustNew(t, 3, f.Points(), cfg)
+	ev := regret.NewEvaluator(f.Points(), 3, 1, 20000, 17)
+	dynMRR := ev.MRR(f.Result())
+	scrMRR := ev.MRR(scratch.Result())
+	if dynMRR > scrMRR+0.05 {
+		t.Fatalf("dynamic mrr %v much worse than scratch mrr %v", dynMRR, scrMRR)
+	}
+}
+
+// m must adapt: a larger r forces a larger universe (quality knob of
+// Theorem 2), and stats must reflect the configuration.
+func TestStatsAndM(t *testing.T) {
+	ds := dataset.Indep(500, 4, 31)
+	small := mustNew(t, 4, ds.Points, Config{K: 1, R: 5, Eps: 0.02, M: 1024, Seed: 2})
+	large := mustNew(t, 4, ds.Points, Config{K: 1, R: 20, Eps: 0.02, M: 1024, Seed: 2})
+	ss, ls := small.Stats(), large.Stats()
+	if ss.M >= ls.M {
+		t.Fatalf("m should grow with r: m(r=5) = %d, m(r=20) = %d", ss.M, ls.M)
+	}
+	if ss.Utilities != 1024 || ls.Utilities != 1024 {
+		t.Fatal("Utilities should report M")
+	}
+	if ss.CoverSize > 5 || ls.CoverSize > 20 {
+		t.Fatalf("cover sizes %d/%d exceed their r", ss.CoverSize, ls.CoverSize)
+	}
+	if got := small.Config().R; got != 5 {
+		t.Fatalf("Config().R = %d", got)
+	}
+}
+
+// Larger r must not hurt quality (more representatives, less regret).
+func TestQualityImprovesWithR(t *testing.T) {
+	ds := dataset.AntiCor(600, 4, 41)
+	ev := regret.NewEvaluator(ds.Points, 4, 1, 20000, 19)
+	var prev float64 = 1.1
+	for _, r := range []int{4, 10, 25} {
+		f := mustNew(t, 4, ds.Points, Config{K: 1, R: r, Eps: 0.02, M: 2048, Seed: 3})
+		mrr := ev.MRR(f.Result())
+		if mrr > prev+0.05 {
+			t.Fatalf("mrr at r=%d is %v, noticeably worse than smaller r (%v)", r, mrr, prev)
+		}
+		prev = mrr
+	}
+}
+
+// Property: invariants hold under arbitrary operation sequences.
+func TestInvariantsUnderChurnQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		ds := dataset.Indep(60, d, seed)
+		cfg := Config{K: 1 + rng.Intn(2), R: 3 + rng.Intn(5), Eps: 0.01 + rng.Float64()*0.05, M: 64, Seed: seed}
+		fd, err := New(d, ds.Points[:30], cfg)
+		if err != nil {
+			return false
+		}
+		next := 100
+		for op := 0; op < 40; op++ {
+			if rng.Intn(2) == 0 {
+				v := make(geom.Vector, d)
+				for j := range v {
+					v[j] = rng.Float64()
+				}
+				fd.Insert(geom.Point{ID: next, Coords: v})
+				next++
+			} else {
+				pts := fd.Points()
+				if len(pts) > 0 {
+					fd.Delete(pts[rng.Intn(len(pts))].ID)
+				}
+			}
+			if fd.CheckInvariants() != nil {
+				return false
+			}
+			if len(fd.Result()) > cfg.R {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFDRMSInsert(b *testing.B) {
+	ds := dataset.Indep(20000+b.N, 6, 1)
+	cfg := Config{K: 1, R: 50, Eps: 0.01, M: 2048, Seed: 1}
+	f, err := New(6, ds.Points[:20000], cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(ds.Points[20000+i])
+	}
+}
+
+func BenchmarkFDRMSDelete(b *testing.B) {
+	ds := dataset.Indep(20000+b.N, 6, 2)
+	cfg := Config{K: 1, R: 50, Eps: 0.01, M: 2048, Seed: 1}
+	f, err := New(6, ds.Points, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Delete(ds.Points[i].ID)
+	}
+}

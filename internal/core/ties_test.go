@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/geom"
+)
+
+// gridPoint draws coordinates from a coarse grid so exact score ties and
+// duplicate tuples stress the whole maintenance stack end to end.
+func gridPoint(rng *rand.Rand, id, d int) geom.Point {
+	v := make(geom.Vector, d)
+	for j := range v {
+		v[j] = float64(rng.Intn(4)) / 3
+	}
+	return geom.Point{ID: id, Coords: v}
+}
+
+func TestInvariantsUnderTieChurnQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		var pts []geom.Point
+		for i := 0; i < 30; i++ {
+			pts = append(pts, gridPoint(rng, i, d))
+		}
+		cfg := Config{K: 1 + rng.Intn(2), R: 4, Eps: 0.05, M: 64, Seed: seed}
+		f0, err := New(d, pts, cfg)
+		if err != nil {
+			return false
+		}
+		live := make(map[int]bool)
+		for _, p := range pts {
+			live[p.ID] = true
+		}
+		next := 100
+		for op := 0; op < 50; op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				f0.Insert(gridPoint(rng, next, d))
+				live[next] = true
+				next++
+			} else {
+				for id := range live {
+					f0.Delete(id)
+					delete(live, id)
+					break
+				}
+			}
+			if f0.CheckInvariants() != nil || len(f0.Result()) > cfg.R {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A database of identical tuples: any single one is a perfect answer, and
+// churn among twins must never break the structure.
+func TestAllIdenticalTuples(t *testing.T) {
+	d := 3
+	var pts []geom.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geom.Point{ID: i, Coords: geom.Vector{0.5, 0.5, 0.5}})
+	}
+	f, err := New(d, pts, Config{K: 1, R: 3, Eps: 0.01, M: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Result()); got == 0 || got > 3 {
+		t.Fatalf("|Q| = %d", got)
+	}
+	for i := 0; i < 15; i++ {
+		f.Delete(i)
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting twin %d: %v", i, err)
+		}
+		if len(f.Result()) == 0 {
+			t.Fatalf("result emptied with %d twins left", f.Len())
+		}
+	}
+}
+
+// Re-inserting the same ID with new coordinates is the paper's "update"
+// operation; it must behave as delete + insert.
+func TestUpdateSemantics(t *testing.T) {
+	pts := []geom.Point{
+		geom.NewPoint(0, 1.0, 0.0),
+		geom.NewPoint(1, 0.0, 1.0),
+		geom.NewPoint(2, 0.4, 0.4),
+	}
+	f, err := New(2, pts, Config{K: 1, R: 2, Eps: 0.01, M: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade tuple 2 to dominate everything; it must take over the result.
+	f.Insert(geom.NewPoint(2, 1.0, 1.0))
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range f.Result() {
+		if p.ID == 2 {
+			found = true
+			if p.Coords[0] != 1.0 {
+				t.Fatal("stale coordinates in the result")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("dominant updated tuple missing from result %v", f.ResultIDs())
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d after in-place update", f.Len())
+	}
+}

@@ -1,0 +1,106 @@
+// Package dataset generates the databases used in the paper's evaluation
+// (Section IV-A): the synthetic Indep and AntiCor families of Börzsönyi et
+// al. ("The skyline operator", ICDE 2001), and calibrated synthetic
+// stand-ins for the four real datasets (BB, AQ, CT, Movie) that the original
+// experiments downloaded from the web.
+//
+// Every generator is deterministic given its seed, and every dataset is
+// scaled to the unit hypercube as Section II assumes.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fdrms/internal/geom"
+)
+
+// Dataset is a named collection of tuples together with the generation
+// parameters, so experiment harnesses can report Table I-style statistics.
+type Dataset struct {
+	Name   string
+	Points []geom.Point
+	Dim    int
+}
+
+// N returns the number of tuples.
+func (d *Dataset) N() int { return len(d.Points) }
+
+// Indep generates n uniform points on the unit hypercube [0,1]^d with
+// independent attributes, as described in the skyline paper.
+func Indep(n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	return &Dataset{Name: fmt.Sprintf("Indep(n=%d,d=%d)", n, d), Points: pts, Dim: d}
+}
+
+// AntiCor generates n points with anti-correlated attributes following the
+// construction of Börzsönyi et al.: each point's attribute total is drawn
+// from a tight normal distribution, and the total is split across the d
+// attributes by a symmetric Dirichlet draw, so a high value on one attribute
+// forces low values on the others. Points concentrate near the simplex
+// sum(x_i) = const, where they are pairwise incomparable, which maximizes
+// skyline size — the defining property of the AntiCor family in Fig. 4.
+func AntiCor(n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{ID: i, Coords: antiCorVector(rng, d)}
+	}
+	geom.ScaleToUnitBox(pts)
+	return &Dataset{Name: fmt.Sprintf("AntiCor(n=%d,d=%d)", n, d), Points: pts, Dim: d}
+}
+
+// antiCorVector draws the attribute total T ~ N(d/2, d/16) and splits it by
+// a Dirichlet(1, ..., 1) weight vector (normalized unit-rate exponentials).
+func antiCorVector(rng *rand.Rand, d int) geom.Vector {
+	total := normClamped(rng, float64(d)/2, float64(d)/16, 0, float64(d))
+	v := make(geom.Vector, d)
+	var sum float64
+	for j := range v {
+		v[j] = rng.ExpFloat64()
+		sum += v[j]
+	}
+	for j := range v {
+		v[j] = total * v[j] / sum
+		if v[j] > 1 {
+			v[j] = 1 // mass beyond the unit box is clipped, as in the original generator
+		}
+	}
+	return v
+}
+
+// Correlated generates n points whose attributes share a common latent
+// factor with weight rho in [0,1); rho=0 reduces to Indep, rho close to 1
+// yields strongly correlated attributes and hence tiny skylines.
+func Correlated(n, d int, rho float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		base := rng.Float64()
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rho*base + (1-rho)*rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	geom.ScaleToUnitBox(pts)
+	return &Dataset{Name: fmt.Sprintf("Correlated(n=%d,d=%d,rho=%.2f)", n, d, rho), Points: pts, Dim: d}
+}
+
+func normClamped(rng *rand.Rand, mean, sd, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := mean + sd*rng.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return mean
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/skyline"
+)
+
+func inUnitBox(t *testing.T, ds *Dataset) {
+	t.Helper()
+	for _, p := range ds.Points {
+		if p.Dim() != ds.Dim {
+			t.Fatalf("%s: point %v has dim %d, want %d", ds.Name, p, p.Dim(), ds.Dim)
+		}
+		for i, x := range p.Coords {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("%s: coordinate %d of %v outside [0,1]", ds.Name, i, p)
+			}
+		}
+	}
+}
+
+func uniqueIDs(t *testing.T, ds *Dataset) {
+	t.Helper()
+	seen := make(map[int]bool, ds.N())
+	for _, p := range ds.Points {
+		if seen[p.ID] {
+			t.Fatalf("%s: duplicate ID %d", ds.Name, p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestIndep(t *testing.T) {
+	ds := Indep(500, 4, 1)
+	if ds.N() != 500 || ds.Dim != 4 {
+		t.Fatalf("n=%d d=%d", ds.N(), ds.Dim)
+	}
+	inUnitBox(t, ds)
+	uniqueIDs(t, ds)
+}
+
+func TestAntiCor(t *testing.T) {
+	ds := AntiCor(500, 4, 1)
+	if ds.N() != 500 || ds.Dim != 4 {
+		t.Fatalf("n=%d d=%d", ds.N(), ds.Dim)
+	}
+	inUnitBox(t, ds)
+	uniqueIDs(t, ds)
+}
+
+func TestCorrelated(t *testing.T) {
+	ds := Correlated(500, 4, 0.8, 1)
+	inUnitBox(t, ds)
+	uniqueIDs(t, ds)
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Indep(100, 3, 42)
+	b := Indep(100, 3, 42)
+	for i := range a.Points {
+		for j := range a.Points[i].Coords {
+			if a.Points[i].Coords[j] != b.Points[i].Coords[j] {
+				t.Fatal("same seed must reproduce the dataset")
+			}
+		}
+	}
+	c := Indep(100, 3, 43)
+	same := true
+	for i := range a.Points {
+		for j := range a.Points[i].Coords {
+			if a.Points[i].Coords[j] != c.Points[i].Coords[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+// The defining property of the AntiCor family (paper Fig. 4): its skylines
+// are much larger than Indep's at the same n and d.
+func TestAntiCorSkylineExceedsIndep(t *testing.T) {
+	for _, d := range []int{4, 6, 8} {
+		indep := len(skyline.Compute(Indep(3000, d, 7).Points))
+		anti := len(skyline.Compute(AntiCor(3000, d, 7).Points))
+		if anti <= indep {
+			t.Errorf("d=%d: AntiCor skyline %d should exceed Indep skyline %d", d, anti, indep)
+		}
+	}
+}
+
+// Skyline size must grow with dimensionality for both families (Fig. 4 left).
+func TestSkylineGrowsWithDimension(t *testing.T) {
+	prevIndep, prevAnti := 0, 0
+	for _, d := range []int{4, 6, 8} {
+		i := len(skyline.Compute(Indep(3000, d, 9).Points))
+		a := len(skyline.Compute(AntiCor(3000, d, 9).Points))
+		if i <= prevIndep {
+			t.Errorf("Indep skyline did not grow at d=%d (%d <= %d)", d, i, prevIndep)
+		}
+		if a <= prevAnti {
+			t.Errorf("AntiCor skyline did not grow at d=%d (%d <= %d)", d, a, prevAnti)
+		}
+		prevIndep, prevAnti = i, a
+	}
+}
+
+// Correlation must shrink the skyline.
+func TestCorrelationShrinksSkyline(t *testing.T) {
+	loose := len(skyline.Compute(Correlated(3000, 5, 0.0, 11).Points))
+	tight := len(skyline.Compute(Correlated(3000, 5, 0.9, 11).Points))
+	if tight >= loose {
+		t.Errorf("rho=0.9 skyline %d should be smaller than rho=0 skyline %d", tight, loose)
+	}
+}
+
+// The simulated real datasets must land near the Table I skyline fractions;
+// a factor-2 band is enough to preserve the algorithmic comparisons.
+func TestSimulatedSkylineFractions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator calibration check is slow")
+	}
+	for _, spec := range RealSpecs {
+		ds := Simulated(spec.Name, 0.1, 1)
+		frac := float64(len(skyline.Compute(ds.Points))) / float64(ds.N())
+		paper := float64(spec.PaperSky) / float64(spec.PaperN)
+		if frac < paper/2 || frac > paper*2 {
+			t.Errorf("%s: skyline fraction %.4f not within 2x of paper's %.4f", spec.Name, frac, paper)
+		}
+		if ds.Dim != spec.Dim {
+			t.Errorf("%s: dim %d, want %d", spec.Name, ds.Dim, spec.Dim)
+		}
+		inUnitBox(t, ds)
+	}
+}
+
+func TestSimulatedScale(t *testing.T) {
+	ds := Simulated("BB", 0.01, 2)
+	want := int(math.Round(21961 * 0.01))
+	if ds.N() != want {
+		t.Fatalf("scaled n = %d, want %d", ds.N(), want)
+	}
+}
+
+func TestSimulatedUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown dataset")
+		}
+	}()
+	Simulated("NOPE", 1, 0)
+}
+
+func TestRealSpecByName(t *testing.T) {
+	if _, ok := RealSpecByName("AQ"); !ok {
+		t.Fatal("AQ should exist")
+	}
+	if _, ok := RealSpecByName("XX"); ok {
+		t.Fatal("XX should not exist")
+	}
+}
+
+// Anti-correlation sanity: average pairwise attribute correlation must be
+// negative.
+func TestAntiCorNegativeCorrelation(t *testing.T) {
+	ds := AntiCor(4000, 4, 5)
+	d := ds.Dim
+	n := float64(ds.N())
+	mean := make([]float64, d)
+	for _, p := range ds.Points {
+		for i, x := range p.Coords {
+			mean[i] += x / n
+		}
+	}
+	var corrSum float64
+	var pairs int
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			var cov, vi, vj float64
+			for _, p := range ds.Points {
+				a, b := p.Coords[i]-mean[i], p.Coords[j]-mean[j]
+				cov += a * b
+				vi += a * a
+				vj += b * b
+			}
+			corrSum += cov / math.Sqrt(vi*vj)
+			pairs++
+		}
+	}
+	if avg := corrSum / float64(pairs); avg >= 0 {
+		t.Errorf("average pairwise correlation %.3f should be negative", avg)
+	}
+}
+
+var sinkPoints []geom.Point
+
+func BenchmarkIndepGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkPoints = Indep(10000, 6, int64(i)).Points
+	}
+}
+
+func BenchmarkAntiCorGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkPoints = AntiCor(10000, 6, int64(i)).Points
+	}
+}

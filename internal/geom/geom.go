@@ -1,0 +1,223 @@
+// Package geom provides the geometric primitives underlying the k-regret
+// minimizing set problem: tuples as points in the nonnegative orthant of R^d,
+// linear utility functions as unit vectors, dot-product scores, and sampling
+// of utility vectors from the nonnegative part of the unit sphere.
+//
+// All utility-space conventions follow Section II of the FD-RMS paper
+// (Wang et al., ICDE 2021): attribute values are scaled to [0, 1], utility
+// vectors are normalized to unit Euclidean norm, and the utility class U is
+// the nonnegative orthant of the (d-1)-sphere.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a d-dimensional real vector. It is used both for tuple
+// coordinates and for utility directions.
+type Vector []float64
+
+// Point is a database tuple: an identifier plus nonnegative coordinates.
+// IDs are assigned by the caller and must be unique within a database.
+type Point struct {
+	ID     int
+	Coords Vector
+}
+
+// NewPoint returns a point with the given id and coordinates.
+func NewPoint(id int, coords ...float64) Point {
+	return Point{ID: id, Coords: coords}
+}
+
+// Dim returns the dimensionality of the point.
+func (p Point) Dim() int { return len(p.Coords) }
+
+// String renders the point as "p<ID>(c1, c2, ...)".
+func (p Point) String() string {
+	return fmt.Sprintf("p%d%v", p.ID, []float64(p.Coords))
+}
+
+// Dot returns the inner product <v, w>. The two vectors must have equal
+// length; Dot panics otherwise, since a dimension mismatch is always a
+// programming error in this codebase.
+func Dot(v, w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("geom: dot product dimension mismatch %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Score is the utility score <u, p.Coords> of tuple p under utility vector u.
+func Score(u Vector, p Point) float64 { return Dot(u, p.Coords) }
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit Euclidean norm and returns it.
+// The zero vector is returned unchanged.
+func Normalize(v Vector) Vector {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Add returns v + w as a new vector.
+func Add(v, w Vector) Vector {
+	if len(v) != len(w) {
+		panic("geom: add dimension mismatch")
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector.
+func Sub(v, w Vector) Vector {
+	if len(v) != len(w) {
+		panic("geom: sub dimension mismatch")
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns c*v as a new vector.
+func Scale(v Vector, c float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// Dist returns the Euclidean distance between v and w.
+func Dist(v, w Vector) float64 {
+	if len(v) != len(w) {
+		panic("geom: dist dimension mismatch")
+	}
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// CosAngle returns the cosine of the angle between v and w, clamped to
+// [-1, 1] to protect downstream acos calls from rounding noise.
+// It returns 1 if either vector is zero.
+func CosAngle(v, w Vector) float64 {
+	nv, nw := Norm(v), Norm(w)
+	if nv == 0 || nw == 0 {
+		return 1
+	}
+	c := Dot(v, w) / (nv * nw)
+	return clamp(c, -1, 1)
+}
+
+// Angle returns the angle between v and w in radians, in [0, pi].
+func Angle(v, w Vector) float64 { return math.Acos(CosAngle(v, w)) }
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Basis returns the i-th standard basis vector of R^d.
+func Basis(d, i int) Vector {
+	if i < 0 || i >= d {
+		panic(fmt.Sprintf("geom: basis index %d out of range for dimension %d", i, d))
+	}
+	v := make(Vector, d)
+	v[i] = 1
+	return v
+}
+
+// Dominates reports whether p dominates q: p is at least as good as q on
+// every attribute and strictly better on at least one (larger is better).
+func Dominates(p, q Point) bool {
+	if len(p.Coords) != len(q.Coords) {
+		panic("geom: dominance dimension mismatch")
+	}
+	strict := false
+	for i, x := range p.Coords {
+		y := q.Coords[i]
+		if x < y {
+			return false
+		}
+		if x > y {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ScaleToUnitBox rescales every attribute of the given points to [0, 1]
+// independently (min-max normalization), in place. Attributes that are
+// constant across all points are mapped to 1. It returns the points for
+// chaining. The maximum k-regret ratio is scale-invariant, so this matches
+// the paper's preprocessing without changing any result.
+func ScaleToUnitBox(pts []Point) []Point {
+	if len(pts) == 0 {
+		return pts
+	}
+	d := pts[0].Dim()
+	mins := make([]float64, d)
+	maxs := make([]float64, d)
+	for i := 0; i < d; i++ {
+		mins[i] = math.Inf(1)
+		maxs[i] = math.Inf(-1)
+	}
+	for _, p := range pts {
+		for i, x := range p.Coords {
+			if x < mins[i] {
+				mins[i] = x
+			}
+			if x > maxs[i] {
+				maxs[i] = x
+			}
+		}
+	}
+	for _, p := range pts {
+		for i := range p.Coords {
+			if maxs[i] > mins[i] {
+				p.Coords[i] = (p.Coords[i] - mins[i]) / (maxs[i] - mins[i])
+			} else {
+				p.Coords[i] = 1
+			}
+		}
+	}
+	return pts
+}

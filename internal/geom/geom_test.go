@@ -1,0 +1,292 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := Dot(v, w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	if got := Norm(v); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	Normalize(v)
+	if math.Abs(Norm(v)-1) > 1e-12 {
+		t.Fatalf("normalized norm = %v, want 1", Norm(v))
+	}
+	zero := Vector{0, 0}
+	Normalize(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("normalizing zero vector changed it: %v", zero)
+	}
+}
+
+func TestAddSubScaleDist(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, 5}
+	if got := Add(v, w); got[0] != 4 || got[1] != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(w, v); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Scale(v, 2); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := Dist(v, w); math.Abs(got-math.Sqrt(13)) > 1e-12 {
+		t.Fatalf("Dist = %v", got)
+	}
+}
+
+func TestAngle(t *testing.T) {
+	x := Vector{1, 0}
+	y := Vector{0, 1}
+	if got := Angle(x, y); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("Angle = %v, want pi/2", got)
+	}
+	if got := Angle(x, x); got > 1e-7 {
+		t.Fatalf("Angle(x,x) = %v, want 0", got)
+	}
+	// Clamping: nearly parallel vectors must not produce NaN.
+	a := Vector{1, 1e-9}
+	Normalize(a)
+	if got := Angle(a, Vector{math.Sqrt(0.5), math.Sqrt(0.5)}); math.IsNaN(got) {
+		t.Fatal("Angle returned NaN")
+	}
+}
+
+func TestBasis(t *testing.T) {
+	b := Basis(4, 2)
+	want := Vector{0, 0, 1, 0}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Basis(4,2) = %v", b)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	p := NewPoint(0, 0.5, 0.5)
+	q := NewPoint(1, 0.5, 0.4)
+	r := NewPoint(2, 0.4, 0.6)
+	if !Dominates(p, q) {
+		t.Error("p should dominate q")
+	}
+	if Dominates(q, p) {
+		t.Error("q should not dominate p")
+	}
+	if Dominates(p, r) || Dominates(r, p) {
+		t.Error("p and r are incomparable")
+	}
+	if Dominates(p, p) {
+		t.Error("a point must not dominate itself")
+	}
+}
+
+func TestUnitSamplerProperties(t *testing.T) {
+	s := NewUnitSampler(5, 42)
+	for i := 0; i < 200; i++ {
+		u := s.Sample()
+		if len(u) != 5 {
+			t.Fatalf("dimension = %d", len(u))
+		}
+		if math.Abs(Norm(u)-1) > 1e-9 {
+			t.Fatalf("norm = %v, want 1", Norm(u))
+		}
+		for _, x := range u {
+			if x < 0 {
+				t.Fatalf("negative component %v in %v", x, u)
+			}
+		}
+	}
+}
+
+func TestUnitSamplerDeterministic(t *testing.T) {
+	a := NewUnitSampler(3, 7).SampleN(10)
+	b := NewUnitSampler(3, 7).SampleN(10)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed must give identical samples")
+			}
+		}
+	}
+}
+
+func TestBasisThenRandom(t *testing.T) {
+	vs := BasisThenRandom(3, 8, 1)
+	if len(vs) != 8 {
+		t.Fatalf("len = %d, want 8", len(vs))
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if vs[i][j] != want {
+				t.Fatalf("vector %d is not basis: %v", i, vs[i])
+			}
+		}
+	}
+	for _, u := range vs[3:] {
+		if math.Abs(Norm(u)-1) > 1e-9 {
+			t.Fatalf("random vector not unit: %v", u)
+		}
+	}
+}
+
+func TestBasisThenRandomPanicsWhenTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m < d")
+		}
+	}()
+	BasisThenRandom(5, 3, 0)
+}
+
+func TestScaleToUnitBox(t *testing.T) {
+	pts := []Point{
+		NewPoint(0, 10, 5, 7),
+		NewPoint(1, 20, 5, 3),
+		NewPoint(2, 15, 5, 11),
+	}
+	ScaleToUnitBox(pts)
+	for _, p := range pts {
+		for i, x := range p.Coords {
+			if x < 0 || x > 1 {
+				t.Fatalf("coordinate %d of %v out of [0,1]", i, p)
+			}
+		}
+	}
+	// Constant attribute maps to 1.
+	for _, p := range pts {
+		if p.Coords[1] != 1 {
+			t.Fatalf("constant attribute should map to 1, got %v", p.Coords[1])
+		}
+	}
+	if pts[0].Coords[0] != 0 || pts[1].Coords[0] != 1 {
+		t.Fatalf("min/max not mapped to 0/1: %v %v", pts[0], pts[1])
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+	p := NewPoint(3, 0.5, 0.25)
+	if got := p.String(); got != "p3[0.5 0.25]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { Add(Vector{1}, Vector{1, 2}) },
+		func() { Sub(Vector{1}, Vector{1, 2}) },
+		func() { Dist(Vector{1}, Vector{1, 2}) },
+		func() { Dominates(NewPoint(0, 1), NewPoint(1, 1, 2)) },
+		func() { Basis(2, 5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScaleToUnitBoxEmpty(t *testing.T) {
+	if got := ScaleToUnitBox(nil); got != nil {
+		t.Fatalf("ScaleToUnitBox(nil) = %v", got)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestDotPropertiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(8)
+		v, w := make(Vector, d), make(Vector, d)
+		for i := 0; i < d; i++ {
+			v[i], w[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		c := r.NormFloat64()
+		sym := math.Abs(Dot(v, w)-Dot(w, v)) < 1e-9
+		lin := math.Abs(Dot(Scale(v, c), w)-c*Dot(v, w)) < 1e-6*(1+math.Abs(c*Dot(v, w)))
+		return sym && lin
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestDistTriangleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		a, b, c := make(Vector, d), make(Vector, d), make(Vector, d)
+		for i := 0; i < d; i++ {
+			a[i], b[i], c[i] = r.Float64(), r.Float64(), r.Float64()
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dominance is transitive and antisymmetric.
+func TestDominanceTransitiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(4)
+		mk := func(id int) Point {
+			v := make(Vector, d)
+			for i := range v {
+				v[i] = math.Round(r.Float64()*4) / 4 // coarse grid to force ties
+			}
+			return Point{ID: id, Coords: v}
+		}
+		p, q, s := mk(0), mk(1), mk(2)
+		if Dominates(p, q) && Dominates(q, p) {
+			return false
+		}
+		if Dominates(p, q) && Dominates(q, s) && !Dominates(p, s) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package geom
+
+import "math/rand"
+
+// UnitSampler draws utility vectors uniformly at random from the
+// nonnegative orthant of the unit sphere U = {u in R^d_+ : ||u|| = 1},
+// the utility class of Section II of the paper.
+//
+// Uniformity on the orthant follows from the rotational symmetry of the
+// Gaussian: sample d independent standard normals, take absolute values,
+// and normalize.
+type UnitSampler struct {
+	d   int
+	rng *rand.Rand
+}
+
+// NewUnitSampler returns a sampler for dimension d seeded deterministically,
+// so experiment runs are reproducible.
+func NewUnitSampler(d int, seed int64) *UnitSampler {
+	return &UnitSampler{d: d, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one utility vector.
+func (s *UnitSampler) Sample() Vector {
+	v := make(Vector, s.d)
+	for {
+		for i := range v {
+			x := s.rng.NormFloat64()
+			if x < 0 {
+				x = -x
+			}
+			v[i] = x
+		}
+		if Norm(v) > 1e-12 {
+			break
+		}
+	}
+	return Normalize(v)
+}
+
+// SampleN draws n utility vectors.
+func (s *UnitSampler) SampleN(n int) []Vector {
+	out := make([]Vector, n)
+	for i := range out {
+		out[i] = s.Sample()
+	}
+	return out
+}
+
+// BasisThenRandom returns m utility vectors where the first d are the
+// standard basis of R^d_+ and the remaining m-d are drawn uniformly from U,
+// exactly as Line 1 of Algorithm 2 (INITIALIZATION) prescribes.
+// It panics if m < d.
+func BasisThenRandom(d, m int, seed int64) []Vector {
+	if m < d {
+		panic("geom: BasisThenRandom requires m >= d")
+	}
+	out := make([]Vector, 0, m)
+	for i := 0; i < d; i++ {
+		out = append(out, Basis(d, i))
+	}
+	s := NewUnitSampler(d, seed)
+	out = append(out, s.SampleN(m-d)...)
+	return out
+}

@@ -1,0 +1,416 @@
+// Package kdtree implements the tuple index (TI) of Section III-C: a k-d
+// tree (Bentley 1975) over the database supporting the query mix FD-RMS
+// needs under a dynamic workload:
+//
+//   - TopK: the k tuples with the highest linear-utility score, found by
+//     best-first branch-and-bound on per-box score upper bounds (valid
+//     because utility vectors are nonnegative);
+//   - AtLeast: every tuple with score >= a threshold, which yields the
+//     ε-approximate top-k set Φ_{k,ε};
+//   - NearestK: Euclidean k-nearest-neighbours, used by the MIPS-to-kNN
+//     reduction of Bachrach et al. (see mips.go) that the paper cites;
+//   - Insert and Delete with tombstoning and automatic rebuilds.
+package kdtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"fdrms/internal/geom"
+)
+
+// Tree is a dynamic k-d tree over points in R^d.
+type Tree struct {
+	root    *node
+	dim     int
+	live    int
+	removed int
+	byID    map[int]geom.Point
+}
+
+type node struct {
+	point          geom.Point
+	axis           int
+	deleted        bool
+	left, right    *node
+	boxMin, boxMax geom.Vector // bounding box of the whole subtree
+	liveCount      int
+}
+
+// New builds a balanced tree over pts by recursive median split.
+// The input slice is not modified.
+func New(dim int, pts []geom.Point) *Tree {
+	t := &Tree{dim: dim, byID: make(map[int]geom.Point, len(pts))}
+	buf := make([]geom.Point, len(pts))
+	copy(buf, pts)
+	for _, p := range pts {
+		t.byID[p.ID] = p
+	}
+	t.root = build(buf, 0, dim)
+	t.live = len(pts)
+	return t
+}
+
+func build(pts []geom.Point, axis, dim int) *node {
+	if len(pts) == 0 {
+		return nil
+	}
+	mid := len(pts) / 2
+	selectKth(pts, mid, axis)
+	n := &node{point: pts[mid], axis: axis}
+	next := (axis + 1) % dim
+	n.left = build(pts[:mid], next, dim)
+	n.right = build(pts[mid+1:], next, dim)
+	n.refreshBounds(dim)
+	return n
+}
+
+// selectKth partially sorts pts so pts[k] is the k-th smallest on axis
+// (quickselect with median-of-three pivoting).
+func selectKth(pts []geom.Point, k, axis int) {
+	lo, hi := 0, len(pts)-1
+	for lo < hi {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if pts[mid].Coords[axis] < pts[lo].Coords[axis] {
+			pts[mid], pts[lo] = pts[lo], pts[mid]
+		}
+		if pts[hi].Coords[axis] < pts[lo].Coords[axis] {
+			pts[hi], pts[lo] = pts[lo], pts[hi]
+		}
+		if pts[hi].Coords[axis] < pts[mid].Coords[axis] {
+			pts[hi], pts[mid] = pts[mid], pts[hi]
+		}
+		pivot := pts[mid].Coords[axis]
+		i, j := lo, hi
+		for i <= j {
+			for pts[i].Coords[axis] < pivot {
+				i++
+			}
+			for pts[j].Coords[axis] > pivot {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+func (n *node) refreshBounds(dim int) {
+	n.boxMin = n.point.Coords.Clone()
+	n.boxMax = n.point.Coords.Clone()
+	n.liveCount = 0
+	if !n.deleted {
+		n.liveCount = 1
+	}
+	for _, c := range []*node{n.left, n.right} {
+		if c == nil {
+			continue
+		}
+		n.liveCount += c.liveCount
+		for i := 0; i < dim; i++ {
+			if c.boxMin[i] < n.boxMin[i] {
+				n.boxMin[i] = c.boxMin[i]
+			}
+			if c.boxMax[i] > n.boxMax[i] {
+				n.boxMax[i] = c.boxMax[i]
+			}
+		}
+	}
+}
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return t.live }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Contains reports whether a live point with the given id exists.
+func (t *Tree) Contains(id int) bool {
+	_, ok := t.byID[id]
+	return ok
+}
+
+// PointByID returns the live point with the given id.
+func (t *Tree) PointByID(id int) (geom.Point, bool) {
+	p, ok := t.byID[id]
+	return p, ok
+}
+
+// Points returns all live points in unspecified order.
+func (t *Tree) Points() []geom.Point {
+	out := make([]geom.Point, 0, t.live)
+	for _, p := range t.byID {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Insert adds p to the tree. Inserting an ID that is already live replaces
+// the old point (delete followed by insert).
+func (t *Tree) Insert(p geom.Point) {
+	if t.Contains(p.ID) {
+		t.Delete(p.ID)
+	}
+	t.byID[p.ID] = p
+	t.live++
+	if t.root == nil {
+		t.root = &node{point: p, axis: 0}
+		t.root.refreshBounds(t.dim)
+		return
+	}
+	t.insertAt(t.root, p)
+}
+
+func (t *Tree) insertAt(n *node, p geom.Point) {
+	n.liveCount++
+	for i := 0; i < t.dim; i++ {
+		if p.Coords[i] < n.boxMin[i] {
+			n.boxMin[i] = p.Coords[i]
+		}
+		if p.Coords[i] > n.boxMax[i] {
+			n.boxMax[i] = p.Coords[i]
+		}
+	}
+	next := (n.axis + 1) % t.dim
+	if p.Coords[n.axis] < n.point.Coords[n.axis] {
+		if n.left == nil {
+			n.left = &node{point: p, axis: next}
+			n.left.refreshBounds(t.dim)
+			return
+		}
+		t.insertAt(n.left, p)
+	} else {
+		if n.right == nil {
+			n.right = &node{point: p, axis: next}
+			n.right.refreshBounds(t.dim)
+			return
+		}
+		t.insertAt(n.right, p)
+	}
+}
+
+// Delete tombstones the point with the given id and reports whether it was
+// present. When more than half of the stored nodes are tombstones the tree
+// is rebuilt from the live points, keeping queries balanced.
+func (t *Tree) Delete(id int) bool {
+	p, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	delete(t.byID, id)
+	if !t.tombstone(t.root, p) {
+		// The map and tree disagree; rebuild defensively to restore the
+		// invariant rather than leave a phantom live node.
+		t.rebuild()
+		t.live = len(t.byID)
+		return true
+	}
+	t.live--
+	t.removed++
+	if t.removed > t.live {
+		t.rebuild()
+	}
+	return true
+}
+
+// tombstone finds the node holding point p (matching by ID) and marks it
+// deleted, decrementing live counts along the path. Coordinates equal on the
+// split axis may sit in either subtree, so both are searched when needed.
+func (t *Tree) tombstone(n *node, p geom.Point) bool {
+	if n == nil {
+		return false
+	}
+	// Box pruning: p must be inside the subtree's bounding box.
+	for i := 0; i < t.dim; i++ {
+		if p.Coords[i] < n.boxMin[i] || p.Coords[i] > n.boxMax[i] {
+			return false
+		}
+	}
+	if n.point.ID == p.ID && !n.deleted {
+		n.deleted = true
+		n.liveCount--
+		return true
+	}
+	if p.Coords[n.axis] < n.point.Coords[n.axis] {
+		if t.tombstone(n.left, p) {
+			n.liveCount--
+			return true
+		}
+		return false
+	}
+	if t.tombstone(n.right, p) {
+		n.liveCount--
+		return true
+	}
+	// Equal axis values historically went right, but an interleaved rebuild
+	// may have placed them left of the median; search the other side too.
+	if p.Coords[n.axis] == n.point.Coords[n.axis] && t.tombstone(n.left, p) {
+		n.liveCount--
+		return true
+	}
+	return false
+}
+
+func (t *Tree) rebuild() {
+	pts := t.Points()
+	t.root = build(pts, 0, t.dim)
+	t.live = len(pts)
+	t.removed = 0
+}
+
+// boxScoreUB returns an upper bound on <u, p> over every point in the box
+// of n. Utilities are nonnegative, so the per-axis maximum is tight.
+func boxScoreUB(u geom.Vector, n *node) float64 {
+	var s float64
+	for i, ui := range u {
+		s += ui * n.boxMax[i]
+	}
+	return s
+}
+
+// Result is one scored tuple returned by TopK.
+type Result struct {
+	Point geom.Point
+	Score float64
+}
+
+// nodePQ is a max-heap of nodes ordered by score upper bound.
+type nodePQ []nodeEntry
+
+type nodeEntry struct {
+	n  *node
+	ub float64
+}
+
+func (q nodePQ) Len() int            { return len(q) }
+func (q nodePQ) Less(i, j int) bool  { return q[i].ub > q[j].ub }
+func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x interface{}) { *q = append(*q, x.(nodeEntry)) }
+func (q *nodePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// resultHeap is a min-heap over scores used to keep the best k results.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopK returns the k live points with the largest score <u, p>, in
+// decreasing score order. Fewer than k points are returned when the tree
+// holds fewer. Ties are broken by smaller point ID so results are stable.
+func (t *Tree) TopK(u geom.Vector, k int) []Result {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	var frontier nodePQ
+	heap.Push(&frontier, nodeEntry{t.root, boxScoreUB(u, t.root)})
+	var best resultHeap
+	for frontier.Len() > 0 {
+		e := heap.Pop(&frontier).(nodeEntry)
+		if len(best) == k && e.ub <= best[0].Score {
+			break // no node can beat the current kth score
+		}
+		n := e.n
+		if !n.deleted {
+			s := geom.Score(u, n.point)
+			if len(best) < k {
+				heap.Push(&best, Result{n.point, s})
+			} else if s > best[0].Score {
+				best[0] = Result{n.point, s}
+				heap.Fix(&best, 0)
+			}
+		}
+		for _, c := range []*node{n.left, n.right} {
+			if c == nil || c.liveCount == 0 {
+				continue
+			}
+			ub := boxScoreUB(u, c)
+			if len(best) < k || ub > best[0].Score {
+				heap.Push(&frontier, nodeEntry{c, ub})
+			}
+		}
+	}
+	out := make([]Result, len(best))
+	copy(out, best)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+	return out
+}
+
+// KthScore returns the k-th largest score w.r.t. u (ω_k in the paper).
+// When fewer than k live points exist it returns the smallest live score,
+// so every point counts as a top-k member; ok is false on an empty tree.
+func (t *Tree) KthScore(u geom.Vector, k int) (score float64, ok bool) {
+	res := t.TopK(u, k)
+	if len(res) == 0 {
+		return 0, false
+	}
+	return res[len(res)-1].Score, true
+}
+
+// AtLeast returns every live point with score <u, p> >= tau, in unspecified
+// order. This realizes Φ_{k,ε} when tau = (1-ε)·ω_k.
+func (t *Tree) AtLeast(u geom.Vector, tau float64) []Result {
+	var out []Result
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.liveCount == 0 || boxScoreUB(u, n) < tau {
+			return
+		}
+		if !n.deleted {
+			if s := geom.Score(u, n.point); s >= tau {
+				out = append(out, Result{n.point, s})
+			}
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// ApproxTopK returns Φ_{k,ε}(u, P): all live points whose score is at least
+// (1-ε)·ω_k(u, P). The slice is sorted by decreasing score.
+func (t *Tree) ApproxTopK(u geom.Vector, k int, eps float64) []Result {
+	kth, ok := t.KthScore(u, k)
+	if !ok {
+		return nil
+	}
+	out := t.AtLeast(u, (1-eps)*kth)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+	return out
+}

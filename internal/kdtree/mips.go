@@ -1,0 +1,141 @@
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"fdrms/internal/geom"
+)
+
+// This file implements the Euclidean-transformation reduction from maximum
+// inner product search (MIPS) to k-nearest-neighbour search, following
+// Bachrach et al. (RecSys 2014), the scheme Section III-C of the FD-RMS
+// paper adopts for its tuple index. Each point p in R^d is lifted to
+//
+//	p* = (p, sqrt(Φ² − ‖p‖²)) in R^{d+1},  Φ = max_p ‖p‖,
+//
+// and a query u is lifted to u* = (u, 0). Then ‖u* − p*‖² =
+// ‖u‖² + Φ² − 2·<u, p>, so for a fixed query the nearest lifted neighbour is
+// exactly the point with the maximum inner product. The direct
+// branch-and-bound in Tree.TopK exploits u ≥ 0 and is tighter in practice;
+// this path exists because the paper cites it and because tests use it to
+// cross-validate TopK.
+
+// boxDistLB returns a lower bound on the Euclidean distance from q to any
+// point inside the bounding box of n.
+func boxDistLB(q geom.Vector, n *node) float64 {
+	var s float64
+	for i, x := range q {
+		if x < n.boxMin[i] {
+			d := n.boxMin[i] - x
+			s += d * d
+		} else if x > n.boxMax[i] {
+			d := x - n.boxMax[i]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// NearestK returns the k live points closest to q in Euclidean distance,
+// ordered by increasing distance (ties by smaller ID).
+func (t *Tree) NearestK(q geom.Vector, k int) []Result {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	var frontier nodePQ // reuse: store negative distance so max-heap pops nearest box first
+	heap.Push(&frontier, nodeEntry{t.root, -boxDistLB(q, t.root)})
+	// Max-heap on distance keeps the k closest seen so far.
+	var best resultHeap // Score holds negative distance, so best[0] is the farthest kept
+	for frontier.Len() > 0 {
+		e := heap.Pop(&frontier).(nodeEntry)
+		if len(best) == k && -e.ub >= -best[0].Score {
+			break
+		}
+		n := e.n
+		if !n.deleted {
+			d := geom.Dist(q, n.point.Coords)
+			if len(best) < k {
+				heap.Push(&best, Result{n.point, -d})
+			} else if -d > best[0].Score {
+				best[0] = Result{n.point, -d}
+				heap.Fix(&best, 0)
+			}
+		}
+		for _, c := range []*node{n.left, n.right} {
+			if c == nil || c.liveCount == 0 {
+				continue
+			}
+			lb := boxDistLB(q, c)
+			if len(best) < k || -lb > best[0].Score {
+				heap.Push(&frontier, nodeEntry{c, -lb})
+			}
+		}
+	}
+	out := make([]Result, len(best))
+	copy(out, best)
+	for i := range out {
+		out[i].Score = -out[i].Score // back to distances
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+	return out
+}
+
+// Transformed is a static MIPS index over the lifted (d+1)-dimensional
+// points. It answers top-k inner-product queries through NearestK.
+type Transformed struct {
+	tree *Tree
+	dim  int // original dimensionality
+	phi  float64
+}
+
+// NewTransformed lifts pts to R^{d+1} and indexes them.
+func NewTransformed(dim int, pts []geom.Point) *Transformed {
+	phi := 0.0
+	for _, p := range pts {
+		if n := geom.Norm(p.Coords); n > phi {
+			phi = n
+		}
+	}
+	lifted := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		v := make(geom.Vector, dim+1)
+		copy(v, p.Coords)
+		slack := phi*phi - geom.Dot(p.Coords, p.Coords)
+		if slack < 0 {
+			slack = 0
+		}
+		v[dim] = math.Sqrt(slack)
+		lifted[i] = geom.Point{ID: p.ID, Coords: v}
+	}
+	return &Transformed{tree: New(dim+1, lifted), dim: dim, phi: phi}
+}
+
+// TopK returns the k points with the largest inner product <u, p>, computed
+// through the kNN reduction. Scores are reported in the original space.
+func (tr *Transformed) TopK(u geom.Vector, k int, original *Tree) []Result {
+	q := make(geom.Vector, tr.dim+1)
+	copy(q, u)
+	nn := tr.tree.NearestK(q, k)
+	out := make([]Result, 0, len(nn))
+	for _, r := range nn {
+		p, ok := original.PointByID(r.Point.ID)
+		if !ok {
+			continue
+		}
+		out = append(out, Result{p, geom.Score(u, p)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Point.ID < out[j].Point.ID
+	})
+	return out
+}

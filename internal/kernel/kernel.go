@@ -1,0 +1,116 @@
+// Package kernel computes ε-kernel coresets (Agarwal, Har-Peled,
+// Varadarajan 2004) and directional extreme points — the geometric
+// machinery behind the ε-KERNEL and SPHERE baselines of the paper's
+// evaluation and the "happy point" candidate set of GEOGREEDY.
+//
+// A subset Q ⊆ P is an ε-kernel when its directional width approximates
+// P's in every direction:
+//
+//	ω(u, Q) >= (1 − ε) · ω(u, P)  for every u in the utility class U.
+//
+// For k-RMS over nonnegative linear utilities the one-sided version above
+// (maxima only) is what matters, and the standard practical construction
+// applies: place a δ-net of directions on the nonnegative unit sphere and
+// keep the extreme point of each direction. A net of O((1/δ)^{d-1})
+// directions yields an ε-kernel with ε = O(δ²) after the usual smoothing
+// argument; the binary search in the baselines tunes the net size rather
+// than relying on the constant.
+package kernel
+
+import (
+	"sort"
+
+	"fdrms/internal/geom"
+)
+
+// ExtremePoints returns, for each direction, the point of P with the
+// maximum score, deduplicated and ordered by id. This is the direction-grid
+// coreset: with directions forming a δ-net of U it is the practical
+// ε-kernel construction.
+func ExtremePoints(P []geom.Point, directions []geom.Vector) []geom.Point {
+	seen := make(map[int]geom.Point)
+	for _, u := range directions {
+		best, ok := Extreme(P, u)
+		if ok {
+			seen[best.ID] = best
+		}
+	}
+	out := make([]geom.Point, 0, len(seen))
+	for _, p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Extreme returns the point with maximum score in direction u (ties broken
+// by smaller id); ok is false when P is empty.
+func Extreme(P []geom.Point, u geom.Vector) (geom.Point, bool) {
+	if len(P) == 0 {
+		return geom.Point{}, false
+	}
+	best := P[0]
+	bestScore := geom.Score(u, best)
+	for _, p := range P[1:] {
+		s := geom.Score(u, p)
+		if s > bestScore || (s == bestScore && p.ID < best.ID) {
+			best = p
+			bestScore = s
+		}
+	}
+	return best, true
+}
+
+// Net returns a set of directions covering the nonnegative orthant of the
+// unit sphere: the d basis vectors plus size uniformly sampled unit
+// vectors. Deterministic in the seed.
+func Net(dim, size int, seed int64) []geom.Vector {
+	out := make([]geom.Vector, 0, dim+size)
+	for i := 0; i < dim; i++ {
+		out = append(out, geom.Basis(dim, i))
+	}
+	s := geom.NewUnitSampler(dim, seed)
+	out = append(out, s.SampleN(size)...)
+	return out
+}
+
+// EpsKernel computes a direction-grid ε-kernel of P whose size is at most
+// maxSize, by shrinking the net until the coreset fits. It returns the
+// coreset (never exceeding maxSize points for gridSizes >= 0).
+func EpsKernel(P []geom.Point, dim, maxSize int, seed int64) []geom.Point {
+	if maxSize <= 0 || len(P) == 0 {
+		return nil
+	}
+	// The coreset size grows with the net, so binary search the largest net
+	// whose extreme-point set still fits within maxSize.
+	lo, hi := 0, 8192
+	var best []geom.Point
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		cand := ExtremePoints(P, Net(dim, mid, seed))
+		if len(cand) <= maxSize {
+			best = cand
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best == nil {
+		// Even the bare basis directions produced too many points; truncate.
+		cand := ExtremePoints(P, Net(dim, 0, seed))
+		if len(cand) > maxSize {
+			cand = cand[:maxSize]
+		}
+		best = cand
+	}
+	return best
+}
+
+// Width returns the directional width ω(u, P) = max score (0 for empty P).
+func Width(P []geom.Point, u geom.Vector) float64 {
+	p, ok := Extreme(P, u)
+	if !ok {
+		return 0
+	}
+	return geom.Score(u, p)
+}

@@ -1,0 +1,162 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	return pts
+}
+
+func TestExtreme(t *testing.T) {
+	pts := []geom.Point{
+		geom.NewPoint(0, 1.0, 0.0),
+		geom.NewPoint(1, 0.0, 1.0),
+		geom.NewPoint(2, 0.6, 0.6),
+	}
+	p, ok := Extreme(pts, geom.Vector{1, 0})
+	if !ok || p.ID != 0 {
+		t.Fatalf("Extreme x = %v", p)
+	}
+	p, _ = Extreme(pts, geom.Vector{0, 1})
+	if p.ID != 1 {
+		t.Fatalf("Extreme y = %v", p)
+	}
+	u := geom.Normalize(geom.Vector{1, 1})
+	p, _ = Extreme(pts, u)
+	if p.ID != 2 {
+		t.Fatalf("Extreme diag = %v", p)
+	}
+	if _, ok := Extreme(nil, geom.Vector{1, 0}); ok {
+		t.Fatal("Extreme of empty set should report !ok")
+	}
+}
+
+func TestExtremeTieBreak(t *testing.T) {
+	pts := []geom.Point{geom.NewPoint(5, 0.5, 0.5), geom.NewPoint(2, 0.5, 0.5)}
+	p, _ := Extreme(pts, geom.Vector{1, 0})
+	if p.ID != 2 {
+		t.Fatalf("tie should break to smaller id, got %d", p.ID)
+	}
+}
+
+func TestExtremePointsDedup(t *testing.T) {
+	pts := []geom.Point{
+		geom.NewPoint(0, 1.0, 1.0), // dominates everything: every direction's extreme
+		geom.NewPoint(1, 0.5, 0.5),
+	}
+	out := ExtremePoints(pts, Net(2, 50, 1))
+	if len(out) != 1 || out[0].ID != 0 {
+		t.Fatalf("ExtremePoints = %v, want just point 0", out)
+	}
+}
+
+func TestNet(t *testing.T) {
+	net := Net(3, 10, 1)
+	if len(net) != 13 {
+		t.Fatalf("net size = %d, want 13", len(net))
+	}
+	for i := 0; i < 3; i++ {
+		if net[i][i] != 1 {
+			t.Fatalf("net[%d] should be a basis vector: %v", i, net[i])
+		}
+	}
+}
+
+func TestEpsKernelSizeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(rng, 500, 4)
+	for _, budget := range []int{1, 5, 20, 100} {
+		q := EpsKernel(pts, 4, budget, 3)
+		if len(q) > budget {
+			t.Fatalf("budget %d: coreset has %d points", budget, len(q))
+		}
+		if len(q) == 0 {
+			t.Fatalf("budget %d: empty coreset", budget)
+		}
+	}
+	if q := EpsKernel(pts, 4, 0, 3); q != nil {
+		t.Fatal("zero budget should give nil")
+	}
+	if q := EpsKernel(nil, 4, 5, 3); q != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+// The kernel property: directional width is approximated in every sampled
+// direction, and improves as the budget grows.
+func TestEpsKernelWidthApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 800, 3)
+	test := geom.NewUnitSampler(3, 99).SampleN(2000)
+	worstFor := func(q []geom.Point) float64 {
+		worst := 0.0
+		for _, u := range test {
+			wp, wq := Width(pts, u), Width(q, u)
+			if wp <= 0 {
+				continue
+			}
+			if loss := 1 - wq/wp; loss > worst {
+				worst = loss
+			}
+		}
+		return worst
+	}
+	small := worstFor(EpsKernel(pts, 3, 5, 1))
+	large := worstFor(EpsKernel(pts, 3, 50, 1))
+	if large > small+0.01 {
+		t.Fatalf("width loss should shrink with budget: small=%v large=%v", small, large)
+	}
+	if large > 0.05 {
+		t.Fatalf("50-point kernel of 800 points has width loss %v", large)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Width(nil, geom.Vector{1, 0}) != 0 {
+		t.Fatal("width of empty set should be 0")
+	}
+	pts := []geom.Point{geom.NewPoint(0, 0.3, 0.4)}
+	if got := Width(pts, geom.Vector{0, 1}); got != 0.4 {
+		t.Fatalf("Width = %v", got)
+	}
+}
+
+// Property: every extreme point is on the skyline (undominated).
+func TestExtremeUndominatedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 5+rng.Intn(100), 2+rng.Intn(3))
+		d := pts[0].Dim()
+		u := geom.NewUnitSampler(d, seed).Sample()
+		// Strictly positive direction: the unique maximizer is undominated.
+		for i := range u {
+			if u[i] < 1e-6 {
+				u[i] = 1e-6
+			}
+		}
+		geom.Normalize(u)
+		p, _ := Extreme(pts, u)
+		for _, q := range pts {
+			if q.ID != p.ID && geom.Dominates(q, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs, using only the standard library.
+//
+// The k-RMS literature leans on linear programming in several places: the
+// GREEDY algorithm of Nanongkai et al. computes the exact maximum regret
+// ratio of a candidate set by solving one LP per skyline tuple, GEOGREEDY
+// uses the same LP on a reduced candidate set, and Chester et al.'s GREEDY*
+// evaluates k-regret ratios through LPs. This package provides that tooling.
+//
+// Problems are stated as
+//
+//	maximize  c·x   subject to   a_i·x (<=|=|>=) b_i,  x >= 0.
+//
+// The solver uses Bland's anti-cycling rule, so it terminates on every
+// input; it is tuned for the small dense systems that arise here
+// (tens of variables, hundreds of constraints), not for sparse industrial
+// LPs.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Relation is the comparison direction of one constraint.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota // a·x <= b
+	GE                 // a·x >= b
+	EQ                 // a·x == b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Constraint is a single linear constraint a·x (rel) b.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program in the form
+// maximize c·x subject to the constraints, with x >= 0 implied.
+type Problem struct {
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// NewProblem returns an empty maximization problem over nvars variables.
+func NewProblem(objective []float64) *Problem {
+	return &Problem{Objective: objective}
+}
+
+// AddConstraint appends a constraint. Coefficient slices shorter than the
+// objective are zero-extended; longer ones are an error caught in Solve.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs})
+}
+
+// Status reports how solving ended.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values, valid when Status == Optimal
+	Objective float64   // c·X, valid when Status == Optimal
+}
+
+const (
+	tol     = 1e-9
+	maxIter = 100000
+)
+
+// Solve runs two-phase primal simplex and returns the solution.
+// It returns an error only for malformed input (dimension mismatch);
+// infeasibility and unboundedness are reported via Solution.Status.
+func Solve(p *Problem) (Solution, error) {
+	n := len(p.Objective)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > n {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients, objective has %d variables", i, len(c.Coeffs), n)
+		}
+	}
+	t := newTableau(p)
+	if t.needPhase1() {
+		if !t.phase1() {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+	if !t.phase2() {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := t.extract(n)
+	var obj float64
+	for i, c := range p.Objective {
+		obj += c * x[i]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is the dense simplex tableau. Columns: the n structural variables,
+// then one slack/surplus per inequality, then artificials, then the RHS.
+type tableau struct {
+	m, n    int // constraints, structural variables
+	cols    int // total variable columns (excluding RHS)
+	nArt    int
+	artBase int // first artificial column
+	rows    [][]float64
+	basis   []int     // basis variable per row
+	obj     []float64 // phase-2 objective over all columns
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	n := len(p.Objective)
+
+	// Count slack and artificial columns. Rows with negative RHS are
+	// pre-negated so every RHS is nonnegative.
+	type rowSpec struct {
+		coeffs []float64
+		rel    Relation
+		rhs    float64
+	}
+	specs := make([]rowSpec, m)
+	nSlack, nArt := 0, 0
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		specs[i] = rowSpec{coeffs, rel, rhs}
+		switch rel {
+		case LE:
+			nSlack++ // slack enters the basis directly
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	slackBase := n
+	artBase := n + nSlack
+	cols := n + nSlack + nArt
+	t := &tableau{m: m, n: n, cols: cols, nArt: nArt, artBase: artBase}
+	t.rows = make([][]float64, m)
+	t.basis = make([]int, m)
+
+	slack, art := 0, 0
+	for i, s := range specs {
+		row := make([]float64, cols+1)
+		copy(row, s.coeffs)
+		row[cols] = s.rhs
+		switch s.rel {
+		case LE:
+			row[slackBase+slack] = 1
+			t.basis[i] = slackBase + slack
+			slack++
+		case GE:
+			row[slackBase+slack] = -1
+			slack++
+			row[artBase+art] = 1
+			t.basis[i] = artBase + art
+			art++
+		case EQ:
+			row[artBase+art] = 1
+			t.basis[i] = artBase + art
+			art++
+		}
+		t.rows[i] = row
+	}
+
+	t.obj = make([]float64, cols)
+	copy(t.obj, p.Objective)
+	return t
+}
+
+func (t *tableau) needPhase1() bool { return t.nArt > 0 }
+
+// phase1 minimizes the sum of artificial variables. It reports whether a
+// feasible basis (artificial sum ~ 0) was reached.
+func (t *tableau) phase1() bool {
+	// Phase-1 objective: maximize -(sum of artificials).
+	p1 := make([]float64, t.cols)
+	for j := t.artBase; j < t.artBase+t.nArt; j++ {
+		p1[j] = -1
+	}
+	if !t.iterate(p1) {
+		// The phase-1 objective is bounded above by 0, so this is unreachable;
+		// treat defensively as infeasible.
+		return false
+	}
+	// Objective value = -(sum of artificials in basis).
+	var artSum float64
+	for i, b := range t.basis {
+		if b >= t.artBase {
+			artSum += t.rows[i][t.cols]
+		}
+	}
+	if artSum > 1e-7 {
+		return false
+	}
+	// Pivot any remaining (degenerate, zero-valued) artificials out of the
+	// basis where possible so phase 2 never re-grows them.
+	for i, b := range t.basis {
+		if b < t.artBase {
+			continue
+		}
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.rows[i][j]) > tol {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// phase2 maximizes the real objective from the current feasible basis.
+// It reports false when the LP is unbounded.
+func (t *tableau) phase2() bool {
+	obj := make([]float64, t.cols)
+	copy(obj, t.obj)
+	// Artificials must never re-enter: give them a strongly negative price.
+	for j := t.artBase; j < t.artBase+t.nArt; j++ {
+		obj[j] = math.Inf(-1)
+	}
+	return t.iterate(obj)
+}
+
+// iterate runs simplex pivots with Bland's rule for the given objective
+// until optimality (true) or unboundedness (false).
+func (t *tableau) iterate(obj []float64) bool {
+	for iter := 0; iter < maxIter; iter++ {
+		// Reduced costs: r_j = obj_j - sum_i y_i * a_ij with y from basis prices.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if math.IsInf(obj[j], -1) {
+				continue
+			}
+			if t.reducedCost(obj, j) > tol {
+				enter = j // Bland: first improving index
+				break
+			}
+		}
+		if enter == -1 {
+			return true
+		}
+		// Ratio test; Bland tie-break on smallest basis variable.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a <= tol {
+				continue
+			}
+			ratio := t.rows[i][t.cols] / a
+			if ratio < best-tol || (ratio < best+tol && (leave == -1 || t.basis[i] < t.basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	// Hitting the iteration cap with Bland's rule indicates numerical
+	// trouble; report the current (feasible) point as optimal-ish rather
+	// than spinning forever.
+	return true
+}
+
+// reducedCost computes obj_j - c_B · B^{-1} A_j for the current tableau.
+// Because rows are kept in canonical form (basis columns are unit vectors),
+// this is obj_j - sum over rows of basisPrice_i * a_ij.
+func (t *tableau) reducedCost(obj []float64, j int) float64 {
+	r := obj[j]
+	for i := 0; i < t.m; i++ {
+		cb := obj[t.basis[i]]
+		if cb == 0 || math.IsInf(cb, -1) {
+			// Zero-price basis columns contribute nothing. A basic artificial
+			// (price -Inf) only survives phase 1 when its row is redundant
+			// (all structural coefficients zero), so it contributes nothing
+			// either.
+			continue
+		}
+		r -= cb * t.rows[i][j]
+	}
+	return r
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.rows[leave]
+	pv := row[enter]
+	for j := range row {
+		row[j] /= pv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.rows[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := range t.rows[i] {
+			t.rows[i][j] -= f * row[j]
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// extract reads the first n structural variable values off the basis.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.rows[i][t.cols]
+		}
+	}
+	return x
+}

@@ -1,0 +1,306 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	return s
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4; x + 3y <= 6. Optimum at (4, 0) = 12.
+	p := NewProblem([]float64{3, 2})
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-12) > 1e-7 {
+		t.Fatalf("objective = %v, want 12", s.Objective)
+	}
+	if math.Abs(s.X[0]-4) > 1e-7 || math.Abs(s.X[1]-0) > 1e-7 {
+		t.Fatalf("x = %v, want (4,0)", s.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// maximize x + y s.t. 2x + y <= 4; x + 2y <= 4. Optimum (4/3, 4/3) = 8/3.
+	p := NewProblem([]float64{1, 1})
+	p.AddConstraint([]float64{2, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 2}, LE, 4)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-8.0/3) > 1e-7 {
+		t.Fatalf("objective = %v, want 8/3", s.Objective)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// maximize x with only y bounded.
+	p := NewProblem([]float64{1, 0})
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 cannot hold together.
+	p := NewProblem([]float64{1})
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x + 2y s.t. x + y == 3, y <= 2. Optimum (1, 2) = 5.
+	p := NewProblem([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 2)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-5) > 1e-7 {
+		t.Fatalf("objective = %v, want 5", s.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2 is x >= 2; maximize -x+5 ... objective max -x s.t. x >= 2,
+	// x <= 4: optimum x=2, obj=-2. Note Solve maximizes c·x so use c=-1.
+	p := NewProblem([]float64{-1})
+	p.AddConstraint([]float64{-1}, LE, -2)
+	p.AddConstraint([]float64{1}, LE, 4)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.X[0]-2) > 1e-7 {
+		t.Fatalf("x = %v, want 2", s.X[0])
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// maximize 2x + y s.t. x + y >= 1; x <= 2; y <= 3. Optimum (2,3) = 7.
+	p := NewProblem([]float64{2, 1})
+	p.AddConstraint([]float64{1, 1}, GE, 1)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-7) > 1e-7 {
+		t.Fatalf("objective = %v, want 7", s.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate vertex: redundant constraints meeting at the optimum.
+	p := NewProblem([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-7 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestZeroConstraints(t *testing.T) {
+	// No constraints: maximize x is unbounded.
+	p := NewProblem([]float64{1})
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+	// Maximize -x with x >= 0 implied: optimum 0 at x = 0... note: no
+	// constraints means no tableau rows; every reduced cost is negative.
+	p2 := NewProblem([]float64{-1})
+	s2 := solveOK(t, p2)
+	if s2.Status != Optimal || math.Abs(s2.Objective) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 0", s2.Status, s2.Objective)
+	}
+}
+
+func TestDimensionMismatchError(t *testing.T) {
+	p := NewProblem([]float64{1})
+	p.AddConstraint([]float64{1, 2}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected error for too many coefficients")
+	}
+}
+
+func TestShortCoefficientsZeroExtended(t *testing.T) {
+	// Constraint on x only; y unconstrained above -> unbounded in y.
+	p := NewProblem([]float64{0, 1})
+	p.AddConstraint([]float64{1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Relation strings wrong")
+	}
+	if Relation(99).String() != "?" {
+		t.Fatal("unknown relation should be ?")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if Status(99).String() != "unknown" {
+		t.Fatal("unknown status should be unknown")
+	}
+}
+
+// bruteMax2D enumerates all vertices of a 2-variable LE-only system
+// (pairwise constraint intersections plus axis intersections) and returns
+// the best feasible objective, or -Inf when no vertex is feasible.
+func bruteMax2D(obj []float64, cons []Constraint) float64 {
+	// Treat x >= 0, y >= 0 as constraints too.
+	all := append([]Constraint{
+		{Coeffs: []float64{-1, 0}, RHS: 0},
+		{Coeffs: []float64{0, -1}, RHS: 0},
+	}, cons...)
+	feasible := func(x, y float64) bool {
+		for _, c := range all {
+			if c.Coeffs[0]*x+c.Coeffs[1]*y > c.RHS+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a1, b1, c1 := all[i].Coeffs[0], all[i].Coeffs[1], all[i].RHS
+			a2, b2, c2 := all[j].Coeffs[0], all[j].Coeffs[1], all[j].RHS
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			if feasible(x, y) {
+				if v := obj[0]*x + obj[1]*y; v > best {
+					best = v
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Property: on random bounded 2-D LPs, simplex matches vertex enumeration.
+func TestSolveMatchesVertexEnumerationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		obj := []float64{rng.Float64()*4 - 1, rng.Float64()*4 - 1}
+		ncons := 2 + rng.Intn(5)
+		cons := make([]Constraint, 0, ncons)
+		for i := 0; i < ncons; i++ {
+			cons = append(cons, Constraint{
+				Coeffs: []float64{rng.Float64(), rng.Float64()},
+				Rel:    LE,
+				RHS:    rng.Float64() * 3,
+			})
+		}
+		// Bounding box keeps every instance bounded.
+		cons = append(cons,
+			Constraint{Coeffs: []float64{1, 0}, Rel: LE, RHS: 10},
+			Constraint{Coeffs: []float64{0, 1}, Rel: LE, RHS: 10},
+		)
+		p := &Problem{Objective: obj, Constraints: cons}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		want := bruteMax2D(obj, cons)
+		return math.Abs(s.Objective-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the returned X is always primal feasible.
+func TestSolutionFeasibleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(4)
+		obj := make([]float64, nv)
+		for i := range obj {
+			obj[i] = rng.Float64()*2 - 0.5
+		}
+		p := NewProblem(obj)
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			coeffs := make([]float64, nv)
+			for j := range coeffs {
+				coeffs[j] = rng.Float64()
+			}
+			p.AddConstraint(coeffs, LE, 0.5+rng.Float64()*2)
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			return true // nothing to verify
+		}
+		for _, c := range p.Constraints {
+			var lhs float64
+			for j, a := range c.Coeffs {
+				lhs += a * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nv, nc := 10, 60
+	obj := make([]float64, nv)
+	for i := range obj {
+		obj[i] = rng.Float64()
+	}
+	p := NewProblem(obj)
+	for i := 0; i < nc; i++ {
+		coeffs := make([]float64, nv)
+		for j := range coeffs {
+			coeffs[j] = rng.Float64()
+		}
+		p.AddConstraint(coeffs, LE, 1+rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

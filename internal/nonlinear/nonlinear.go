@@ -1,0 +1,323 @@
+// Package nonlinear extends k-regret minimizing sets beyond linear
+// utilities — the direction the FD-RMS paper names as future work
+// (Section VI), following the function classes studied in the literature:
+//
+//   - convex Lq utilities f(p) = (Σ (u_i·p_i)^q)^{1/q}, q >= 1
+//     (Faulkner, Brackenbury, Lall: "k-Regret Queries with Nonlinear
+//     Utilities", PVLDB 2015);
+//   - multiplicative (Cobb-Douglas) utilities f(p) = Π p_i^{u_i},
+//     Σ u_i = 1 (Qi, Zuo, Samet, Yao: "k-Regret Queries Using
+//     Multiplicative Utility Functions", TODS 2018).
+//
+// Every class here is monotone: improving an attribute never lowers the
+// score, so k-RMS answers remain subsets of the skyline and the sampled
+// hitting-set reduction applies unchanged — sample utilities from the
+// class, build the ε-approximate top-k set of each, and pick the smallest
+// tuple set hitting all of them, binary-searching ε to meet the size
+// budget. Compute implements exactly that for any Class.
+package nonlinear
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/skyline"
+)
+
+// Utility is one concrete utility function.
+type Utility interface {
+	// Score returns the (nonnegative) utility of a tuple.
+	Score(p geom.Point) float64
+}
+
+// Class is a family of utility functions that can be sampled.
+type Class interface {
+	// Name identifies the class.
+	Name() string
+	// Sample draws n utilities from the class for databases of the given
+	// dimensionality, deterministically in rng.
+	Sample(rng *rand.Rand, dim, n int) []Utility
+}
+
+// --- linear (the baseline class, for cross-checking) -------------------------
+
+// LinearUtility scores by inner product with a unit weight vector.
+type LinearUtility struct{ W geom.Vector }
+
+// Score implements Utility.
+func (u LinearUtility) Score(p geom.Point) float64 { return geom.Dot(u.W, p.Coords) }
+
+// Linear is the class of linear utilities of Section II of the paper.
+type Linear struct{}
+
+// Name implements Class.
+func (Linear) Name() string { return "linear" }
+
+// Sample implements Class.
+func (Linear) Sample(rng *rand.Rand, dim, n int) []Utility {
+	out := make([]Utility, n)
+	for i := range out {
+		w := make(geom.Vector, dim)
+		for j := range w {
+			w[j] = math.Abs(rng.NormFloat64())
+		}
+		geom.Normalize(w)
+		out[i] = LinearUtility{W: w}
+	}
+	return out
+}
+
+// --- convex Lq utilities ------------------------------------------------------
+
+// LqUtility scores by the weighted q-norm (Σ (w_i·p_i)^q)^{1/q}.
+type LqUtility struct {
+	W geom.Vector
+	Q float64
+}
+
+// Score implements Utility.
+func (u LqUtility) Score(p geom.Point) float64 {
+	var s float64
+	for i, w := range u.W {
+		s += math.Pow(w*p.Coords[i], u.Q)
+	}
+	return math.Pow(s, 1/u.Q)
+}
+
+// ConvexLq is the class of convex Lq utilities with a fixed exponent
+// (q = 1 recovers linear; q -> infinity approaches max).
+type ConvexLq struct{ Q float64 }
+
+// Name implements Class.
+func (c ConvexLq) Name() string { return fmt.Sprintf("convex-L%g", c.Q) }
+
+// Sample implements Class.
+func (c ConvexLq) Sample(rng *rand.Rand, dim, n int) []Utility {
+	q := c.Q
+	if q < 1 {
+		q = 1
+	}
+	out := make([]Utility, n)
+	for i := range out {
+		w := make(geom.Vector, dim)
+		for j := range w {
+			w[j] = math.Abs(rng.NormFloat64())
+		}
+		geom.Normalize(w)
+		out[i] = LqUtility{W: w, Q: q}
+	}
+	return out
+}
+
+// --- multiplicative (Cobb-Douglas) utilities ----------------------------------
+
+// MultiplicativeUtility scores by Π p_i^{w_i} with Σ w_i = 1. Zero
+// attribute values are floored at a small constant so a single zero does
+// not erase every other attribute (the standard smoothing in the
+// multiplicative-utility literature).
+type MultiplicativeUtility struct{ W geom.Vector }
+
+const multFloor = 1e-3
+
+// Score implements Utility.
+func (u MultiplicativeUtility) Score(p geom.Point) float64 {
+	var logSum float64
+	for i, w := range u.W {
+		x := p.Coords[i]
+		if x < multFloor {
+			x = multFloor
+		}
+		logSum += w * math.Log(x)
+	}
+	return math.Exp(logSum)
+}
+
+// Multiplicative is the Cobb-Douglas class of Qi et al.
+type Multiplicative struct{}
+
+// Name implements Class.
+func (Multiplicative) Name() string { return "multiplicative" }
+
+// Sample implements Class: exponents are a uniform Dirichlet draw.
+func (Multiplicative) Sample(rng *rand.Rand, dim, n int) []Utility {
+	out := make([]Utility, n)
+	for i := range out {
+		w := make(geom.Vector, dim)
+		var sum float64
+		for j := range w {
+			w[j] = rng.ExpFloat64()
+			sum += w[j]
+		}
+		for j := range w {
+			w[j] /= sum
+		}
+		out[i] = MultiplicativeUtility{W: w}
+	}
+	return out
+}
+
+// --- regret under a sampled class ---------------------------------------------
+
+// Evaluator estimates the maximum k-regret ratio under a utility class
+// with a fixed sample of utilities (the nonlinear analogue of
+// regret.Evaluator).
+type Evaluator struct {
+	utils []Utility
+	kth   []float64
+	k     int
+}
+
+// NewEvaluator samples the class and precomputes ω_k(f, P) per utility.
+func NewEvaluator(class Class, P []geom.Point, dim, k, samples int, seed int64) *Evaluator {
+	rng := rand.New(rand.NewSource(seed))
+	ev := &Evaluator{utils: class.Sample(rng, dim, samples), k: k}
+	ev.kth = make([]float64, len(ev.utils))
+	for i, u := range ev.utils {
+		ev.kth[i] = kthScore(u, P, k)
+	}
+	return ev
+}
+
+// MRR estimates the maximum k-regret ratio of Q.
+func (ev *Evaluator) MRR(Q []geom.Point) float64 {
+	worst := 0.0
+	for i, u := range ev.utils {
+		if ev.kth[i] <= 0 {
+			continue
+		}
+		best := 0.0
+		for _, q := range Q {
+			if s := u.Score(q); s > best {
+				best = s
+			}
+		}
+		if r := 1 - best/ev.kth[i]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func kthScore(u Utility, P []geom.Point, k int) float64 {
+	if len(P) == 0 {
+		return 0
+	}
+	if k > len(P) {
+		k = len(P)
+	}
+	scores := make([]float64, len(P))
+	for i, p := range P {
+		scores[i] = u.Score(p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	return scores[k-1]
+}
+
+// --- the sampled hitting-set algorithm ------------------------------------------
+
+// Compute returns a size-<=r (k, ε)-regret set of P for the utility class,
+// with ε minimized by binary search over the sampled hitting-set
+// reduction. All classes here are monotone, so the candidate pool is the
+// skyline for k = 1 and the full database otherwise, as in the linear
+// case.
+func Compute(class Class, P []geom.Point, dim, k, r, samples int, seed int64) []geom.Point {
+	if len(P) == 0 || r <= 0 {
+		return nil
+	}
+	pool := P
+	if k == 1 {
+		pool = skyline.Compute(P)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	utils := class.Sample(rng, dim, samples)
+
+	// Score matrix over the pool and ω_k over the full database.
+	kth := make([]float64, len(utils))
+	scores := make([][]float64, len(utils))
+	for i, u := range utils {
+		kth[i] = kthScore(u, P, k)
+		row := make([]float64, len(pool))
+		for j, p := range pool {
+			row[j] = u.Score(p)
+		}
+		scores[i] = row
+	}
+
+	feasible := func(eps float64) []int {
+		memberOf := make([][]int, len(pool))
+		needed := 0
+		hit := make([]bool, len(utils))
+		for i := range utils {
+			if kth[i] <= 0 {
+				hit[i] = true
+				continue
+			}
+			tau := (1 - eps) * kth[i]
+			any := false
+			for j := range pool {
+				if scores[i][j] >= tau {
+					memberOf[j] = append(memberOf[j], i)
+					any = true
+				}
+			}
+			if !any {
+				hit[i] = true // unreachable at this eps; widen via the search
+				continue
+			}
+			needed++
+		}
+		var sel []int
+		for needed > 0 {
+			if len(sel) == r {
+				return nil
+			}
+			bestJ, bestCount := -1, 0
+			for j := range pool {
+				c := 0
+				for _, i := range memberOf[j] {
+					if !hit[i] {
+						c++
+					}
+				}
+				if c > bestCount {
+					bestJ, bestCount = j, c
+				}
+			}
+			if bestJ < 0 {
+				return nil
+			}
+			sel = append(sel, bestJ)
+			for _, i := range memberOf[bestJ] {
+				if !hit[i] {
+					hit[i] = true
+					needed--
+				}
+			}
+		}
+		return sel
+	}
+
+	lo, hi := 0.0, 1.0
+	var best []int
+	for iter := 0; iter < 24; iter++ {
+		eps := (lo + hi) / 2
+		if sel := feasible(eps); sel != nil {
+			best = sel
+			hi = eps
+		} else {
+			lo = eps
+		}
+	}
+	if best == nil {
+		best = feasible(1.0)
+	}
+	out := make([]geom.Point, 0, len(best))
+	for _, j := range best {
+		out = append(out, pool[j])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,156 @@
+package nonlinear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/dataset"
+	"fdrms/internal/geom"
+	"fdrms/internal/regret"
+)
+
+func allClasses() []Class {
+	return []Class{Linear{}, ConvexLq{Q: 2}, ConvexLq{Q: 4}, Multiplicative{}}
+}
+
+func TestClassNames(t *testing.T) {
+	want := map[string]bool{"linear": true, "convex-L2": true, "convex-L4": true, "multiplicative": true}
+	for _, c := range allClasses() {
+		if !want[c.Name()] {
+			t.Errorf("unexpected class name %q", c.Name())
+		}
+	}
+}
+
+// Property: every sampled utility is monotone — improving one coordinate
+// never lowers the score.
+func TestMonotonicityQuick(t *testing.T) {
+	for _, class := range allClasses() {
+		class := class
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			dim := 2 + rng.Intn(4)
+			u := class.Sample(rng, dim, 1)[0]
+			v := make(geom.Vector, dim)
+			for j := range v {
+				v[j] = 0.05 + 0.9*rng.Float64()
+			}
+			p := geom.Point{ID: 0, Coords: v}
+			base := u.Score(p)
+			w := v.Clone()
+			j := rng.Intn(dim)
+			w[j] += 0.05 + rng.Float64()*0.05
+			q := geom.Point{ID: 1, Coords: w}
+			return u.Score(q) >= base-1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", class.Name(), err)
+		}
+	}
+}
+
+// Lq with q = 1 must coincide with the linear score.
+func TestLqOneIsLinear(t *testing.T) {
+	w := geom.Normalize(geom.Vector{0.3, 0.5, 0.8})
+	lin := LinearUtility{W: w}
+	lq := LqUtility{W: w, Q: 1}
+	p := geom.NewPoint(0, 0.2, 0.9, 0.4)
+	if math.Abs(lin.Score(p)-lq.Score(p)) > 1e-12 {
+		t.Fatalf("L1 score %v != linear score %v", lq.Score(p), lin.Score(p))
+	}
+}
+
+// Multiplicative utilities are scale-bounded: score of a [0,1] tuple never
+// exceeds 1 and the ordering is dominated by the heavier exponent.
+func TestMultiplicativeBasics(t *testing.T) {
+	u := MultiplicativeUtility{W: geom.Vector{0.9, 0.1}}
+	strongFirst := geom.NewPoint(0, 0.9, 0.2)
+	strongSecond := geom.NewPoint(1, 0.2, 0.9)
+	if u.Score(strongFirst) <= u.Score(strongSecond) {
+		t.Fatal("exponent weighting not respected")
+	}
+	if u.Score(geom.NewPoint(2, 1, 1)) > 1+1e-12 {
+		t.Fatal("score of the all-ones tuple must be <= 1")
+	}
+	// Zero flooring keeps scores positive.
+	if u.Score(geom.NewPoint(3, 0, 0.5)) <= 0 {
+		t.Fatal("floored score must stay positive")
+	}
+}
+
+func TestComputeContracts(t *testing.T) {
+	ds := dataset.Indep(300, 4, 1)
+	for _, class := range allClasses() {
+		for _, r := range []int{1, 5, 15} {
+			Q := Compute(class, ds.Points, 4, 1, r, 500, 2)
+			if len(Q) == 0 || len(Q) > r {
+				t.Errorf("%s r=%d: |Q| = %d", class.Name(), r, len(Q))
+			}
+		}
+		if got := Compute(class, nil, 4, 1, 5, 100, 1); got != nil {
+			t.Errorf("%s: empty P should give nil", class.Name())
+		}
+	}
+}
+
+// Quality improves with r under every class.
+func TestQualityMonotoneInR(t *testing.T) {
+	ds := dataset.AntiCor(400, 4, 3)
+	for _, class := range allClasses() {
+		ev := NewEvaluator(class, ds.Points, 4, 1, 3000, 7)
+		prev := 1.1
+		for _, r := range []int{2, 6, 20} {
+			Q := Compute(class, ds.Points, 4, 1, r, 800, 5)
+			m := ev.MRR(Q)
+			if m > prev+0.03 {
+				t.Errorf("%s: mrr at r=%d is %v, worse than smaller r (%v)", class.Name(), r, m, prev)
+			}
+			prev = m
+		}
+	}
+}
+
+// The linear class must agree with the linear-regret machinery: the
+// nonlinear evaluator and the standard sampled evaluator see comparable
+// regret for the same answer set.
+func TestLinearClassMatchesLinearEvaluator(t *testing.T) {
+	ds := dataset.Indep(300, 3, 9)
+	Q := Compute(Linear{}, ds.Points, 3, 1, 8, 2000, 3)
+	nl := NewEvaluator(Linear{}, ds.Points, 3, 1, 20000, 11).MRR(Q)
+	lin := regret.NewEvaluator(ds.Points, 3, 1, 20000, 11).MRR(Q)
+	if math.Abs(nl-lin) > 0.03 {
+		t.Fatalf("nonlinear-eval %v vs linear-eval %v disagree", nl, lin)
+	}
+}
+
+// k > 1 lowers the bar and hence the regret.
+func TestKSoftensRegret(t *testing.T) {
+	ds := dataset.Indep(300, 3, 13)
+	for _, class := range []Class{ConvexLq{Q: 2}, Multiplicative{}} {
+		Q := Compute(class, ds.Points, 3, 1, 6, 800, 5)
+		r1 := NewEvaluator(class, ds.Points, 3, 1, 3000, 17).MRR(Q)
+		r3 := NewEvaluator(class, ds.Points, 3, 3, 3000, 17).MRR(Q)
+		if r3 > r1+1e-9 {
+			t.Errorf("%s: mrr_3 %v exceeds mrr_1 %v", class.Name(), r3, r1)
+		}
+	}
+}
+
+// The whole database always has zero regret against itself.
+func TestFullDatabaseZeroRegret(t *testing.T) {
+	ds := dataset.Indep(100, 3, 21)
+	for _, class := range allClasses() {
+		if m := NewEvaluator(class, ds.Points, 3, 1, 1000, 23).MRR(ds.Points); m > 1e-9 {
+			t.Errorf("%s: mrr of P against P = %v", class.Name(), m)
+		}
+	}
+}
+
+func BenchmarkComputeConvex(b *testing.B) {
+	ds := dataset.Indep(2000, 4, 1)
+	for i := 0; i < b.N; i++ {
+		Compute(ConvexLq{Q: 2}, ds.Points, 4, 1, 10, 1000, 1)
+	}
+}

@@ -1,0 +1,225 @@
+// Package regret computes k-regret ratios — the quality measure of the
+// k-RMS problem (Section II of the paper).
+//
+// For a utility vector u, the k-regret ratio of Q over P is
+//
+//	rr_k(u, Q) = max(0, 1 − ω(u, Q) / ω_k(u, P)),
+//
+// the relative loss of replacing the k-th ranked tuple of P with the best
+// tuple of Q. The maximum k-regret ratio mrr_k(Q) maximizes rr_k over the
+// whole utility class U. The package provides
+//
+//   - the sampled estimator the paper's evaluation uses (a fixed test set of
+//     random utility vectors; the paper uses 500K), and
+//   - the exact LP formulation of Nanongkai et al. for k = 1, used by the
+//     GREEDY and GEOGREEDY baselines and to validate the estimator.
+package regret
+
+import (
+	"math"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/kdtree"
+	"fdrms/internal/lp"
+	"fdrms/internal/skyline"
+)
+
+// RatioForUtility computes rr_k(u, Q) over P by brute force.
+// It returns 0 when P has fewer than k tuples with positive k-th score.
+func RatioForUtility(u geom.Vector, P, Q []geom.Point, k int) float64 {
+	kth := kthScore(u, P, k)
+	if kth <= 0 {
+		return 0
+	}
+	best := math.Inf(-1)
+	for _, q := range Q {
+		if s := geom.Score(u, q); s > best {
+			best = s
+		}
+	}
+	if len(Q) == 0 {
+		return 1
+	}
+	r := 1 - best/kth
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func kthScore(u geom.Vector, P []geom.Point, k int) float64 {
+	if len(P) == 0 {
+		return 0
+	}
+	if k > len(P) {
+		k = len(P)
+	}
+	// Partial selection of the k largest scores.
+	top := make([]float64, 0, k)
+	for _, p := range P {
+		s := geom.Score(u, p)
+		if len(top) < k {
+			top = append(top, s)
+			up(top)
+		} else if s > top[0] {
+			top[0] = s
+			down(top)
+		}
+	}
+	return top[0]
+}
+
+// up/down maintain a min-heap of float64 rooted at index 0.
+func up(h []float64) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func down(h []float64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// Evaluator estimates mrr_k(Q) over a fixed database P using a fixed test
+// set of sampled utility vectors, mirroring the paper's methodology
+// (Section IV-A: "a test set of 500K random utility vectors"). The k-th
+// scores ω_k(u, P) are computed once through a k-d tree and cached, so many
+// candidate sets Q can be scored cheaply against the same database.
+type Evaluator struct {
+	k       int
+	samples []geom.Vector
+	kth     []float64 // ω_k(u_i, P) per sample
+}
+
+// NewEvaluator builds an estimator over P with the given number of sampled
+// utility vectors (the d standard basis vectors are always included, on top
+// of numSamples random ones).
+func NewEvaluator(P []geom.Point, dim, k, numSamples int, seed int64) *Evaluator {
+	ev := &Evaluator{k: k}
+	ev.samples = make([]geom.Vector, 0, numSamples+dim)
+	for i := 0; i < dim; i++ {
+		ev.samples = append(ev.samples, geom.Basis(dim, i))
+	}
+	s := geom.NewUnitSampler(dim, seed)
+	ev.samples = append(ev.samples, s.SampleN(numSamples)...)
+
+	ev.kth = make([]float64, len(ev.samples))
+	tree := kdtree.New(dim, P)
+	for i, u := range ev.samples {
+		if s, ok := tree.KthScore(u, k); ok {
+			ev.kth[i] = s
+		}
+	}
+	return ev
+}
+
+// NumSamples returns the size of the utility test set.
+func (ev *Evaluator) NumSamples() int { return len(ev.samples) }
+
+// MRR estimates mrr_k(Q) as the maximum sampled regret ratio.
+func (ev *Evaluator) MRR(Q []geom.Point) float64 {
+	worst := 0.0
+	for i, u := range ev.samples {
+		if ev.kth[i] <= 0 {
+			continue
+		}
+		best := 0.0
+		for _, q := range Q {
+			if s := geom.Score(u, q); s > best {
+				best = s
+			}
+		}
+		r := 1 - best/ev.kth[i]
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// ExactMRR1 computes the exact maximum 1-regret ratio of Q over P by
+// solving, for every skyline tuple p of P, the LP of Nanongkai et al.:
+//
+//	maximize δ   s.t.  <u, q> <= <u, p> − δ  for all q in Q,
+//	                   <u, p> <= 1,  u >= 0, δ >= 0.
+//
+// At the optimum <u, p> = 1, so δ equals 1 − ω(u, Q)/<u, p>; maximizing
+// over skyline tuples yields mrr_1 because the top-1 tuple of any
+// nonnegative utility lies on the skyline.
+func ExactMRR1(P, Q []geom.Point) (float64, error) {
+	if len(P) == 0 {
+		return 0, nil
+	}
+	sky := skyline.Compute(P)
+	worst := 0.0
+	for _, p := range sky {
+		delta, err := regretLP(p, Q)
+		if err != nil {
+			return 0, err
+		}
+		if delta > worst {
+			worst = delta
+		}
+	}
+	return worst, nil
+}
+
+// PointRegretLP solves the single-tuple LP of ExactMRR1 for one tuple p:
+// the maximum 1-regret ratio that p alone can inflict on Q over all
+// nonnegative utilities. The GREEDY and GEOGREEDY baselines call this for
+// every candidate at every iteration.
+func PointRegretLP(p geom.Point, Q []geom.Point) (float64, error) {
+	return regretLP(p, Q)
+}
+
+// regretLP solves the single-tuple LP above; variables are (u_1..u_d, δ).
+func regretLP(p geom.Point, Q []geom.Point) (float64, error) {
+	d := p.Dim()
+	obj := make([]float64, d+1)
+	obj[d] = 1 // maximize δ
+	prob := lp.NewProblem(obj)
+	for _, q := range Q {
+		coeffs := make([]float64, d+1)
+		for i := 0; i < d; i++ {
+			coeffs[i] = q.Coords[i] - p.Coords[i]
+		}
+		coeffs[d] = 1
+		prob.AddConstraint(coeffs, lp.LE, 0)
+	}
+	coeffs := make([]float64, d+1)
+	copy(coeffs, p.Coords)
+	prob.AddConstraint(coeffs, lp.LE, 1)
+	// δ <= 1 keeps the LP bounded when Q is empty.
+	capDelta := make([]float64, d+1)
+	capDelta[d] = 1
+	prob.AddConstraint(capDelta, lp.LE, 1)
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil
+	}
+	return sol.Objective, nil
+}

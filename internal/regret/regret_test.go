@@ -1,0 +1,226 @@
+package regret
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/skyline"
+)
+
+// paperPoints is the 8-tuple database of Fig. 1.
+func paperPoints() []geom.Point {
+	return []geom.Point{
+		geom.NewPoint(1, 0.2, 1.0),
+		geom.NewPoint(2, 0.6, 0.8),
+		geom.NewPoint(3, 0.7, 0.5),
+		geom.NewPoint(4, 1.0, 0.1),
+		geom.NewPoint(5, 0.4, 0.3),
+		geom.NewPoint(6, 0.2, 0.7),
+		geom.NewPoint(7, 0.3, 0.9),
+		geom.NewPoint(8, 0.6, 0.6),
+	}
+}
+
+func pick(pts []geom.Point, ids ...int) []geom.Point {
+	var out []geom.Point
+	for _, id := range ids {
+		for _, p := range pts {
+			if p.ID == id {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Example 1 of the paper: rr_2(u1, Q1) = 1 − 0.749/0.98 ≈ 0.236.
+func TestPaperExample1RegretRatio(t *testing.T) {
+	P := paperPoints()
+	Q1 := pick(P, 3, 4)
+	u1 := geom.Vector{0.42, 0.91}
+	got := RatioForUtility(u1, P, Q1, 2)
+	want := 1 - 0.749/0.98
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rr_2(u1, Q1) = %v, want %v", got, want)
+	}
+}
+
+// Example 1: mrr_2(Q1) ≈ 0.444, attained at u = (0, 1).
+func TestPaperExample1MaxRegret(t *testing.T) {
+	P := paperPoints()
+	Q1 := pick(P, 3, 4)
+	// At the basis vector (0,1): ω_2 = 0.9 (p7), ω(Q1) = 0.5 (p3).
+	u := geom.Vector{0, 1}
+	got := RatioForUtility(u, P, Q1, 2)
+	want := 1.0 - 0.5/0.9
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rr_2((0,1), Q1) = %v, want %v", got, want)
+	}
+	// The estimator includes basis vectors, so it must find at least this.
+	ev := NewEvaluator(P, 2, 2, 2000, 1)
+	est := ev.MRR(Q1)
+	if est < want-1e-9 {
+		t.Fatalf("estimated mrr %v below the basis-vector bound %v", est, want)
+	}
+	if est > want+0.02 {
+		t.Fatalf("estimated mrr %v too far above the known maximum %v", est, want)
+	}
+}
+
+// Example 1: Q2 = {p1, p2, p4} is a (2, 0)-regret set: mrr_2(Q2) = 0.
+func TestPaperExample1ZeroRegretSet(t *testing.T) {
+	P := paperPoints()
+	Q2 := pick(P, 1, 2, 4)
+	ev := NewEvaluator(P, 2, 2, 5000, 2)
+	if got := ev.MRR(Q2); got > 1e-9 {
+		t.Fatalf("mrr_2(Q2) = %v, want 0", got)
+	}
+}
+
+// Example 2: Q* = {p1, p4} has ε*_{2,2} = mrr_2(Q*) ≈ 0.05.
+func TestPaperExample2OptimalValue(t *testing.T) {
+	P := paperPoints()
+	Q := pick(P, 1, 4)
+	ev := NewEvaluator(P, 2, 2, 20000, 3)
+	got := ev.MRR(Q)
+	if math.Abs(got-0.05) > 0.015 {
+		t.Fatalf("mrr_2({p1,p4}) = %v, want ≈ 0.05", got)
+	}
+}
+
+// Example 2 continued. The paper claims Q* = {p1, p4} with ε*_{2,2} ≈ 0.05.
+// Exact analysis shows {p4, p7} is in fact marginally better (mrr_2 ≈ 0.044
+// at the direction where p4 and p7 tie, versus ≈ 0.049 for {p1, p4}) — the
+// example in the paper is rounded. We therefore assert the slightly weaker,
+// exactly-true statement: the best pair's regret is ≈ 0.044-0.05 and
+// {p1, p4} is within 0.01 of it.
+func TestPaperExample2OptimalSubset(t *testing.T) {
+	P := paperPoints()
+	ev := NewEvaluator(P, 2, 2, 5000, 4)
+	best := math.Inf(1)
+	var bestPair [2]int
+	for i := 0; i < len(P); i++ {
+		for j := i + 1; j < len(P); j++ {
+			v := ev.MRR([]geom.Point{P[i], P[j]})
+			if v < best {
+				best = v
+				bestPair = [2]int{P[i].ID, P[j].ID}
+			}
+		}
+	}
+	if math.Abs(best-0.046) > 0.01 {
+		t.Fatalf("best pair %v has mrr %v, want ≈ 0.044-0.05", bestPair, best)
+	}
+	paperChoice := ev.MRR(pick(P, 1, 4))
+	if paperChoice-best > 0.01 {
+		t.Fatalf("{p1,p4} (mrr %v) should be within 0.01 of the optimum %v", paperChoice, best)
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	P := paperPoints()
+	u := geom.Vector{0.6, 0.8}
+	// Empty Q: total regret.
+	if got := RatioForUtility(u, P, nil, 1); got != 1 {
+		t.Fatalf("rr with empty Q = %v, want 1", got)
+	}
+	// Q containing the top tuple: zero regret.
+	if got := RatioForUtility(u, P, P, 1); got != 0 {
+		t.Fatalf("rr with Q = P is %v, want 0", got)
+	}
+	// Empty P.
+	if got := RatioForUtility(u, nil, nil, 1); got != 0 {
+		t.Fatalf("rr with empty P = %v, want 0", got)
+	}
+	// k larger than |P| falls back to the minimum score.
+	if got := RatioForUtility(u, P[:2], P[:1], 5); got < 0 || got > 1 {
+		t.Fatalf("rr out of range: %v", got)
+	}
+}
+
+func TestEvaluatorMonotoneInQ(t *testing.T) {
+	P := paperPoints()
+	ev := NewEvaluator(P, 2, 1, 3000, 5)
+	q1 := pick(P, 4)
+	q2 := pick(P, 4, 1)
+	q3 := pick(P, 4, 1, 2)
+	a, b, c := ev.MRR(q1), ev.MRR(q2), ev.MRR(q3)
+	if b > a+1e-12 || c > b+1e-12 {
+		t.Fatalf("mrr must be monotone nonincreasing in Q: %v %v %v", a, b, c)
+	}
+}
+
+func TestExactMRR1FullSkylineIsZero(t *testing.T) {
+	P := paperPoints()
+	sky := skyline.Compute(P)
+	got, err := ExactMRR1(P, sky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-7 {
+		t.Fatalf("mrr_1(skyline) = %v, want 0", got)
+	}
+}
+
+func TestExactMRR1EmptyQ(t *testing.T) {
+	P := paperPoints()
+	got, err := ExactMRR1(P, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-7 {
+		t.Fatalf("mrr_1(∅) = %v, want 1", got)
+	}
+}
+
+// The exact LP value must upper-bound the sampled estimate and the sampled
+// estimate must converge to it.
+func TestExactVsSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(2)
+		n := 20 + rng.Intn(40)
+		P := make([]geom.Point, n)
+		for i := range P {
+			v := make(geom.Vector, d)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			P[i] = geom.Point{ID: i, Coords: v}
+		}
+		Q := P[:3]
+		exact, err := ExactMRR1(P, Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := NewEvaluator(P, d, 1, 30000, int64(trial))
+		est := ev.MRR(Q)
+		if est > exact+1e-6 {
+			t.Fatalf("trial %d: sampled %v exceeds exact %v", trial, est, exact)
+		}
+		if exact-est > 0.05 {
+			t.Fatalf("trial %d: sampled %v too far below exact %v", trial, est, exact)
+		}
+	}
+}
+
+func BenchmarkEvaluatorMRR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d, n := 6, 10000
+	P := make([]geom.Point, n)
+	for i := range P {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		P[i] = geom.Point{ID: i, Coords: v}
+	}
+	ev := NewEvaluator(P, d, 1, 10000, 2)
+	Q := P[:50]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MRR(Q)
+	}
+}

@@ -1,0 +1,623 @@
+// Package setcover implements the dynamic set cover algorithm of Section
+// III-A of the FD-RMS paper (Algorithm 1), built around the notion of a
+// stable set-cover solution.
+//
+// A solution C assigns every universe element u to exactly one chosen set
+// φ(u) containing it; cov(S) is the set of elements assigned to S. Sets in C
+// are organized into levels: S sits in level L_j when 2^j <= |cov(S)| <
+// 2^{j+1}. Definition 2 calls C stable when
+//
+//  1. every S in C sits in the level matching |cov(S)|, and
+//  2. no set S (chosen or not) could take over 2^{j+1} or more elements
+//     currently assigned at level j, i.e. |S ∩ A_j| < 2^{j+1} for all j,
+//
+// and Theorem 1 shows every stable solution is a (2 + 2·log2 m)
+// approximation of the optimal cover. The four update operations of the
+// paper — (u,S,−), (u,S,+), (u,U,+), (u,U,−) — are provided as
+// RemoveSetMember, AddSetMember, AddElement, and RemoveElement; each runs
+// RELEVEL on the affected sets and then STABILIZE, which repeatedly lets a
+// violating set take over an entire level's worth of its elements until
+// Definition 2 holds again (Lemma 2 bounds this by O(m log m) steps).
+package setcover
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Solver maintains a set system Σ = (U, S) and a stable set-cover solution
+// over it. Element and set identifiers are arbitrary ints chosen by the
+// caller (utility ids and tuple ids in FD-RMS).
+type Solver struct {
+	// The set system. sets may contain elements outside the universe (the
+	// paper's UpdateM registers memberships of utilities beyond u_m); only
+	// universe elements participate in covering.
+	sets     map[int]map[int]bool // set id -> member elements
+	contains map[int]map[int]bool // element -> ids of sets containing it
+	universe map[int]bool
+
+	// The solution: φ, cov, and the level hierarchy.
+	assign map[int]int          // φ: universe element -> chosen set
+	cov    map[int]map[int]bool // set in C -> cover set
+	level  map[int]int          // set in C -> level index
+	levels map[int]map[int]bool // level index -> sets at that level
+
+	// buckets[s][j] is S ∩ A_j for every registered set s: the elements of
+	// s whose assigned set currently sits at level j. Bucket sizes give the
+	// stability condition in O(1); bucket contents feed takeovers.
+	buckets map[int]map[int]map[int]bool
+
+	// orphans are universe elements contained in no set. They cannot be
+	// covered; FD-RMS never produces them in a settled state, but the solver
+	// tolerates them transiently during multi-step updates.
+	orphans map[int]bool
+
+	dirty []dirtyEntry // candidate stability violations to revisit
+
+	// Stats counters for the ablation harness.
+	Takeovers     int // STABILIZE takeover steps executed
+	Reassignments int // element reassignments due to set-member removals
+}
+
+type dirtyEntry struct{ set, level int }
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	return &Solver{
+		sets:     make(map[int]map[int]bool),
+		contains: make(map[int]map[int]bool),
+		universe: make(map[int]bool),
+		assign:   make(map[int]int),
+		cov:      make(map[int]map[int]bool),
+		level:    make(map[int]int),
+		levels:   make(map[int]map[int]bool),
+		buckets:  make(map[int]map[int]map[int]bool),
+		orphans:  make(map[int]bool),
+	}
+}
+
+// levelOf returns the level index j with 2^j <= n < 2^{j+1}.
+func levelOf(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// --- set system bookkeeping -------------------------------------------------
+
+// RegisterSet ensures an (empty) set with the given id exists.
+func (sv *Solver) RegisterSet(s int) {
+	if sv.sets[s] == nil {
+		sv.sets[s] = make(map[int]bool)
+	}
+}
+
+// HasSet reports whether the set id is registered.
+func (sv *Solver) HasSet(s int) bool { return sv.sets[s] != nil }
+
+// SetSize returns |S| (members inside and outside the universe).
+func (sv *Solver) SetSize(s int) int { return len(sv.sets[s]) }
+
+// InUniverse reports whether the element is part of U.
+func (sv *Solver) InUniverse(e int) bool { return sv.universe[e] }
+
+// UniverseSize returns |U|.
+func (sv *Solver) UniverseSize() int { return len(sv.universe) }
+
+// NumSets returns |S|, the number of registered sets.
+func (sv *Solver) NumSets() int { return len(sv.sets) }
+
+// --- solution accessors -----------------------------------------------------
+
+// Size returns |C|.
+func (sv *Solver) Size() int { return len(sv.cov) }
+
+// Solution returns the chosen set ids in ascending order.
+func (sv *Solver) Solution() []int {
+	out := make([]int, 0, len(sv.cov))
+	for s := range sv.cov {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InSolution reports whether set s is chosen.
+func (sv *Solver) InSolution(s int) bool { return sv.cov[s] != nil }
+
+// CoverSize returns |cov(S)| for a chosen set (0 otherwise).
+func (sv *Solver) CoverSize(s int) int { return len(sv.cov[s]) }
+
+// AssignedSet returns φ(e) for a covered universe element.
+func (sv *Solver) AssignedSet(e int) (int, bool) {
+	s, ok := sv.assign[e]
+	return s, ok
+}
+
+// Orphans returns the universe elements currently contained in no set.
+func (sv *Solver) Orphans() []int {
+	out := make([]int, 0, len(sv.orphans))
+	for e := range sv.orphans {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- primitive mutations ----------------------------------------------------
+
+// bucketAdd places element e (assigned at level j) into the (t, j) bucket of
+// every set t containing e, queueing stability checks as sizes grow.
+func (sv *Solver) bucketAdd(e, j int) {
+	for t := range sv.contains[e] {
+		bs := sv.buckets[t]
+		if bs == nil {
+			bs = make(map[int]map[int]bool)
+			sv.buckets[t] = bs
+		}
+		b := bs[j]
+		if b == nil {
+			b = make(map[int]bool)
+			bs[j] = b
+		}
+		b[e] = true
+		if len(b) >= 1<<(j+1) {
+			sv.dirty = append(sv.dirty, dirtyEntry{t, j})
+		}
+	}
+}
+
+// bucketRemove removes element e (assigned at level j) from the buckets of
+// every set containing e.
+func (sv *Solver) bucketRemove(e, j int) {
+	for t := range sv.contains[e] {
+		if bs := sv.buckets[t]; bs != nil {
+			if b := bs[j]; b != nil {
+				delete(b, e)
+				if len(b) == 0 {
+					delete(bs, j)
+				}
+			}
+		}
+	}
+}
+
+// ensureChosen puts s into C with an empty cover at level 0.
+func (sv *Solver) ensureChosen(s int) {
+	if sv.cov[s] != nil {
+		return
+	}
+	sv.cov[s] = make(map[int]bool)
+	sv.level[s] = 0
+	if sv.levels[0] == nil {
+		sv.levels[0] = make(map[int]bool)
+	}
+	sv.levels[0][s] = true
+}
+
+// assignTo makes φ(e) = s (e must be unassigned), bucketing e at s's
+// current level. Callers must RELEVEL s afterwards.
+func (sv *Solver) assignTo(e, s int) {
+	sv.ensureChosen(s)
+	sv.assign[e] = s
+	sv.cov[s][e] = true
+	sv.bucketAdd(e, sv.level[s])
+}
+
+// unassign removes e from its chosen set's cover and from all buckets.
+// It returns the former set; callers must RELEVEL it afterwards.
+func (sv *Solver) unassign(e int) (int, bool) {
+	s, ok := sv.assign[e]
+	if !ok {
+		return 0, false
+	}
+	delete(sv.assign, e)
+	delete(sv.cov[s], e)
+	sv.bucketRemove(e, sv.level[s])
+	return s, true
+}
+
+// relevel implements RELEVEL(S) of Algorithm 1: drop S from C when its
+// cover emptied, otherwise move it to the level matching |cov(S)| and
+// rebucket every covered element.
+func (sv *Solver) relevel(s int) {
+	c, chosen := sv.cov[s]
+	if !chosen {
+		return
+	}
+	old := sv.level[s]
+	if len(c) == 0 {
+		delete(sv.cov, s)
+		delete(sv.level, s)
+		delete(sv.levels[old], s)
+		return
+	}
+	j := levelOf(len(c))
+	if j == old {
+		return
+	}
+	delete(sv.levels[old], s)
+	if sv.levels[j] == nil {
+		sv.levels[j] = make(map[int]bool)
+	}
+	sv.levels[j][s] = true
+	sv.level[s] = j
+	for e := range c {
+		sv.bucketRemove(e, old)
+		sv.bucketAdd(e, j)
+	}
+}
+
+// chooseSetFor picks the set a newly uncovered element should be assigned
+// to: a chosen set containing it with the largest cover (stays closest to
+// the existing hierarchy), falling back to any containing set. Ties break on
+// smaller id for determinism.
+func (sv *Solver) chooseSetFor(e int) (int, bool) {
+	best, bestCov, found := 0, -1, false
+	for t := range sv.contains[e] {
+		if c := sv.cov[t]; c != nil {
+			if len(c) > bestCov || (len(c) == bestCov && t < best) {
+				best, bestCov, found = t, len(c), true
+			}
+		}
+	}
+	if found {
+		return best, true
+	}
+	// No chosen set contains e: open the largest containing set.
+	bestSize := -1
+	for t := range sv.contains[e] {
+		if n := len(sv.sets[t]); n > bestSize || (n == bestSize && t < best) {
+			best, bestSize, found = t, n, true
+		}
+	}
+	return best, found
+}
+
+// --- the four σ operations ---------------------------------------------------
+
+// AddSetMember applies σ = (e, S, +): element e joins set s. The assignment
+// φ is unchanged, but the new membership can violate stability (s may now
+// overlap a level too much), so STABILIZE runs.
+func (sv *Solver) AddSetMember(s, e int) {
+	sv.RegisterSet(s)
+	if sv.sets[s][e] {
+		return
+	}
+	sv.sets[s][e] = true
+	if sv.contains[e] == nil {
+		sv.contains[e] = make(map[int]bool)
+	}
+	sv.contains[e][s] = true
+	if sv.universe[e] {
+		if sv.orphans[e] {
+			// The element finally became coverable.
+			delete(sv.orphans, e)
+			sv.assignTo(e, s)
+			sv.relevel(s)
+		} else if as, ok := sv.assign[e]; ok {
+			j := sv.level[as]
+			bs := sv.buckets[s]
+			if bs == nil {
+				bs = make(map[int]map[int]bool)
+				sv.buckets[s] = bs
+			}
+			if bs[j] == nil {
+				bs[j] = make(map[int]bool)
+			}
+			bs[j][e] = true
+			if len(bs[j]) >= 1<<(j+1) {
+				sv.dirty = append(sv.dirty, dirtyEntry{s, j})
+			}
+		}
+	}
+	sv.stabilize()
+}
+
+// RemoveSetMember applies σ = (e, S, −): element e leaves set s. When e was
+// assigned to s it is reassigned to another containing set (Lines 2–5 of
+// Algorithm 1), then STABILIZE runs.
+func (sv *Solver) RemoveSetMember(s, e int) {
+	if sv.sets[s] == nil || !sv.sets[s][e] {
+		return
+	}
+	wasAssigned := sv.universe[e] && !sv.orphans[e]
+	var j int
+	if wasAssigned {
+		j = sv.level[sv.assign[e]]
+	}
+	delete(sv.sets[s], e)
+	delete(sv.contains[e], s)
+	if len(sv.contains[e]) == 0 {
+		delete(sv.contains, e)
+	}
+	if !sv.universe[e] {
+		return
+	}
+	if sv.orphans[e] {
+		return
+	}
+	// Drop e from s's buckets (membership is gone).
+	if bs := sv.buckets[s]; bs != nil {
+		if b := bs[j]; b != nil {
+			delete(b, e)
+			if len(b) == 0 {
+				delete(bs, j)
+			}
+		}
+	}
+	if sv.assign[e] == s {
+		old, _ := sv.unassign(e)
+		if s2, ok := sv.chooseSetFor(e); ok {
+			sv.assignTo(e, s2)
+			sv.relevel(s2)
+			sv.Reassignments++
+		} else {
+			sv.orphans[e] = true
+		}
+		sv.relevel(old)
+	}
+	sv.stabilize()
+}
+
+// AddElement applies σ = (e, U, +): e joins the universe and is assigned to
+// a containing set.
+func (sv *Solver) AddElement(e int) {
+	if sv.universe[e] {
+		return
+	}
+	sv.universe[e] = true
+	if s, ok := sv.chooseSetFor(e); ok {
+		sv.assignTo(e, s)
+		sv.relevel(s)
+	} else {
+		sv.orphans[e] = true
+	}
+	sv.stabilize()
+}
+
+// RemoveElement applies σ = (e, U, −): e leaves the universe; its former
+// chosen set shrinks (and leaves C when emptied).
+func (sv *Solver) RemoveElement(e int) {
+	if !sv.universe[e] {
+		return
+	}
+	delete(sv.universe, e)
+	if sv.orphans[e] {
+		delete(sv.orphans, e)
+		return
+	}
+	old, _ := sv.unassign(e)
+	sv.relevel(old)
+	sv.stabilize()
+}
+
+// DropSetIfEmpty unregisters a set that no longer has members (used after a
+// tuple deletion finished removing every membership of S(p)).
+func (sv *Solver) DropSetIfEmpty(s int) bool {
+	if m, ok := sv.sets[s]; ok && len(m) == 0 {
+		delete(sv.sets, s)
+		delete(sv.buckets, s)
+		return true
+	}
+	return false
+}
+
+// ResetUniverse replaces the universe wholesale and rebuilds the solution
+// with GREEDY. FD-RMS initialization uses this while binary-searching the
+// sample size m (Algorithm 2, Lines 3–14).
+func (sv *Solver) ResetUniverse(elems []int) {
+	sv.universe = make(map[int]bool, len(elems))
+	for _, e := range elems {
+		sv.universe[e] = true
+	}
+	sv.Greedy()
+}
+
+// --- STABILIZE ---------------------------------------------------------------
+
+// stabilize restores Definition 2: while some set s could take over all
+// elements of a level j with |s ∩ A_j| >= 2^{j+1}, it does (Lines 28–32 of
+// Algorithm 1), moving those elements into cov(s) and releveling every
+// touched set. Each takeover strictly raises the level of the moved
+// elements, so the loop terminates (Lemma 2).
+func (sv *Solver) stabilize() {
+	for len(sv.dirty) > 0 {
+		d := sv.dirty[len(sv.dirty)-1]
+		sv.dirty = sv.dirty[:len(sv.dirty)-1]
+		bs := sv.buckets[d.set]
+		if bs == nil {
+			continue
+		}
+		b := bs[d.level]
+		if len(b) < 1<<(d.level+1) {
+			continue // stale entry
+		}
+		sv.Takeovers++
+		// Take over every element of S ∩ A_j.
+		moved := make([]int, 0, len(b))
+		for e := range b {
+			moved = append(moved, e)
+		}
+		sort.Ints(moved) // determinism
+		touched := make(map[int]bool)
+		for _, e := range moved {
+			if sv.assign[e] == d.set {
+				continue
+			}
+			old, _ := sv.unassign(e)
+			touched[old] = true
+			sv.assignTo(e, d.set)
+		}
+		sv.relevel(d.set)
+		for s := range touched {
+			sv.relevel(s)
+		}
+	}
+}
+
+// --- GREEDY -------------------------------------------------------------------
+
+// Greedy discards the current solution and rebuilds it with the classic
+// greedy algorithm (Lines 13–19 of Algorithm 1), assigning each chosen set
+// to the level matching its cover size. Lemma 1 guarantees the result is
+// stable. Orphan elements (contained in no set) are skipped.
+func (sv *Solver) Greedy() {
+	sv.assign = make(map[int]int)
+	sv.cov = make(map[int]map[int]bool)
+	sv.level = make(map[int]int)
+	sv.levels = make(map[int]map[int]bool)
+	sv.buckets = make(map[int]map[int]map[int]bool)
+	sv.orphans = make(map[int]bool)
+	sv.dirty = nil
+
+	// Uncovered-count per set, restricted to the universe.
+	counts := make(map[int]int)
+	for s, members := range sv.sets {
+		n := 0
+		for e := range members {
+			if sv.universe[e] {
+				n++
+			}
+		}
+		if n > 0 {
+			counts[s] = n
+		}
+	}
+	uncovered := make(map[int]bool, len(sv.universe))
+	for e := range sv.universe {
+		if len(sv.contains[e]) == 0 {
+			sv.orphans[e] = true
+			continue
+		}
+		uncovered[e] = true
+	}
+
+	for len(uncovered) > 0 {
+		best, bestCount := 0, 0
+		for s, n := range counts {
+			if n > bestCount || (n == bestCount && n > 0 && s < best) {
+				best, bestCount = s, n
+			}
+		}
+		if bestCount == 0 {
+			break // only orphans remain (unreachable: orphans were excluded)
+		}
+		covered := make([]int, 0, bestCount)
+		for e := range sv.sets[best] {
+			if uncovered[e] {
+				covered = append(covered, e)
+			}
+		}
+		sort.Ints(covered)
+		c := make(map[int]bool, len(covered))
+		for _, e := range covered {
+			c[e] = true
+			sv.assign[e] = best
+			delete(uncovered, e)
+			for t := range sv.contains[e] {
+				if counts[t] > 0 {
+					counts[t]--
+					if counts[t] == 0 {
+						delete(counts, t)
+					}
+				}
+			}
+		}
+		sv.cov[best] = c
+		j := levelOf(len(c))
+		sv.level[best] = j
+		if sv.levels[j] == nil {
+			sv.levels[j] = make(map[int]bool)
+		}
+		sv.levels[j][best] = true
+	}
+
+	// Rebuild buckets from the fresh assignment.
+	for e, s := range sv.assign {
+		sv.bucketAdd(e, sv.level[s])
+	}
+	// Greedy solutions are stable (Lemma 1), but bucketAdd may have queued
+	// candidates; clear them through the standard check for safety.
+	sv.stabilize()
+}
+
+// --- invariant checking --------------------------------------------------------
+
+// CheckStable verifies Definition 2 plus the structural invariants of the
+// solution and returns a descriptive error on the first violation. Intended
+// for tests and debugging; it runs in O(total membership) time.
+func (sv *Solver) CheckStable() error {
+	// Every non-orphan universe element is assigned to a containing chosen set.
+	for e := range sv.universe {
+		if sv.orphans[e] {
+			if len(sv.contains[e]) != 0 {
+				return fmt.Errorf("orphan %d is contained in %d sets", e, len(sv.contains[e]))
+			}
+			continue
+		}
+		s, ok := sv.assign[e]
+		if !ok {
+			return fmt.Errorf("universe element %d unassigned", e)
+		}
+		if !sv.sets[s][e] {
+			return fmt.Errorf("element %d assigned to set %d that does not contain it", e, s)
+		}
+		if !sv.cov[s][e] {
+			return fmt.Errorf("element %d missing from cov(%d)", e, s)
+		}
+	}
+	// Covers partition the assigned elements.
+	seen := make(map[int]int)
+	for s, c := range sv.cov {
+		if len(c) == 0 {
+			return fmt.Errorf("chosen set %d has empty cover", s)
+		}
+		for e := range c {
+			if prev, dup := seen[e]; dup {
+				return fmt.Errorf("element %d covered by both %d and %d", e, prev, s)
+			}
+			seen[e] = s
+			if sv.assign[e] != s {
+				return fmt.Errorf("cov(%d) holds %d but φ(%d) = %d", s, e, e, sv.assign[e])
+			}
+		}
+		// Condition (1): level matches cover size.
+		j := sv.level[s]
+		if len(c) < 1<<j || len(c) >= 1<<(j+1) {
+			return fmt.Errorf("set %d at level %d has |cov| = %d", s, j, len(c))
+		}
+		if !sv.levels[j][s] {
+			return fmt.Errorf("set %d missing from levels[%d]", s, j)
+		}
+	}
+	// Condition (2): no set can take over a level.
+	levelElems := make(map[int]map[int]bool)
+	for e, s := range sv.assign {
+		j := sv.level[s]
+		if levelElems[j] == nil {
+			levelElems[j] = make(map[int]bool)
+		}
+		levelElems[j][e] = true
+	}
+	for s, members := range sv.sets {
+		perLevel := make(map[int]int)
+		for e := range members {
+			if as, ok := sv.assign[e]; ok {
+				perLevel[sv.level[as]]++
+			}
+		}
+		for j, n := range perLevel {
+			if n >= 1<<(j+1) {
+				return fmt.Errorf("instability: |S_%d ∩ A_%d| = %d >= %d", s, j, n, 1<<(j+1))
+			}
+			// Cross-check the maintained buckets.
+			if got := len(sv.buckets[s][j]); got != n {
+				return fmt.Errorf("bucket drift for set %d level %d: bucket %d, actual %d", s, j, got, n)
+			}
+		}
+	}
+	return nil
+}

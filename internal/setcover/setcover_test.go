@@ -1,0 +1,540 @@
+package setcover
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildSystem registers sets from a map of set id -> elements.
+func buildSystem(sv *Solver, sets map[int][]int, universe []int) {
+	for s, elems := range sets {
+		sv.RegisterSet(s)
+		for _, e := range elems {
+			// Membership registration without universe side effects first.
+			sv.sets[s][e] = true
+			if sv.contains[e] == nil {
+				sv.contains[e] = make(map[int]bool)
+			}
+			sv.contains[e][s] = true
+		}
+	}
+	for _, e := range universe {
+		sv.universe[e] = true
+	}
+}
+
+func checkCovered(t *testing.T, sv *Solver) {
+	t.Helper()
+	for e := range sv.universe {
+		if sv.orphans[e] {
+			continue
+		}
+		if _, ok := sv.AssignedSet(e); !ok {
+			t.Fatalf("element %d not covered", e)
+		}
+	}
+	if err := sv.CheckStable(); err != nil {
+		t.Fatalf("unstable solution: %v", err)
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for n, want := range cases {
+		if got := levelOf(n); got != want {
+			t.Errorf("levelOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if levelOf(0) != 0 {
+		t.Error("levelOf(0) should be 0")
+	}
+}
+
+func TestGreedySimple(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{
+		1: {10, 11, 12},
+		2: {12, 13},
+		3: {14},
+		4: {10, 11, 12, 13, 14},
+	}, []int{10, 11, 12, 13, 14})
+	sv.Greedy()
+	// Set 4 covers everything alone.
+	if sv.Size() != 1 || !sv.InSolution(4) {
+		t.Fatalf("solution = %v, want [4]", sv.Solution())
+	}
+	checkCovered(t, sv)
+	if sv.level[4] != 2 { // |cov| = 5 -> level 2
+		t.Fatalf("level of set 4 = %d, want 2", sv.level[4])
+	}
+}
+
+func TestGreedyDisjoint(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{
+		1: {1, 2},
+		2: {3, 4},
+		3: {5},
+	}, []int{1, 2, 3, 4, 5})
+	sv.Greedy()
+	if sv.Size() != 3 {
+		t.Fatalf("|C| = %d, want 3", sv.Size())
+	}
+	checkCovered(t, sv)
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1, 2}}, nil)
+	sv.Greedy()
+	if sv.Size() != 0 {
+		t.Fatalf("|C| = %d, want 0", sv.Size())
+	}
+	checkCovered(t, sv)
+}
+
+func TestGreedyOrphans(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1}}, []int{1, 99})
+	sv.Greedy()
+	checkCovered(t, sv)
+	orphans := sv.Orphans()
+	if len(orphans) != 1 || orphans[0] != 99 {
+		t.Fatalf("orphans = %v, want [99]", orphans)
+	}
+}
+
+// bruteOPT finds the optimal cover size by exhaustive search (small inputs).
+func bruteOPT(sets map[int][]int, universe []int) int {
+	ids := make([]int, 0, len(sets))
+	for s := range sets {
+		ids = append(ids, s)
+	}
+	need := make(map[int]bool, len(universe))
+	for _, e := range universe {
+		need[e] = true
+	}
+	best := len(ids) + 1
+	for mask := 0; mask < 1<<len(ids); mask++ {
+		if bits.OnesCount(uint(mask)) >= best {
+			continue
+		}
+		covered := make(map[int]bool)
+		for i, s := range ids {
+			if mask&(1<<i) != 0 {
+				for _, e := range sets[s] {
+					covered[e] = true
+				}
+			}
+		}
+		ok := true
+		for e := range need {
+			if !covered[e] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = bits.OnesCount(uint(mask))
+		}
+	}
+	return best
+}
+
+// Theorem 1: a stable solution is within (2 + 2·log2 m)·OPT.
+func TestStableApproximationBoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(10) // universe size
+		ns := 2 + rng.Intn(8) // sets
+		universe := make([]int, m)
+		for i := range universe {
+			universe[i] = i
+		}
+		sets := make(map[int][]int, ns)
+		for s := 0; s < ns; s++ {
+			var elems []int
+			for _, e := range universe {
+				if rng.Intn(2) == 0 {
+					elems = append(elems, e)
+				}
+			}
+			sets[s] = elems
+		}
+		// Guarantee feasibility with one big set sometimes; otherwise allow
+		// orphans and restrict the check to coverable elements.
+		sv := NewSolver()
+		buildSystem(sv, sets, universe)
+		sv.Greedy()
+		if err := sv.CheckStable(); err != nil {
+			return false
+		}
+		coverable := make([]int, 0, m)
+		for _, e := range universe {
+			if len(sv.contains[e]) > 0 {
+				coverable = append(coverable, e)
+			}
+		}
+		if len(coverable) == 0 {
+			return sv.Size() == 0
+		}
+		opt := bruteOPT(sets, coverable)
+		bound := float64(2+2*bits.Len(uint(m))) * float64(opt)
+		return float64(sv.Size()) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRemoveElement(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{
+		1: {1, 2, 3},
+		2: {3, 4},
+	}, []int{1, 2})
+	sv.Greedy()
+	checkCovered(t, sv)
+
+	sv.AddElement(3)
+	checkCovered(t, sv)
+	if _, ok := sv.AssignedSet(3); !ok {
+		t.Fatal("element 3 should be covered")
+	}
+
+	sv.AddElement(4)
+	checkCovered(t, sv)
+	if s, _ := sv.AssignedSet(4); s != 2 {
+		t.Fatalf("element 4 assigned to %d, want 2 (only containing set)", s)
+	}
+
+	sv.RemoveElement(4)
+	checkCovered(t, sv)
+	if sv.InSolution(2) {
+		t.Fatal("set 2 should have left the solution after losing its only element")
+	}
+	sv.RemoveElement(4) // no-op
+	checkCovered(t, sv)
+}
+
+func TestAddElementOrphanThenCoverable(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1}}, []int{1})
+	sv.Greedy()
+	sv.AddElement(50) // contained in nothing yet
+	if len(sv.Orphans()) != 1 {
+		t.Fatalf("orphans = %v", sv.Orphans())
+	}
+	sv.AddSetMember(1, 50) // now coverable
+	if len(sv.Orphans()) != 0 {
+		t.Fatalf("orphans should be empty, got %v", sv.Orphans())
+	}
+	checkCovered(t, sv)
+}
+
+func TestRemoveSetMemberReassigns(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{
+		1: {1, 2},
+		2: {1, 3},
+	}, []int{1, 2, 3})
+	sv.Greedy()
+	checkCovered(t, sv)
+	s, _ := sv.AssignedSet(1)
+	// Remove element 1's membership from its assigned set; it must move to
+	// the other containing set.
+	sv.RemoveSetMember(s, 1)
+	checkCovered(t, sv)
+	s2, ok := sv.AssignedSet(1)
+	if !ok || s2 == s {
+		t.Fatalf("element 1 still assigned to %d", s2)
+	}
+	if sv.Reassignments == 0 {
+		t.Fatal("reassignment counter should have advanced")
+	}
+}
+
+func TestRemoveSetMemberOrphanFallback(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1}}, []int{1})
+	sv.Greedy()
+	sv.RemoveSetMember(1, 1)
+	if len(sv.Orphans()) != 1 {
+		t.Fatalf("orphans = %v, want [1]", sv.Orphans())
+	}
+	if err := sv.CheckStable(); err != nil {
+		t.Fatalf("unstable: %v", err)
+	}
+	// Re-adding membership must repair the orphan.
+	sv.AddSetMember(1, 1)
+	checkCovered(t, sv)
+	if len(sv.Orphans()) != 0 {
+		t.Fatal("orphan should have been repaired")
+	}
+}
+
+// A growing super-set must eventually trigger a takeover (STABILIZE) and
+// shrink the solution.
+func TestStabilizeTakeover(t *testing.T) {
+	sv := NewSolver()
+	// 8 singleton sets cover 8 elements (levels L0), plus an initially
+	// element-free big set.
+	sets := map[int][]int{}
+	var universe []int
+	for e := 0; e < 8; e++ {
+		sets[e+1] = []int{e}
+		universe = append(universe, e)
+	}
+	buildSystem(sv, sets, universe)
+	sv.Greedy()
+	if sv.Size() != 8 {
+		t.Fatalf("|C| = %d, want 8", sv.Size())
+	}
+	// Grow set 100 one membership at a time. Condition (2) forbids
+	// |S ∩ A_0| >= 2, so the first two memberships already violate it and
+	// STABILIZE lets set 100 take the elements over.
+	sv.RegisterSet(100)
+	for e := 0; e < 8; e++ {
+		sv.AddSetMember(100, e)
+		checkCovered(t, sv)
+	}
+	if !sv.InSolution(100) {
+		t.Fatal("the big set should have entered the solution")
+	}
+	if sv.Size() >= 8 {
+		t.Fatalf("|C| = %d, expected shrink below 8", sv.Size())
+	}
+	if sv.Takeovers == 0 {
+		t.Fatal("takeover counter should have advanced")
+	}
+}
+
+func TestDropSetIfEmpty(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1}, 2: {1}}, []int{1})
+	sv.Greedy()
+	target := 2
+	if s, _ := sv.AssignedSet(1); s == 2 {
+		target = 1
+	}
+	// target is the set NOT covering element 1.
+	sv.RemoveSetMember(target, 1)
+	if !sv.DropSetIfEmpty(target) {
+		t.Fatal("empty set should drop")
+	}
+	if sv.DropSetIfEmpty(target) {
+		t.Fatal("double drop should report false")
+	}
+	if sv.HasSet(target) {
+		t.Fatal("set should be unregistered")
+	}
+	checkCovered(t, sv)
+}
+
+func TestDropSetIfEmptyNonEmpty(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1}}, []int{1})
+	sv.Greedy()
+	if sv.DropSetIfEmpty(1) {
+		t.Fatal("non-empty set must not drop")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{7: {1, 2}}, []int{1, 2})
+	sv.Greedy()
+	if !sv.HasSet(7) || sv.SetSize(7) != 2 || sv.NumSets() != 1 {
+		t.Fatal("set accessors wrong")
+	}
+	if !sv.InUniverse(1) || sv.InUniverse(9) || sv.UniverseSize() != 2 {
+		t.Fatal("universe accessors wrong")
+	}
+	if sv.CoverSize(7) != 2 {
+		t.Fatalf("CoverSize = %d", sv.CoverSize(7))
+	}
+	if got := sv.Solution(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Solution = %v", got)
+	}
+}
+
+func TestAddSetMemberIdempotent(t *testing.T) {
+	sv := NewSolver()
+	buildSystem(sv, map[int][]int{1: {1}}, []int{1})
+	sv.Greedy()
+	sv.AddSetMember(1, 1) // already a member
+	checkCovered(t, sv)
+	if sv.SetSize(1) != 1 {
+		t.Fatalf("SetSize = %d", sv.SetSize(1))
+	}
+	sv.RemoveSetMember(9, 9) // unknown set: no-op
+	checkCovered(t, sv)
+}
+
+// Property: stability and coverage hold after arbitrary operation streams.
+func TestRandomOpsStableQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sv := NewSolver()
+		nSets := 3 + rng.Intn(10)
+		nElems := 3 + rng.Intn(20)
+		// Random initial system; every element in at least one set.
+		sets := make(map[int][]int)
+		for s := 0; s < nSets; s++ {
+			sets[s] = nil
+		}
+		for e := 0; e < nElems; e++ {
+			owner := rng.Intn(nSets)
+			sets[owner] = append(sets[owner], e)
+			for s := 0; s < nSets; s++ {
+				if s != owner && rng.Intn(3) == 0 {
+					sets[s] = append(sets[s], e)
+				}
+			}
+		}
+		universe := make([]int, 0, nElems)
+		for e := 0; e < nElems; e++ {
+			if rng.Intn(2) == 0 {
+				universe = append(universe, e)
+			}
+		}
+		buildSystem(sv, sets, universe)
+		sv.Greedy()
+		if err := sv.CheckStable(); err != nil {
+			return false
+		}
+		for op := 0; op < 80; op++ {
+			s := rng.Intn(nSets)
+			e := rng.Intn(nElems)
+			switch rng.Intn(4) {
+			case 0:
+				sv.AddSetMember(s, e)
+			case 1:
+				sv.RemoveSetMember(s, e)
+			case 2:
+				sv.AddElement(e)
+			case 3:
+				sv.RemoveElement(e)
+			}
+			if err := sv.CheckStable(); err != nil {
+				return false
+			}
+			// Coverage of non-orphans.
+			for u := range sv.universe {
+				if !sv.orphans[u] {
+					if _, ok := sv.AssignedSet(u); !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after random ops, re-running Greedy never yields a wildly
+// smaller solution than the maintained one (both are O(log m)-approximate).
+func TestMaintainedVsGreedyQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		sv := NewSolver()
+		nSets, nElems := 20, 60
+		sets := make(map[int][]int)
+		for e := 0; e < nElems; e++ {
+			owner := rng.Intn(nSets)
+			sets[owner] = append(sets[owner], e)
+			for s := 0; s < nSets; s++ {
+				if s != owner && rng.Intn(4) == 0 {
+					sets[s] = append(sets[s], e)
+				}
+			}
+		}
+		universe := make([]int, nElems)
+		for e := range universe {
+			universe[e] = e
+		}
+		buildSystem(sv, sets, universe)
+		sv.Greedy()
+		for op := 0; op < 200; op++ {
+			s, e := rng.Intn(nSets), rng.Intn(nElems)
+			switch rng.Intn(4) {
+			case 0:
+				sv.AddSetMember(s, e)
+			case 1:
+				sv.RemoveSetMember(s, e)
+			case 2:
+				sv.AddElement(e)
+			case 3:
+				sv.RemoveElement(e)
+			}
+		}
+		maintained := sv.Size()
+		sv.Greedy()
+		fresh := sv.Size()
+		if maintained > 4*fresh+4 {
+			t.Fatalf("trial %d: maintained %d vs fresh greedy %d — maintenance degraded too far", trial, maintained, fresh)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sv := NewSolver()
+	nSets, nElems := 2000, 1024
+	sets := make(map[int][]int)
+	for e := 0; e < nElems; e++ {
+		for s := 0; s < nSets; s++ {
+			if rng.Intn(100) == 0 {
+				sets[s] = append(sets[s], e)
+			}
+		}
+		sets[rng.Intn(nSets)] = append(sets[rng.Intn(nSets)], e)
+	}
+	universe := make([]int, nElems)
+	for e := range universe {
+		universe[e] = e
+	}
+	buildSystem(sv, sets, universe)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv.Greedy()
+	}
+}
+
+func BenchmarkSigmaOps(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	sv := NewSolver()
+	nSets, nElems := 500, 512
+	sets := make(map[int][]int)
+	for e := 0; e < nElems; e++ {
+		sets[rng.Intn(nSets)] = append(sets[rng.Intn(nSets)], e)
+		for s := 0; s < 8; s++ {
+			sets[rng.Intn(nSets)] = append(sets[rng.Intn(nSets)], e)
+		}
+	}
+	universe := make([]int, nElems)
+	for e := range universe {
+		universe[e] = e
+	}
+	buildSystem(sv, sets, universe)
+	sv.Greedy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, e := rng.Intn(nSets), rng.Intn(nElems)
+		switch rng.Intn(4) {
+		case 0:
+			sv.AddSetMember(s, e)
+		case 1:
+			sv.RemoveSetMember(s, e)
+		case 2:
+			sv.AddElement(e)
+		case 3:
+			sv.RemoveElement(e)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package skyline implements the skyline operator of Börzsönyi et al.
+// (ICDE 2001) in both static and fully-dynamic form.
+//
+// The skyline (Pareto-optimal subset) of a database is the set of tuples not
+// dominated by any other tuple, where p dominates q iff p is at least as
+// good on every attribute and strictly better on one. Every k-RMS result is
+// a subset of the skyline, and the static baselines in the paper's
+// evaluation recompute their answer whenever an insertion or deletion
+// changes the skyline — the Dynamic type in this package tells the harness
+// exactly when that happens.
+package skyline
+
+import (
+	"sort"
+
+	"fdrms/internal/geom"
+)
+
+// Compute returns the skyline of pts using a sort-first-then-scan algorithm:
+// points are ordered by decreasing coordinate sum, which guarantees that a
+// point can only be dominated by points earlier in the order, so a single
+// scan against the running skyline suffices.
+//
+// The returned slice is in decreasing coordinate-sum order. The input is not
+// modified.
+func Compute(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	order := make([]geom.Point, len(pts))
+	copy(order, pts)
+	sort.Slice(order, func(i, j int) bool {
+		return coordSum(order[i]) > coordSum(order[j])
+	})
+	var sky []geom.Point
+	for _, p := range order {
+		dominated := false
+		for _, s := range sky {
+			if geom.Dominates(s, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, p)
+		}
+	}
+	return sky
+}
+
+func coordSum(p geom.Point) float64 {
+	var s float64
+	for _, x := range p.Coords {
+		s += x
+	}
+	return s
+}
+
+// Dynamic maintains the skyline of a mutable database under tuple
+// insertions and deletions. All points (skyline and dominated) are retained
+// so that deleting a skyline tuple can promote the points it was shielding.
+type Dynamic struct {
+	points map[int]geom.Point // every live tuple by ID
+	sky    map[int]geom.Point // current skyline members by ID
+}
+
+// NewDynamic builds the initial skyline over pts.
+func NewDynamic(pts []geom.Point) *Dynamic {
+	d := &Dynamic{
+		points: make(map[int]geom.Point, len(pts)),
+		sky:    make(map[int]geom.Point),
+	}
+	for _, p := range pts {
+		d.points[p.ID] = p
+	}
+	for _, s := range Compute(pts) {
+		d.sky[s.ID] = s
+	}
+	return d
+}
+
+// Len returns the number of live tuples.
+func (d *Dynamic) Len() int { return len(d.points) }
+
+// SkylineSize returns the current skyline cardinality.
+func (d *Dynamic) SkylineSize() int { return len(d.sky) }
+
+// Contains reports whether the tuple with the given id is live.
+func (d *Dynamic) Contains(id int) bool {
+	_, ok := d.points[id]
+	return ok
+}
+
+// IsSkyline reports whether the tuple with the given id is currently on the
+// skyline.
+func (d *Dynamic) IsSkyline(id int) bool {
+	_, ok := d.sky[id]
+	return ok
+}
+
+// Skyline returns a copy of the current skyline.
+func (d *Dynamic) Skyline() []geom.Point {
+	out := make([]geom.Point, 0, len(d.sky))
+	for _, p := range d.sky {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Points returns a copy of all live tuples.
+func (d *Dynamic) Points() []geom.Point {
+	out := make([]geom.Point, 0, len(d.points))
+	for _, p := range d.points {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Insert adds p and reports whether the skyline changed. A new tuple joins
+// the skyline iff no current skyline member dominates it; when it joins, any
+// member it dominates drops out.
+func (d *Dynamic) Insert(p geom.Point) (changed bool) {
+	d.points[p.ID] = p
+	for _, s := range d.sky {
+		if geom.Dominates(s, p) {
+			return false
+		}
+	}
+	for id, s := range d.sky {
+		if geom.Dominates(p, s) {
+			delete(d.sky, id)
+		}
+	}
+	d.sky[p.ID] = p
+	return true
+}
+
+// Delete removes the tuple with the given id and reports whether the
+// skyline changed. Deleting a non-skyline tuple never changes the skyline.
+// Deleting a skyline tuple promotes every point that was dominated only by
+// the removed tuple (among skyline members).
+func (d *Dynamic) Delete(id int) (changed bool) {
+	victim, live := d.points[id]
+	if !live {
+		return false
+	}
+	delete(d.points, id)
+	if _, onSky := d.sky[id]; !onSky {
+		return false
+	}
+	delete(d.sky, id)
+	// Candidates for promotion are the points the victim dominated. A
+	// candidate joins the skyline iff no remaining live point dominates it.
+	// It suffices to test against the remaining skyline plus the other
+	// candidates: any dominator q of a candidate is itself dominated by a
+	// maximal element s (or is one), and by transitivity s dominates the
+	// candidate too; every maximal element of the post-delete database lies
+	// in (old skyline \ victim) ∪ candidates.
+	var cands []geom.Point
+	for _, p := range d.points {
+		if !d.IsSkyline(p.ID) && geom.Dominates(victim, p) {
+			cands = append(cands, p)
+		}
+	}
+	for _, p := range cands {
+		promoted := true
+		for _, s := range d.sky {
+			if geom.Dominates(s, p) {
+				promoted = false
+				break
+			}
+		}
+		if promoted {
+			for _, q := range cands {
+				if q.ID != p.ID && geom.Dominates(q, p) {
+					promoted = false
+					break
+				}
+			}
+		}
+		if promoted {
+			d.sky[p.ID] = p
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/geom"
+)
+
+// paperPoints is the 8-tuple database of Fig. 1 in the paper.
+func paperPoints() []geom.Point {
+	return []geom.Point{
+		geom.NewPoint(1, 0.2, 1.0),
+		geom.NewPoint(2, 0.6, 0.8),
+		geom.NewPoint(3, 0.7, 0.5),
+		geom.NewPoint(4, 1.0, 0.1),
+		geom.NewPoint(5, 0.4, 0.3),
+		geom.NewPoint(6, 0.2, 0.7),
+		geom.NewPoint(7, 0.3, 0.9),
+		geom.NewPoint(8, 0.6, 0.6),
+	}
+}
+
+func idSet(pts []geom.Point) map[int]bool {
+	s := make(map[int]bool, len(pts))
+	for _, p := range pts {
+		s[p.ID] = true
+	}
+	return s
+}
+
+func TestComputePaperExample(t *testing.T) {
+	// In Fig. 1, p1, p2, p3, p4 are the maxima: p7 is dominated by nothing?
+	// p7=(0.3,0.9) vs p1=(0.2,1.0): incomparable; vs p2=(0.6,0.8)? p2 has
+	// x=0.6>0.3 but y=0.8<0.9 -> incomparable. So p7 is also on the skyline.
+	got := idSet(Compute(paperPoints()))
+	want := map[int]bool{1: true, 2: true, 3: true, 4: true, 7: true}
+	if len(got) != len(want) {
+		t.Fatalf("skyline = %v, want %v", got, want)
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("missing skyline point p%d; got %v", id, got)
+		}
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	if got := Compute(nil); got != nil {
+		t.Fatalf("skyline of empty set = %v", got)
+	}
+}
+
+func TestComputeSinglePoint(t *testing.T) {
+	got := Compute([]geom.Point{geom.NewPoint(7, 0.5, 0.5)})
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("skyline = %v", got)
+	}
+}
+
+func TestComputeDuplicatePoints(t *testing.T) {
+	// Equal points do not dominate each other, so both stay.
+	pts := []geom.Point{geom.NewPoint(0, 0.5, 0.5), geom.NewPoint(1, 0.5, 0.5)}
+	if got := Compute(pts); len(got) != 2 {
+		t.Fatalf("equal points should both be skyline, got %v", got)
+	}
+}
+
+// bruteSkyline is the O(n^2) reference implementation.
+func bruteSkyline(pts []geom.Point) map[int]bool {
+	out := make(map[int]bool)
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if q.ID != p.ID && geom.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+func randomPoints(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			// Coarse grid so dominance ties actually occur.
+			v[j] = float64(rng.Intn(8)) / 7
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	return pts
+}
+
+func TestComputeMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 1+rng.Intn(60), 1+rng.Intn(5))
+		got := idSet(Compute(pts))
+		want := bruteSkyline(pts)
+		if len(got) != len(want) {
+			return false
+		}
+		for id := range want {
+			if !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicInsert(t *testing.T) {
+	d := NewDynamic(paperPoints())
+	if d.SkylineSize() != 5 {
+		t.Fatalf("initial skyline size = %d, want 5", d.SkylineSize())
+	}
+	// p9 = (0.9, 0.6) from Fig. 3 dominates p3 (0.7,0.5) and p8 (0.6,0.6).
+	changed := d.Insert(geom.NewPoint(9, 0.9, 0.6))
+	if !changed {
+		t.Fatal("inserting p9 must change the skyline")
+	}
+	if d.IsSkyline(3) {
+		t.Error("p3 should be dominated by p9")
+	}
+	if !d.IsSkyline(9) {
+		t.Error("p9 should be on the skyline")
+	}
+	// A dominated insert changes nothing.
+	if d.Insert(geom.NewPoint(10, 0.1, 0.1)) {
+		t.Error("dominated insert must not change the skyline")
+	}
+	if !d.Contains(10) {
+		t.Error("dominated tuple must still be stored")
+	}
+}
+
+func TestDynamicDeleteNonSkyline(t *testing.T) {
+	d := NewDynamic(paperPoints())
+	if d.Delete(5) {
+		t.Error("deleting non-skyline p5 must not change the skyline")
+	}
+	if d.Contains(5) {
+		t.Error("p5 should be gone")
+	}
+	if d.Delete(5) {
+		t.Error("double delete must be a no-op")
+	}
+}
+
+func TestDynamicDeletePromotes(t *testing.T) {
+	d := NewDynamic(paperPoints())
+	// p8=(0.6,0.6) is dominated only by p2=(0.6,0.8): deleting p2 promotes it.
+	if !d.Delete(2) {
+		t.Fatal("deleting skyline p2 must change the skyline")
+	}
+	if !d.IsSkyline(8) {
+		t.Error("p8 should be promoted after p2 is gone")
+	}
+	// p6=(0.2,0.7) is dominated by p1, p2 and p7; once all three are gone it
+	// joins the skyline.
+	if !d.Delete(7) {
+		t.Fatal("deleting skyline p7 must change the skyline")
+	}
+	if !d.Delete(1) {
+		t.Fatal("deleting skyline p1 must change the skyline")
+	}
+	if !d.IsSkyline(6) {
+		t.Error("p6 should be promoted after p1, p2, p7 are gone")
+	}
+}
+
+// Property: after any random op sequence, Dynamic matches a fresh Compute.
+func TestDynamicMatchesStaticQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, dim := 4+rng.Intn(40), 1+rng.Intn(4)
+		pts := randomPoints(rng, n, dim)
+		dyn := NewDynamic(pts[:n/2])
+		live := make(map[int]geom.Point)
+		for _, p := range pts[:n/2] {
+			live[p.ID] = p
+		}
+		next := n
+		for op := 0; op < 40; op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				v := make(geom.Vector, dim)
+				for j := range v {
+					v[j] = float64(rng.Intn(8)) / 7
+				}
+				p := geom.Point{ID: next, Coords: v}
+				next++
+				dyn.Insert(p)
+				live[p.ID] = p
+			} else {
+				var victim int
+				i, stop := 0, rng.Intn(len(live))
+				for id := range live {
+					if i == stop {
+						victim = id
+						break
+					}
+					i++
+				}
+				dyn.Delete(victim)
+				delete(live, victim)
+			}
+			want := bruteSkyline(mapValues(live))
+			if dyn.SkylineSize() != len(want) {
+				return false
+			}
+			for id := range want {
+				if !dyn.IsSkyline(id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mapValues(m map[int]geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, len(m))
+	for _, p := range m {
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestDynamicAccessors(t *testing.T) {
+	d := NewDynamic(paperPoints())
+	if d.Len() != 8 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := len(d.Skyline()); got != d.SkylineSize() {
+		t.Fatalf("Skyline() length %d != SkylineSize %d", got, d.SkylineSize())
+	}
+	if got := len(d.Points()); got != 8 {
+		t.Fatalf("Points() length = %d", got)
+	}
+}

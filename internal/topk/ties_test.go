@@ -1,0 +1,194 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/geom"
+)
+
+// gridPoints generates points on a coarse grid so exact score ties and
+// duplicate coordinates occur constantly — the adversarial regime for
+// incremental top-k maintenance, where "did p enter the top-k?" decisions
+// sit exactly on the boundary.
+func gridPoints(rng *rand.Rand, n, d, idBase, levels int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = float64(rng.Intn(levels)) / float64(levels-1)
+		}
+		pts[i] = geom.Point{ID: idBase + i, Coords: v}
+	}
+	return pts
+}
+
+// gridUtilities uses axis-aligned and rational directions that produce
+// exactly equal scores on grid points.
+func gridUtilities(dim, n int) []Utility {
+	out := make([]Utility, 0, n)
+	for i := 0; i < dim && len(out) < n; i++ {
+		out = append(out, Utility{ID: len(out), U: geom.Basis(dim, i)})
+	}
+	// Pairwise equal-weight diagonals: ties galore.
+	for a := 0; a < dim && len(out) < n; a++ {
+		for b := a + 1; b < dim && len(out) < n; b++ {
+			u := make(geom.Vector, dim)
+			u[a], u[b] = 1, 1
+			out = append(out, Utility{ID: len(out), U: geom.Normalize(u)})
+		}
+	}
+	for len(out) < n {
+		u := make(geom.Vector, dim)
+		for j := range u {
+			u[j] = 1
+		}
+		out = append(out, Utility{ID: len(out), U: geom.Normalize(u)})
+	}
+	return out
+}
+
+// Membership must match brute force even when scores tie exactly.
+func TestTiesMembershipExactQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(3)
+		eps := 0.05
+		pts := gridPoints(rng, 15+rng.Intn(25), d, 0, 4)
+		utils := gridUtilities(d, 6)
+		e := NewEngine(d, k, eps, pts, utils)
+		live := make(map[int]geom.Point)
+		for _, p := range pts {
+			live[p.ID] = p
+		}
+		next := 1000
+		for op := 0; op < 60; op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				p := gridPoints(rng, 1, d, next, 4)[0]
+				next++
+				e.Insert(p)
+				live[p.ID] = p
+			} else {
+				for id := range live {
+					e.Delete(id)
+					delete(live, id)
+					break
+				}
+			}
+		}
+		cur := make([]geom.Point, 0, len(live))
+		for _, p := range live {
+			cur = append(cur, p)
+		}
+		for _, ut := range utils {
+			want := brutePhi(ut.U, cur, k, eps)
+			got := e.Members(ut.ID)
+			if len(got) != len(want) {
+				return false
+			}
+			for pid := range want {
+				if _, ok := got[pid]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Identical tuples (same coordinates, different IDs) must all be members
+// together, and deleting one must not evict its twins.
+func TestDuplicateCoordinates(t *testing.T) {
+	d := 3
+	same := geom.Vector{0.8, 0.8, 0.8}
+	pts := []geom.Point{
+		{ID: 0, Coords: same.Clone()},
+		{ID: 1, Coords: same.Clone()},
+		{ID: 2, Coords: same.Clone()},
+		{ID: 3, Coords: geom.Vector{0.1, 0.1, 0.1}},
+	}
+	utils := gridUtilities(d, 4)
+	e := NewEngine(d, 1, 0.05, pts, utils)
+	for _, ut := range utils {
+		m := e.Members(ut.ID)
+		for id := 0; id <= 2; id++ {
+			if _, ok := m[id]; !ok {
+				t.Fatalf("twin %d missing from Φ(u%d)", id, ut.ID)
+			}
+		}
+	}
+	changes := e.Delete(1)
+	if len(changes) == 0 {
+		t.Fatal("deleting a member twin must emit changes")
+	}
+	for _, ut := range utils {
+		m := e.Members(ut.ID)
+		if _, gone := m[1]; gone {
+			t.Fatal("deleted twin still a member")
+		}
+		for _, id := range []int{0, 2} {
+			if _, ok := m[id]; !ok {
+				t.Fatalf("surviving twin %d evicted from Φ(u%d)", id, ut.ID)
+			}
+		}
+	}
+}
+
+// The maintained exact top-k scores must match brute force under tie-heavy
+// churn (scores, not identities: equal-scoring tuples are interchangeable).
+func TestTiesTopKScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, k := 3, 4
+	pts := gridPoints(rng, 40, d, 0, 3)
+	utils := gridUtilities(d, 5)
+	e := NewEngine(d, k, 0.1, pts, utils)
+	live := map[int]geom.Point{}
+	for _, p := range pts {
+		live[p.ID] = p
+	}
+	next := 500
+	for op := 0; op < 200; op++ {
+		if rng.Intn(2) == 0 || len(live) <= k {
+			p := gridPoints(rng, 1, d, next, 3)[0]
+			next++
+			e.Insert(p)
+			live[p.ID] = p
+		} else {
+			for id := range live {
+				e.Delete(id)
+				delete(live, id)
+				break
+			}
+		}
+		if op%20 != 0 {
+			continue
+		}
+		for _, ut := range utils {
+			var scores []float64
+			for _, p := range live {
+				scores = append(scores, geom.Dot(ut.U, p.Coords))
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+			topk := e.TopK(ut.ID)
+			kk := k
+			if kk > len(scores) {
+				kk = len(scores)
+			}
+			if len(topk) != kk {
+				t.Fatalf("op %d u%d: topk length %d, want %d", op, ut.ID, len(topk), kk)
+			}
+			for i := 0; i < kk; i++ {
+				if math.Abs(topk[i].Score-scores[i]) > 1e-12 {
+					t.Fatalf("op %d u%d rank %d: score %v, want %v", op, ut.ID, i, topk[i].Score, scores[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package topk maintains the ε-approximate top-k results Φ_{k,ε}(u, P_t) of
+// many utility vectors over a fully-dynamic database — the dual-tree scheme
+// of Section III-C of the FD-RMS paper.
+//
+// The tuple index (a k-d tree, package kdtree) answers top-k and threshold
+// queries on the current database; the utility index (a cone tree, package
+// conetree) finds which utilities an inserted tuple can affect. For each
+// utility the engine stores the exact top-k list and the approximate member
+// set, and uses the fast paths described in the paper:
+//
+//   - an inserted tuple scoring below (1-ε)·ω_k is pruned inside the cone
+//     tree and costs nothing for that utility;
+//   - one scoring between the threshold and ω_k joins Φ without a requery
+//     (ω_k is unchanged);
+//   - one scoring above ω_k shifts the exact top-k, which is repaired
+//     incrementally; only deletions of top-k members force a fresh index
+//     query.
+//
+// Every mutation returns the resulting membership changes, which FD-RMS
+// Algorithm 3 translates into dynamic set cover operations: the member sets
+// of this engine ARE the sets S(p) of the paper's set system Σ = (U, S).
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"fdrms/internal/conetree"
+	"fdrms/internal/geom"
+	"fdrms/internal/kdtree"
+)
+
+// Utility is one identified utility vector.
+type Utility struct {
+	ID int
+	U  geom.Vector
+}
+
+// Change records one membership transition of the set system: tuple PointID
+// joined (Added) or left Φ_{k,ε}(u) for utility UtilityID.
+type Change struct {
+	UtilityID int
+	PointID   int
+	Added     bool
+}
+
+// uState is the maintained per-utility state.
+type uState struct {
+	u    geom.Vector
+	topk []kdtree.Result // exact top-k, score-descending
+	phi  map[int]float64 // member id -> score (Φ_{k,ε})
+}
+
+// Engine maintains Φ_{k,ε} for a set of utilities over a dynamic database.
+type Engine struct {
+	k   int
+	eps float64
+	dim int
+
+	tree  *kdtree.Tree
+	ui    *conetree.Tree
+	state map[int]*uState
+
+	// sets[pid] is S(p): the utilities whose approximate top-k contains p.
+	sets map[int]map[int]bool
+
+	// Counters for the ablation experiments.
+	InsertOps     int // Insert calls processed
+	DeleteOps     int // Delete calls processed
+	AffectedTotal int // utilities whose Φ changed, summed over operations
+	Requeries     int // fresh tuple-index top-k queries during maintenance
+}
+
+// NewEngine indexes the initial database and computes Φ_{k,ε} for every
+// utility. k must be >= 1 and eps in [0, 1).
+func NewEngine(dim, k int, eps float64, points []geom.Point, utilities []Utility) *Engine {
+	e := &Engine{
+		k:     k,
+		eps:   eps,
+		dim:   dim,
+		tree:  kdtree.New(dim, points),
+		state: make(map[int]*uState, len(utilities)),
+		sets:  make(map[int]map[int]bool, len(points)),
+	}
+	items := make([]conetree.Item, 0, len(utilities))
+	for _, ut := range utilities {
+		st := e.freshState(ut.U)
+		e.state[ut.ID] = st
+		for pid := range st.phi {
+			e.addToSet(pid, ut.ID)
+		}
+		items = append(items, conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.threshold(st)})
+	}
+	e.ui = conetree.New(dim, items)
+	return e
+}
+
+// freshState queries the tuple index from scratch for one utility.
+func (e *Engine) freshState(u geom.Vector) *uState {
+	st := &uState{u: u, phi: make(map[int]float64)}
+	st.topk = e.tree.TopK(u, e.k)
+	for _, r := range e.tree.AtLeast(u, e.thresholdOf(st.topk)) {
+		st.phi[r.Point.ID] = r.Score
+	}
+	return st
+}
+
+// thresholdOf computes (1-ε)·ω_k for a top-k list; with fewer than k live
+// tuples every tuple is a top-k member, so the threshold is -Inf.
+func (e *Engine) thresholdOf(topk []kdtree.Result) float64 {
+	if len(topk) < e.k {
+		return math.Inf(-1)
+	}
+	return (1 - e.eps) * topk[len(topk)-1].Score
+}
+
+func (e *Engine) threshold(st *uState) float64 { return e.thresholdOf(st.topk) }
+
+func (e *Engine) addToSet(pid, uid int) {
+	s, ok := e.sets[pid]
+	if !ok {
+		s = make(map[int]bool)
+		e.sets[pid] = s
+	}
+	s[uid] = true
+}
+
+func (e *Engine) removeFromSet(pid, uid int) {
+	if s, ok := e.sets[pid]; ok {
+		delete(s, uid)
+		if len(s) == 0 {
+			delete(e.sets, pid)
+		}
+	}
+}
+
+// K returns the rank depth k.
+func (e *Engine) K() int { return e.k }
+
+// Epsilon returns the approximation factor ε.
+func (e *Engine) Epsilon() float64 { return e.eps }
+
+// Len returns the number of live tuples.
+func (e *Engine) Len() int { return e.tree.Len() }
+
+// NumUtilities returns the number of maintained utilities.
+func (e *Engine) NumUtilities() int { return len(e.state) }
+
+// Contains reports whether tuple id is live.
+func (e *Engine) Contains(id int) bool { return e.tree.Contains(id) }
+
+// PointByID returns the live tuple with the given id.
+func (e *Engine) PointByID(id int) (geom.Point, bool) { return e.tree.PointByID(id) }
+
+// Points returns all live tuples.
+func (e *Engine) Points() []geom.Point { return e.tree.Points() }
+
+// Members returns Φ_{k,ε}(u) for the utility as a set of point ids.
+// The returned map is live engine state: callers must not mutate it.
+func (e *Engine) Members(uid int) map[int]float64 {
+	if st, ok := e.state[uid]; ok {
+		return st.phi
+	}
+	return nil
+}
+
+// SetOf returns S(p): the ids of utilities whose approximate top-k contains
+// the tuple. The returned map is live engine state: callers must not mutate
+// it.
+func (e *Engine) SetOf(pid int) map[int]bool { return e.sets[pid] }
+
+// KthScore returns ω_k(u, P_t) for the utility; ok is false when the
+// database holds fewer than k tuples.
+func (e *Engine) KthScore(uid int) (float64, bool) {
+	st, ok := e.state[uid]
+	if !ok || len(st.topk) < e.k {
+		return 0, false
+	}
+	return st.topk[len(st.topk)-1].Score, true
+}
+
+// TopK returns the maintained exact top-k list of the utility.
+func (e *Engine) TopK(uid int) []kdtree.Result {
+	if st, ok := e.state[uid]; ok {
+		return st.topk
+	}
+	return nil
+}
+
+// VisitedOnInsert reports how many utilities the cone tree would evaluate
+// exactly for an insertion of p (ablation instrumentation).
+func (e *Engine) VisitedOnInsert(p geom.Point) int { return e.ui.Visited(p) }
+
+// Insert adds tuple p and returns the membership changes across all
+// utilities. Inserting an existing id replaces the old tuple.
+func (e *Engine) Insert(p geom.Point) []Change {
+	var changes []Change
+	if e.tree.Contains(p.ID) {
+		changes = e.Delete(p.ID)
+	}
+	affected := e.ui.Affected(p) // exact: score(u,p) >= current threshold(u)
+	e.tree.Insert(p)
+	e.InsertOps++
+	e.AffectedTotal += len(affected)
+	for _, uid := range affected {
+		st := e.state[uid]
+		s := geom.Score(st.u, p)
+		oldThresh := e.threshold(st)
+
+		// Repair the exact top-k incrementally.
+		if len(st.topk) < e.k || s > st.topk[len(st.topk)-1].Score {
+			st.topk = insertSorted(st.topk, kdtree.Result{Point: p, Score: s}, e.k)
+		}
+		newThresh := e.threshold(st)
+
+		// p joins Φ(u): it scored >= oldThresh, and if the threshold rose, p
+		// is in the new top-k so it clears the new one as well.
+		st.phi[p.ID] = s
+		e.addToSet(p.ID, uid)
+		changes = append(changes, Change{UtilityID: uid, PointID: p.ID, Added: true})
+
+		// A raised threshold can evict old members.
+		if newThresh > oldThresh {
+			for pid, score := range st.phi {
+				if score < newThresh {
+					delete(st.phi, pid)
+					e.removeFromSet(pid, uid)
+					changes = append(changes, Change{UtilityID: uid, PointID: pid, Added: false})
+				}
+			}
+			e.ui.SetThreshold(uid, newThresh)
+		}
+	}
+	return changes
+}
+
+// insertSorted places r into a score-descending top-k list, truncating to k.
+func insertSorted(topk []kdtree.Result, r kdtree.Result, k int) []kdtree.Result {
+	i := sort.Search(len(topk), func(i int) bool {
+		if topk[i].Score != r.Score {
+			return topk[i].Score < r.Score
+		}
+		return topk[i].Point.ID > r.Point.ID
+	})
+	topk = append(topk, kdtree.Result{})
+	copy(topk[i+1:], topk[i:])
+	topk[i] = r
+	if len(topk) > k {
+		topk = topk[:k]
+	}
+	return topk
+}
+
+// Delete removes the tuple with the given id and returns the membership
+// changes. Deleting a missing id is a no-op.
+func (e *Engine) Delete(id int) []Change {
+	if !e.tree.Contains(id) {
+		return nil
+	}
+	// Only utilities whose Φ contains the tuple can change: the exact top-k
+	// is a subset of Φ, so for every other utility both ω_k and the
+	// membership set survive the deletion untouched.
+	var uids []int
+	for uid := range e.sets[id] {
+		uids = append(uids, uid)
+	}
+	sort.Ints(uids) // deterministic change order
+	e.tree.Delete(id)
+	e.DeleteOps++
+	e.AffectedTotal += len(uids)
+
+	var changes []Change
+	for _, uid := range uids {
+		st := e.state[uid]
+		delete(st.phi, id)
+		e.removeFromSet(id, uid)
+		changes = append(changes, Change{UtilityID: uid, PointID: id, Added: false})
+
+		if idx := indexOf(st.topk, id); idx >= 0 {
+			// A top-k member left: ω_k can drop, which can admit new members.
+			oldThresh := e.threshold(st)
+			e.Requeries++
+			st.topk = e.tree.TopK(st.u, e.k)
+			newThresh := e.threshold(st)
+			if newThresh < oldThresh {
+				for _, r := range e.tree.AtLeast(st.u, newThresh) {
+					if _, in := st.phi[r.Point.ID]; !in {
+						st.phi[r.Point.ID] = r.Score
+						e.addToSet(r.Point.ID, uid)
+						changes = append(changes, Change{UtilityID: uid, PointID: r.Point.ID, Added: true})
+					}
+				}
+				e.ui.SetThreshold(uid, newThresh)
+			}
+		}
+	}
+	return changes
+}
+
+func indexOf(topk []kdtree.Result, id int) int {
+	for i, r := range topk {
+		if r.Point.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddUtility registers a new utility (Algorithm 4 growing the universe) and
+// returns one Added change per member of its fresh Φ.
+func (e *Engine) AddUtility(ut Utility) []Change {
+	if _, ok := e.state[ut.ID]; ok {
+		e.RemoveUtility(ut.ID)
+	}
+	st := e.freshState(ut.U)
+	e.state[ut.ID] = st
+	e.ui.Insert(conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.threshold(st)})
+	changes := make([]Change, 0, len(st.phi))
+	for pid := range st.phi {
+		e.addToSet(pid, ut.ID)
+		changes = append(changes, Change{UtilityID: ut.ID, PointID: pid, Added: true})
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].PointID < changes[j].PointID })
+	return changes
+}
+
+// RemoveUtility drops a utility (Algorithm 4 shrinking the universe) and
+// returns one Removed change per former member.
+func (e *Engine) RemoveUtility(uid int) []Change {
+	st, ok := e.state[uid]
+	if !ok {
+		return nil
+	}
+	changes := make([]Change, 0, len(st.phi))
+	for pid := range st.phi {
+		e.removeFromSet(pid, uid)
+		changes = append(changes, Change{UtilityID: uid, PointID: pid, Added: false})
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].PointID < changes[j].PointID })
+	delete(e.state, uid)
+	e.ui.Delete(uid)
+	return changes
+}

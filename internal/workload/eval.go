@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fdrms/internal/regret"
+)
+
+// Evaluators holds one regret estimator per checkpoint, built once per
+// workload so that every algorithm is scored against identical utility test
+// sets and database snapshots (the paper records mrr_k at each checkpoint
+// and reports the average of the ten values).
+type Evaluators struct {
+	evs []*regret.Evaluator
+}
+
+// NewEvaluators builds the per-checkpoint estimators with the given test
+// set size.
+func NewEvaluators(w *Workload, k, samples int, seed int64) *Evaluators {
+	snaps := w.Snapshots()
+	evs := make([]*regret.Evaluator, len(snaps))
+	for i, snap := range snaps {
+		evs[i] = regret.NewEvaluator(snap, w.Dim, k, samples, seed+int64(i))
+	}
+	return &Evaluators{evs: evs}
+}
+
+// MeanMRR returns the average maximum k-regret ratio of the recorded
+// checkpoint results, the paper's reported quality metric.
+func (e *Evaluators) MeanMRR(stats *RunStats) float64 {
+	if len(stats.Checkpoints) == 0 {
+		return 1
+	}
+	var sum float64
+	n := 0
+	for i, cp := range stats.Checkpoints {
+		if i >= len(e.evs) {
+			break
+		}
+		sum += e.evs[i].MRR(cp.Result)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,258 @@
+// Package workload generates and runs the fully-dynamic benchmark workload
+// of Section IV-A: a random half of the dataset forms the initial database
+// P_0, the remaining half is inserted one tuple at a time, and then a random
+// half of the tuples is deleted one at a time. Results are recorded at ten
+// checkpoints (after each 10% of the operations), and every algorithm sees
+// the identical operation order.
+//
+// FD-RMS processes each operation incrementally. Static baselines are re-run
+// from scratch whenever an operation changes the skyline — and only the
+// k-RMS computation time is charged, not skyline maintenance, exactly as the
+// paper prescribes. Because a full static re-run at every skyline change is
+// infeasible at reproduction scale for the slowest baselines, the runner
+// times a bounded sample of evenly spaced recomputations and charges
+// avg-recompute-time × change-rate; this preserves the reported quantity
+// (average update time) while keeping the suite laptop-sized.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"fdrms/internal/baseline"
+	"fdrms/internal/core"
+	"fdrms/internal/dataset"
+	"fdrms/internal/geom"
+	"fdrms/internal/skyline"
+)
+
+// Op is one database operation.
+type Op struct {
+	Insert bool
+	Point  geom.Point // the tuple to insert (valid when Insert)
+	ID     int        // the tuple to delete (valid when !Insert)
+}
+
+// Workload is a reproducible operation sequence with checkpointing.
+type Workload struct {
+	Name    string
+	Dim     int
+	Initial []geom.Point
+	Ops     []Op
+
+	checkpoints []int          // op indices (1-based count) at which to record
+	snapshots   [][]geom.Point // database state at each checkpoint (lazy)
+	skyChanges  []bool         // per-op: did the skyline change? (lazy, shared)
+}
+
+// NumCheckpoints is the paper's recording frequency: 10 times per run.
+const NumCheckpoints = 10
+
+// Generate builds the paper's workload over the dataset: shuffle, take half
+// as P_0, insert the rest, then delete a random half of all tuples.
+func Generate(ds *dataset.Dataset, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, len(ds.Points))
+	copy(pts, ds.Points)
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+
+	half := len(pts) / 2
+	w := &Workload{Name: ds.Name, Dim: ds.Dim, Initial: pts[:half]}
+	for _, p := range pts[half:] {
+		w.Ops = append(w.Ops, Op{Insert: true, Point: p})
+	}
+	// Delete a random half of all tuples.
+	perm := rng.Perm(len(pts))
+	for _, i := range perm[:len(pts)/2] {
+		w.Ops = append(w.Ops, Op{Insert: false, ID: pts[i].ID})
+	}
+	for i := 1; i <= NumCheckpoints; i++ {
+		idx := i * len(w.Ops) / NumCheckpoints
+		if idx == 0 {
+			idx = 1
+		}
+		w.checkpoints = append(w.checkpoints, idx)
+	}
+	return w
+}
+
+// Checkpoints returns the operation counts at which results are recorded.
+func (w *Workload) Checkpoints() []int {
+	out := make([]int, len(w.checkpoints))
+	copy(out, w.checkpoints)
+	return out
+}
+
+// Snapshots returns the database contents at each checkpoint, computed once
+// by replaying the operations, so every algorithm is evaluated against the
+// identical database states.
+func (w *Workload) Snapshots() [][]geom.Point {
+	if w.snapshots != nil {
+		return w.snapshots
+	}
+	live := make(map[int]geom.Point, len(w.Initial)+len(w.Ops))
+	for _, p := range w.Initial {
+		live[p.ID] = p
+	}
+	next := 0
+	for i, op := range w.Ops {
+		if op.Insert {
+			live[op.Point.ID] = op.Point
+		} else {
+			delete(live, op.ID)
+		}
+		if next < len(w.checkpoints) && i+1 == w.checkpoints[next] {
+			snap := make([]geom.Point, 0, len(live))
+			for _, p := range live {
+				snap = append(snap, p)
+			}
+			w.snapshots = append(w.snapshots, snap)
+			next++
+		}
+	}
+	return w.snapshots
+}
+
+// Checkpoint is one recorded result.
+type Checkpoint struct {
+	OpIndex int
+	Result  []geom.Point
+}
+
+// RunStats summarizes one algorithm's pass over a workload.
+type RunStats struct {
+	Algorithm      string
+	TotalOps       int
+	AvgUpdate      time.Duration // average k-RMS maintenance time per operation
+	Checkpoints    []Checkpoint
+	SkylineChanges int // operations that changed the skyline (static runners)
+	Recomputes     int // from-scratch recomputations actually timed
+	FinalStats     core.Stats
+}
+
+// RunFDRMS replays the workload through the fully-dynamic algorithm.
+// Initialization on P_0 is not charged to the update time (it is the
+// static build both worlds need once).
+func RunFDRMS(w *Workload, cfg core.Config) (*RunStats, error) {
+	f, err := core.New(w.Dim, w.Initial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RunStats{Algorithm: "FD-RMS", TotalOps: len(w.Ops)}
+	var total time.Duration
+	next := 0
+	for i, op := range w.Ops {
+		start := time.Now()
+		if op.Insert {
+			f.Insert(op.Point)
+		} else {
+			f.Delete(op.ID)
+		}
+		total += time.Since(start)
+		if next < len(w.checkpoints) && i+1 == w.checkpoints[next] {
+			stats.Checkpoints = append(stats.Checkpoints, Checkpoint{OpIndex: i + 1, Result: f.Result()})
+			next++
+		}
+	}
+	if len(w.Ops) > 0 {
+		stats.AvgUpdate = total / time.Duration(len(w.Ops))
+	}
+	stats.FinalStats = f.Stats()
+	return stats, nil
+}
+
+// SkylineChanges returns, per operation, whether it changed the skyline.
+// It is computed once per workload by incremental skyline maintenance and
+// shared by every static runner — the paper charges static algorithms for
+// k-RMS recomputation only, never for skyline maintenance.
+func (w *Workload) SkylineChanges() []bool {
+	if w.skyChanges != nil {
+		return w.skyChanges
+	}
+	sky := skyline.NewDynamic(w.Initial)
+	w.skyChanges = make([]bool, len(w.Ops))
+	for i, op := range w.Ops {
+		if op.Insert {
+			w.skyChanges[i] = sky.Insert(op.Point)
+		} else {
+			w.skyChanges[i] = sky.Delete(op.ID)
+		}
+	}
+	return w.skyChanges
+}
+
+// RunStatic replays the workload for a static baseline: the algorithm is
+// recomputed from scratch when an operation changes the skyline (skyline
+// maintenance itself is precomputed and untimed, per the paper). At most
+// maxRecomputes recomputations are actually executed and timed, evenly
+// spaced across the skyline-change events; the average update time is the
+// measured average recompute cost amortized over all operations at the
+// true change rate. maxRecomputes <= 0 means recompute at every change.
+func RunStatic(w *Workload, alg baseline.Algorithm, k, r, maxRecomputes int) *RunStats {
+	stats := &RunStats{Algorithm: alg.Name(), TotalOps: len(w.Ops)}
+	changed := w.SkylineChanges()
+	changes := 0
+	for _, c := range changed {
+		if c {
+			changes++
+		}
+	}
+	stats.SkylineChanges = changes
+	every := 1
+	if maxRecomputes > 0 && changes > maxRecomputes {
+		every = (changes + maxRecomputes - 1) / maxRecomputes
+	}
+
+	live := make(map[int]geom.Point, len(w.Initial)+len(w.Ops))
+	for _, p := range w.Initial {
+		live[p.ID] = p
+	}
+	livePoints := func() []geom.Point {
+		out := make([]geom.Point, 0, len(live))
+		for _, p := range live {
+			out = append(out, p)
+		}
+		return out
+	}
+
+	var spent time.Duration
+	var current []geom.Point
+	compute := func() {
+		pts := livePoints()
+		start := time.Now()
+		current = alg.Compute(pts, w.Dim, k, r)
+		spent += time.Since(start)
+		stats.Recomputes++
+	}
+	compute() // initial result on P_0 (not charged to update time)
+	spent = 0
+	stats.Recomputes = 0
+
+	changeSeen := 0
+	next := 0
+	for i, op := range w.Ops {
+		if op.Insert {
+			live[op.Point.ID] = op.Point
+		} else {
+			delete(live, op.ID)
+		}
+		if changed[i] {
+			if changeSeen%every == 0 {
+				compute()
+			}
+			changeSeen++
+		}
+		if next < len(w.checkpoints) && i+1 == w.checkpoints[next] {
+			snap := make([]geom.Point, len(current))
+			copy(snap, current)
+			stats.Checkpoints = append(stats.Checkpoints, Checkpoint{OpIndex: i + 1, Result: snap})
+			next++
+		}
+	}
+	if len(w.Ops) > 0 && stats.Recomputes > 0 {
+		avgRecompute := spent / time.Duration(stats.Recomputes)
+		// Amortize: every skyline change would trigger one recomputation.
+		stats.AvgUpdate = avgRecompute * time.Duration(changes) / time.Duration(len(w.Ops))
+	}
+	return stats
+}

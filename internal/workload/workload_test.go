@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"fdrms/internal/baseline"
+	"fdrms/internal/core"
+	"fdrms/internal/dataset"
+)
+
+func testWorkload(t *testing.T) *Workload {
+	t.Helper()
+	return Generate(dataset.Indep(200, 3, 1), 42)
+}
+
+func TestGenerateShape(t *testing.T) {
+	w := testWorkload(t)
+	if len(w.Initial) != 100 {
+		t.Fatalf("|P0| = %d, want 100", len(w.Initial))
+	}
+	inserts, deletes := 0, 0
+	for _, op := range w.Ops {
+		if op.Insert {
+			inserts++
+		} else {
+			deletes++
+		}
+	}
+	if inserts != 100 || deletes != 100 {
+		t.Fatalf("inserts=%d deletes=%d, want 100/100", inserts, deletes)
+	}
+	// Inserts come before deletes (paper's phase order).
+	firstDelete := -1
+	for i, op := range w.Ops {
+		if !op.Insert {
+			firstDelete = i
+			break
+		}
+	}
+	for i := firstDelete; i < len(w.Ops); i++ {
+		if w.Ops[i].Insert {
+			t.Fatal("insert found after the delete phase began")
+		}
+	}
+	cps := w.Checkpoints()
+	if len(cps) != NumCheckpoints {
+		t.Fatalf("%d checkpoints, want %d", len(cps), NumCheckpoints)
+	}
+	if cps[len(cps)-1] != len(w.Ops) {
+		t.Fatalf("last checkpoint %d != total ops %d", cps[len(cps)-1], len(w.Ops))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(dataset.Indep(100, 3, 7), 5)
+	b := Generate(dataset.Indep(100, 3, 7), 5)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("op counts differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Insert != b.Ops[i].Insert || a.Ops[i].ID != b.Ops[i].ID {
+			t.Fatal("ops differ under the same seed")
+		}
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	w := testWorkload(t)
+	snaps := w.Snapshots()
+	if len(snaps) != NumCheckpoints {
+		t.Fatalf("%d snapshots", len(snaps))
+	}
+	// The final snapshot has n/2 tuples (all inserted, half deleted).
+	if got := len(snaps[len(snaps)-1]); got != 100 {
+		t.Fatalf("final snapshot size = %d, want 100", got)
+	}
+	// Lazy caching returns the same slices.
+	again := w.Snapshots()
+	if &again[0][0] != &snaps[0][0] {
+		t.Fatal("snapshots not cached")
+	}
+}
+
+func TestRunFDRMS(t *testing.T) {
+	w := testWorkload(t)
+	stats, err := RunFDRMS(w, core.Config{K: 1, R: 8, Eps: 0.02, M: 256, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Algorithm != "FD-RMS" || stats.TotalOps != len(w.Ops) {
+		t.Fatalf("stats header wrong: %+v", stats)
+	}
+	if len(stats.Checkpoints) != NumCheckpoints {
+		t.Fatalf("%d checkpoints", len(stats.Checkpoints))
+	}
+	for _, cp := range stats.Checkpoints {
+		if len(cp.Result) > 8 {
+			t.Fatalf("checkpoint %d: |Q| = %d > r", cp.OpIndex, len(cp.Result))
+		}
+	}
+	if stats.AvgUpdate <= 0 {
+		t.Fatal("AvgUpdate not measured")
+	}
+	ev := NewEvaluators(w, 1, 3000, 1)
+	if mrr := ev.MeanMRR(stats); mrr < 0 || mrr > 0.3 {
+		t.Fatalf("mean mrr = %v, out of plausible range", mrr)
+	}
+}
+
+func TestRunStatic(t *testing.T) {
+	w := testWorkload(t)
+	stats := RunStatic(w, baseline.NewSphere(1), 1, 8, 0)
+	if stats.SkylineChanges == 0 {
+		t.Fatal("no skyline changes recorded")
+	}
+	if stats.Recomputes != stats.SkylineChanges {
+		t.Fatalf("uncapped run: recomputes %d != changes %d", stats.Recomputes, stats.SkylineChanges)
+	}
+	if len(stats.Checkpoints) != NumCheckpoints {
+		t.Fatalf("%d checkpoints", len(stats.Checkpoints))
+	}
+	ev := NewEvaluators(w, 1, 3000, 1)
+	if mrr := ev.MeanMRR(stats); mrr > 0.3 {
+		t.Fatalf("Sphere mean mrr = %v", mrr)
+	}
+}
+
+func TestRunStaticSampledRecomputes(t *testing.T) {
+	w := testWorkload(t)
+	full := RunStatic(w, baseline.NewSphere(1), 1, 8, 0)
+	capped := RunStatic(w, baseline.NewSphere(1), 1, 8, 10)
+	if capped.Recomputes > 10+1 {
+		t.Fatalf("capped run recomputed %d times", capped.Recomputes)
+	}
+	if capped.SkylineChanges != full.SkylineChanges {
+		t.Fatal("skyline change counts must agree")
+	}
+	// Quality of the sampled run stays close: results only go slightly stale.
+	ev := NewEvaluators(w, 1, 3000, 1)
+	if d := ev.MeanMRR(capped) - ev.MeanMRR(full); d > 0.1 {
+		t.Fatalf("sampled recomputation degraded quality by %v", d)
+	}
+}
+
+// The headline claim at reproduction scale: FD-RMS updates are much faster
+// than recomputing even the fastest static baseline.
+func TestFDRMSFasterThanStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison is slow")
+	}
+	w := Generate(dataset.AntiCor(2000, 4, 3), 11)
+	fd, err := RunFDRMS(w, core.Config{K: 1, R: 10, Eps: 0.01, M: 512, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := RunStatic(w, baseline.NewSphere(1), 1, 10, 25)
+	if fd.AvgUpdate >= sp.AvgUpdate {
+		t.Fatalf("FD-RMS avg update %v not faster than Sphere %v", fd.AvgUpdate, sp.AvgUpdate)
+	}
+	// And quality stays comparable (within 0.05 absolute mrr).
+	ev := NewEvaluators(w, 1, 5000, 2)
+	fdm, spm := ev.MeanMRR(fd), ev.MeanMRR(sp)
+	if fdm > spm+0.05 {
+		t.Fatalf("FD-RMS mrr %v much worse than Sphere %v", fdm, spm)
+	}
+}
+
+func TestSkylineChangesCachedAndConsistent(t *testing.T) {
+	w := testWorkload(t)
+	a := w.SkylineChanges()
+	b := w.SkylineChanges()
+	if &a[0] != &b[0] {
+		t.Fatal("SkylineChanges not cached")
+	}
+	if len(a) != len(w.Ops) {
+		t.Fatalf("%d flags for %d ops", len(a), len(w.Ops))
+	}
+	changes := 0
+	for _, c := range a {
+		if c {
+			changes++
+		}
+	}
+	if changes == 0 || changes == len(a) {
+		t.Fatalf("implausible change count %d of %d", changes, len(a))
+	}
+	// Two static runs must agree on the change schedule.
+	s1 := RunStatic(w, baseline.NewSphere(1), 1, 5, 3)
+	s2 := RunStatic(w, baseline.NewEpsKernel(1), 1, 5, 3)
+	if s1.SkylineChanges != changes || s2.SkylineChanges != changes {
+		t.Fatalf("runs disagree on changes: %d vs %d vs %d", s1.SkylineChanges, s2.SkylineChanges, changes)
+	}
+}
+
+func TestMeanMRREmptyStats(t *testing.T) {
+	w := testWorkload(t)
+	ev := NewEvaluators(w, 1, 500, 1)
+	if got := ev.MeanMRR(&RunStats{}); got != 1 {
+		t.Fatalf("MeanMRR of empty stats = %v, want 1", got)
+	}
+}

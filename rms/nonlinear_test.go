@@ -1,0 +1,69 @@
+package rms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUtilityClasses(t *testing.T) {
+	if len(UtilityClasses()) != 4 {
+		t.Fatalf("classes = %v", UtilityClasses())
+	}
+}
+
+func TestComputeNonlinearAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	P := randomPoints(rng, 200, 3, 0)
+	for _, class := range UtilityClasses() {
+		Q, err := ComputeNonlinear(class, P, 3, 1, 6, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if len(Q) == 0 || len(Q) > 6 {
+			t.Fatalf("%s: |Q| = %d", class, len(Q))
+		}
+		mrr, err := MaxRegretRatioNonlinear(class, P, Q, 3, 1, 5000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mrr > 0.25 {
+			t.Fatalf("%s: mrr = %v", class, mrr)
+		}
+	}
+}
+
+func TestNonlinearUnknownClass(t *testing.T) {
+	if _, err := ComputeNonlinear("bogus", hotelPoints(), 2, 1, 3, 1); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+	if _, err := MaxRegretRatioNonlinear("bogus", hotelPoints(), nil, 2, 1, 100, 1); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+}
+
+// A set tuned for linear utilities can leave real regret under a convex
+// class — the motivation for the extension.
+func TestNonlinearDiffersFromLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	P := randomPoints(rng, 400, 4, 0)
+	linQ, err := Compute("Sphere", P, 4, 1, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlQ, err := ComputeNonlinear("convex-L4", P, 4, 1, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linUnderNL, err := MaxRegretRatioNonlinear("convex-L4", P, linQ, 4, 1, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlUnderNL, err := MaxRegretRatioNonlinear("convex-L4", P, nlQ, 4, 1, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The class-aware answer must not be (meaningfully) worse on its own class.
+	if nlUnderNL > linUnderNL+0.02 {
+		t.Fatalf("class-aware mrr %v worse than linear-tuned mrr %v under convex-L4", nlUnderNL, linUnderNL)
+	}
+}

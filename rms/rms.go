@@ -1,0 +1,261 @@
+// Package rms is the public API of the FD-RMS reproduction: k-regret
+// minimizing set computation over static and fully-dynamic databases.
+//
+// A k-regret minimizing set (k-RMS) of a database P is a small subset Q
+// such that for EVERY linear preference, the best tuple of Q scores almost
+// as well as the k-th best tuple of P — a principled way to pick r
+// representative tuples without knowing user preferences (Nanongkai et al.
+// 2010; Chester et al. 2014).
+//
+// The centerpiece is Dynamic, an implementation of FD-RMS (Wang, Li, Wong,
+// Tan: "A Fully Dynamic Algorithm for k-Regret Minimizing Sets", ICDE
+// 2021), which maintains the answer under arbitrary tuple insertions and
+// deletions via dynamic set cover over approximate top-k results, several
+// orders of magnitude faster than recomputing with a static algorithm.
+// Static baselines from the literature are available through Compute for
+// one-shot use and comparison.
+//
+// Basic usage:
+//
+//	db, err := rms.NewDynamic(2, hotels, rms.Options{K: 1, R: 5})
+//	...
+//	db.Insert(rms.Point{ID: 99, Values: []float64{0.8, 0.9}})
+//	db.Delete(12)
+//	top := db.Result() // always the up-to-date representative set
+package rms
+
+import (
+	"fmt"
+	"sort"
+
+	"fdrms/internal/baseline"
+	"fdrms/internal/bench"
+	"fdrms/internal/core"
+	"fdrms/internal/geom"
+	"fdrms/internal/nonlinear"
+	"fdrms/internal/regret"
+	"fdrms/internal/skyline"
+)
+
+// Point is a database tuple: a caller-chosen unique ID and nonnegative
+// attribute values where larger is better. Scale values to [0, 1] for best
+// numerical behaviour (regret ratios are scale-invariant, so this does not
+// change any answer).
+type Point struct {
+	ID     int
+	Values []float64
+}
+
+func toGeom(p Point) geom.Point { return geom.Point{ID: p.ID, Coords: p.Values} }
+
+func toGeoms(ps []Point) []geom.Point {
+	out := make([]geom.Point, len(ps))
+	for i, p := range ps {
+		out[i] = toGeom(p)
+	}
+	return out
+}
+
+func fromGeoms(ps []geom.Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = Point{ID: p.ID, Values: p.Coords}
+	}
+	return out
+}
+
+// Options configures a Dynamic instance.
+type Options struct {
+	// K is the regret rank: the answer competes with the k-th best tuple of
+	// the database under every preference. K = 1 (the r-regret query) is
+	// the most common choice. Default 1.
+	K int
+	// R is the maximum answer size. Default 10.
+	R int
+	// Epsilon is the approximate top-k slack of FD-RMS (paper Section
+	// III-C): smaller is faster, larger can improve quality until the
+	// utility-sample budget saturates. Zero selects it automatically with
+	// the paper's trial-and-error rule on the initial database.
+	Epsilon float64
+	// MaxUtilities is the upper bound M on sampled utility vectors.
+	// Default 2048.
+	MaxUtilities int
+	// Seed makes all sampling reproducible. Default 1.
+	Seed int64
+}
+
+func (o Options) withDefaults(dim int, initial []geom.Point) Options {
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.R == 0 {
+		o.R = 10
+	}
+	if o.MaxUtilities == 0 {
+		o.MaxUtilities = 2048
+		if o.MaxUtilities <= o.R {
+			o.MaxUtilities = 4 * o.R
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = bench.TuneEps(initial, dim, o.K, o.R, o.MaxUtilities, o.Seed)
+	}
+	return o
+}
+
+// Dynamic maintains an up-to-date k-RMS answer over a mutable database
+// (the FD-RMS algorithm). It is not safe for concurrent use; wrap it in a
+// mutex if multiple goroutines mutate the database.
+type Dynamic struct {
+	f   *core.FDRMS
+	dim int
+}
+
+// NewDynamic builds the maintenance structure over the initial database
+// (which may be empty). dim is the number of attributes of every tuple.
+func NewDynamic(dim int, initial []Point, opts Options) (*Dynamic, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("rms: dimension %d < 1", dim)
+	}
+	pts := toGeoms(initial)
+	o := opts.withDefaults(dim, pts)
+	f, err := core.New(dim, pts, core.Config{
+		K: o.K, R: o.R, Eps: o.Epsilon, M: o.MaxUtilities, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{f: f, dim: dim}, nil
+}
+
+// Insert adds a tuple (replacing any live tuple with the same ID) and
+// updates the answer.
+func (d *Dynamic) Insert(p Point) error {
+	if len(p.Values) != d.dim {
+		return fmt.Errorf("rms: tuple has %d values, database has %d attributes", len(p.Values), d.dim)
+	}
+	d.f.Insert(toGeom(p))
+	return nil
+}
+
+// Delete removes the tuple with the given ID and updates the answer.
+// Deleting an unknown ID is a no-op.
+func (d *Dynamic) Delete(id int) { d.f.Delete(id) }
+
+// Result returns the current k-RMS answer (at most R tuples, ordered by
+// ID).
+func (d *Dynamic) Result() []Point { return fromGeoms(d.f.Result()) }
+
+// Len returns the current database size.
+func (d *Dynamic) Len() int { return d.f.Len() }
+
+// Contains reports whether a tuple with the given ID is live.
+func (d *Dynamic) Contains(id int) bool { return d.f.Contains(id) }
+
+// Stats reports maintenance internals (current utility-sample size m,
+// cover size, stabilization work).
+func (d *Dynamic) Stats() core.Stats { return d.f.Stats() }
+
+// Algorithms lists the available static algorithm names for Compute, in
+// the paper's order: Greedy, Greedy*, GeoGreedy, DMM-RRMS, DMM-Greedy,
+// eps-Kernel, HS, Sphere — plus DP-2D for two-dimensional databases.
+func Algorithms() []string {
+	out := make([]string, 0, 9)
+	for _, a := range baseline.All(1) {
+		out = append(out, a.Name())
+	}
+	return append(out, "DP-2D")
+}
+
+// Compute runs a static k-RMS algorithm once over P and returns at most r
+// tuples. See Algorithms for the recognized names. Algorithms defined only
+// for k = 1 return an error for larger k.
+func Compute(algorithm string, P []Point, dim, k, r int, seed int64) ([]Point, error) {
+	alg, ok := baseline.ByName(algorithm, seed)
+	if !ok {
+		return nil, fmt.Errorf("rms: unknown algorithm %q (see rms.Algorithms)", algorithm)
+	}
+	if !alg.SupportsK(k) {
+		return nil, fmt.Errorf("rms: algorithm %q does not support k = %d", algorithm, k)
+	}
+	return fromGeoms(alg.Compute(toGeoms(P), dim, k, r)), nil
+}
+
+// MaxRegretRatio estimates mrr_k(Q) over P with a sampled utility test set
+// (the paper's evaluation methodology; the estimate is a lower bound that
+// converges from below as samples grows).
+func MaxRegretRatio(P, Q []Point, dim, k, samples int, seed int64) float64 {
+	ev := regret.NewEvaluator(toGeoms(P), dim, k, samples, seed)
+	return ev.MRR(toGeoms(Q))
+}
+
+// ExactMaxRegretRatio computes the exact mrr_1(Q) over P by linear
+// programming (k = 1 only).
+func ExactMaxRegretRatio(P, Q []Point) (float64, error) {
+	return regret.ExactMRR1(toGeoms(P), toGeoms(Q))
+}
+
+// Skyline returns the Pareto-optimal tuples of P (larger is better on
+// every attribute), ordered by ID. Every k-RMS answer is a subset of it.
+func Skyline(P []Point) []Point {
+	out := fromGeoms(skyline.Compute(toGeoms(P)))
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ComputeMinSize solves the dual (min-size) k-RMS problem: the smallest
+// subset whose maximum k-regret ratio stays within eps, via the sampled
+// hitting-set reduction of Agarwal et al. Use it when the tolerable regret
+// is known and the answer size is the quantity to minimize.
+func ComputeMinSize(P []Point, dim, k int, eps float64, seed int64) ([]Point, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("rms: eps = %v, need 0 < eps < 1", eps)
+	}
+	return fromGeoms(baseline.MinSize(toGeoms(P), dim, k, eps, 2000, seed)), nil
+}
+
+// UtilityClasses lists the nonlinear utility classes supported by
+// ComputeNonlinear: "linear", "convex-L2", "convex-L4", "multiplicative".
+// These extend k-RMS beyond linear preferences (the paper's future-work
+// direction; see internal/nonlinear).
+func UtilityClasses() []string {
+	return []string{"linear", "convex-L2", "convex-L4", "multiplicative"}
+}
+
+func classByName(name string) (nonlinear.Class, error) {
+	switch name {
+	case "linear":
+		return nonlinear.Linear{}, nil
+	case "convex-L2":
+		return nonlinear.ConvexLq{Q: 2}, nil
+	case "convex-L4":
+		return nonlinear.ConvexLq{Q: 4}, nil
+	case "multiplicative":
+		return nonlinear.Multiplicative{}, nil
+	}
+	return nil, fmt.Errorf("rms: unknown utility class %q (see rms.UtilityClasses)", name)
+}
+
+// ComputeNonlinear returns a k-RMS answer of at most r tuples under a
+// nonlinear utility class, via the sampled hitting-set reduction.
+func ComputeNonlinear(class string, P []Point, dim, k, r int, seed int64) ([]Point, error) {
+	c, err := classByName(class)
+	if err != nil {
+		return nil, err
+	}
+	return fromGeoms(nonlinear.Compute(c, toGeoms(P), dim, k, r, 2000, seed)), nil
+}
+
+// MaxRegretRatioNonlinear estimates mrr_k(Q) over P under a nonlinear
+// utility class.
+func MaxRegretRatioNonlinear(class string, P, Q []Point, dim, k, samples int, seed int64) (float64, error) {
+	c, err := classByName(class)
+	if err != nil {
+		return 0, err
+	}
+	ev := nonlinear.NewEvaluator(c, toGeoms(P), dim, k, samples, seed)
+	return ev.MRR(toGeoms(Q)), nil
+}
