@@ -108,3 +108,13 @@ func BenchmarkAblationTopK(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchThroughput regenerates the batched-vs-sequential update
+// throughput table on the anti-correlated workload.
+func BenchmarkBatchThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.BatchThroughput(bench.QuickOptions()); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	rmsbench -exp ablation-cover         # stable cover vs per-op re-greedy
 //	rmsbench -exp ablation-cone          # cone-tree pruning effectiveness
 //	rmsbench -exp ablation-topk          # top-k fast-path requery rate
+//	rmsbench -exp batch                  # batched vs sequential update throughput
 //	rmsbench -exp all                    # everything above
 //
 // Flags -scale, -samples, -m, -recomputes, -budget and -seed control the
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,7 +33,8 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | all")
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | all")
+		batches    = flag.String("batches", "1,16,256", "comma-separated batch sizes for -exp batch")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
 		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
 		m          = flag.Int("m", 2048, "FD-RMS utility sample upper bound M")
@@ -97,6 +100,17 @@ func main() {
 			for _, t := range bench.Nonlinear(opt, names...) {
 				t.Fprint(os.Stdout)
 			}
+		case "batch":
+			var sizes []int
+			for _, s := range strings.Split(*batches, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || v < 1 {
+					fmt.Fprintf(os.Stderr, "rmsbench: bad batch size %q\n", s)
+					os.Exit(2)
+				}
+				sizes = append(sizes, v)
+			}
+			bench.BatchThroughput(opt, sizes...).Fprint(os.Stdout)
 		default:
 			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
 			flag.Usage()
@@ -107,7 +121,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear"} {
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch"} {
 			run(e)
 		}
 		return

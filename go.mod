@@ -1,0 +1,3 @@
+module fdrms
+
+go 1.22

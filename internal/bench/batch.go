@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"fdrms/internal/core"
+	"fdrms/internal/dataset"
+	"fdrms/internal/geom"
+	"fdrms/internal/topk"
+)
+
+// DefaultBatchSizes is the batch-size grid of the throughput experiment.
+var DefaultBatchSizes = []int{1, 16, 256}
+
+// BatchThroughput measures FD-RMS update throughput on the anti-correlated
+// synthetic workload at increasing batch sizes. Batch size 1 is the
+// sequential path (one Insert/Delete per operation) and is the baseline the
+// speedup column is relative to; larger sizes go through ApplyBatch. Two
+// streams are timed per size: pure insertion (the paper's append-heavy
+// regime and the acceptance metric of the batched pipeline) and a mixed
+// stream with 20% deletions. Every run's final cover is compared against
+// the sequential one, so the table doubles as an end-to-end equivalence
+// check at bench scale.
+func BatchThroughput(o Options, sizes ...int) *Table {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = DefaultBatchSizes
+	}
+	n := scaled(o.SynthN, o.Scale)
+	streamLen := n / 10
+	if streamLen < 512 {
+		streamLen = 512
+	}
+	ds := dataset.AntiCor(n+streamLen, o.SynthD, o.Seed)
+	initial := ds.Points[:n]
+	fresh := ds.Points[n:]
+	cfg := core.Config{K: 1, R: capR(defaultR("AntiCor"), n), Eps: 0.01, M: o.M, Seed: o.Seed}
+
+	streams := map[string][]topk.Op{
+		"insert": insertStream(fresh),
+		"mixed":  mixedStream(initial, fresh),
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Batched update throughput (AntiCor, n=%d, d=%d, M=%d, r=%d, stream=%d ops)", n, o.SynthD, o.M, cfg.R, streamLen),
+		Header: []string{"workload", "batch", "elapsed", "ops/s", "speedup", "result==seq"},
+	}
+	for _, name := range []string{"insert", "mixed"} {
+		ops := streams[name]
+		// The reference is always the sequential path, regardless of which
+		// batch sizes were requested: both the speedup column and the
+		// result==seq equivalence column compare against it.
+		run := func(size int) (time.Duration, []int) {
+			f, err := core.New(o.SynthD, initial, cfg)
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			if size <= 1 {
+				for _, op := range ops {
+					if op.Delete {
+						f.Delete(op.ID)
+					} else {
+						f.Insert(op.Point)
+					}
+				}
+			} else {
+				for i := 0; i < len(ops); i += size {
+					j := i + size
+					if j > len(ops) {
+						j = len(ops)
+					}
+					f.ApplyBatch(ops[i:j])
+				}
+			}
+			return time.Since(start), f.ResultIDs()
+		}
+		seqElapsed, seqResult := run(1)
+		baseline := float64(len(ops)) / seqElapsed.Seconds()
+		for _, size := range sizes {
+			elapsed, result := seqElapsed, seqResult
+			if size > 1 {
+				elapsed, result = run(size)
+			}
+			opsPerSec := float64(len(ops)) / elapsed.Seconds()
+			t.AddRow(name, fmt.Sprintf("%d", size), fmtDur(elapsed),
+				fmt.Sprintf("%.0f", opsPerSec),
+				fmt.Sprintf("%.2fx", opsPerSec/baseline),
+				fmt.Sprintf("%v", reflect.DeepEqual(result, seqResult)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"batch=1 is the sequential Insert/Delete path; larger batches use ApplyBatch",
+		"the shard-parallel fan-out needs multiple CPUs to show its full speedup")
+	return t
+}
+
+// insertStream turns fresh points into a pure insertion stream.
+func insertStream(fresh []geom.Point) []topk.Op {
+	ops := make([]topk.Op, len(fresh))
+	for i, p := range fresh {
+		ops[i] = topk.InsertOp(p)
+	}
+	return ops
+}
+
+// mixedStream interleaves one deletion of an initial tuple after every four
+// insertions (20% deletes), deterministic in the stream position.
+func mixedStream(initial, fresh []geom.Point) []topk.Op {
+	ops := make([]topk.Op, 0, len(fresh)+len(fresh)/4)
+	del := 0
+	for i, p := range fresh {
+		ops = append(ops, topk.InsertOp(p))
+		if (i+1)%4 == 0 && del < len(initial) {
+			ops = append(ops, topk.DeleteOp(initial[del].ID))
+			del++
+		}
+	}
+	return ops
+}

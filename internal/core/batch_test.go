@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/topk"
+)
+
+// randomCoreOps mirrors the update mix of the engine tests at the FD-RMS
+// level: fresh inserts, deletes of live ids, replacing inserts, and
+// deletes of missing ids.
+func randomCoreOps(rng *rand.Rand, initial []geom.Point, n, d, idBase int) []topk.Op {
+	live := make([]int, 0, len(initial)+n)
+	for _, p := range initial {
+		live = append(live, p.ID)
+	}
+	next := idBase
+	randPoint := func(id int) geom.Point {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		return geom.Point{ID: id, Coords: v}
+	}
+	ops := make([]topk.Op, 0, n)
+	for len(ops) < n {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			ops = append(ops, topk.InsertOp(randPoint(next)))
+			live = append(live, next)
+			next++
+		case r < 7 && len(live) > 0:
+			i := rng.Intn(len(live))
+			ops = append(ops, topk.DeleteOp(live[i]))
+			live = append(live[:i], live[i+1:]...)
+		case r < 9 && len(live) > 0:
+			ops = append(ops, topk.InsertOp(randPoint(live[rng.Intn(len(live))])))
+		default:
+			ops = append(ops, topk.DeleteOp(next+100000))
+		}
+	}
+	return ops
+}
+
+// The batched pipeline must land on the same cover as the sequential one at
+// every batch boundary — not just the same regret quality, the identical
+// result ids and identical stabilization counters — with the shard-parallel
+// engine path active. This is the end-to-end equivalence the rest of the
+// system (and the bench comparisons) rely on.
+func TestApplyBatchEquivalentToSequential(t *testing.T) {
+	for _, batchSize := range []int{1, 7, 64, 256} {
+		rng := rand.New(rand.NewSource(int64(29 + batchSize)))
+		d := 4
+		pts := make([]geom.Point, 120)
+		for i := range pts {
+			v := make(geom.Vector, d)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			pts[i] = geom.Point{ID: i, Coords: v}
+		}
+		cfg := Config{K: 2, R: 8, Eps: 0.02, M: 128, Seed: 5, Shards: 4}
+		batched := mustNew(t, d, pts, cfg)
+		sequential := mustNew(t, d, pts, cfg)
+		if a, b := batched.ResultIDs(), sequential.ResultIDs(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("batch=%d: initial covers differ: %v vs %v", batchSize, a, b)
+		}
+
+		ops := randomCoreOps(rng, pts, 500, d, 1000)
+		for i := 0; i < len(ops); i += batchSize {
+			j := i + batchSize
+			if j > len(ops) {
+				j = len(ops)
+			}
+			batched.ApplyBatch(ops[i:j])
+			for _, op := range ops[i:j] {
+				if op.Delete {
+					sequential.Delete(op.ID)
+				} else {
+					sequential.Insert(op.Point)
+				}
+			}
+			if a, b := batched.ResultIDs(), sequential.ResultIDs(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("batch=%d after op %d: covers differ: %v vs %v", batchSize, j, a, b)
+			}
+			if err := batched.CheckInvariants(); err != nil {
+				t.Fatalf("batch=%d after op %d: %v", batchSize, j, err)
+			}
+		}
+		if err := sequential.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := batched.Stats(), sequential.Stats(); a != b {
+			t.Fatalf("batch=%d: stats diverge: %+v vs %+v", batchSize, a, b)
+		}
+		if a, b := batched.Len(), sequential.Len(); a != b {
+			t.Fatalf("batch=%d: sizes diverge: %d vs %d", batchSize, a, b)
+		}
+	}
+}
+
+// Two identically-configured instances fed the same operations must agree
+// exactly — the solver, the engine, and initialization are deterministic
+// functions of the operation sequence.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	d := 3
+	pts := make([]geom.Point, 90)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	ops := randomCoreOps(rng, pts, 300, d, 500)
+	cfg := Config{K: 1, R: 6, Eps: 0.03, M: 96, Seed: 11}
+	var prev []int
+	for trial := 0; trial < 3; trial++ {
+		f := mustNew(t, d, pts, cfg)
+		f.ApplyBatch(ops)
+		ids := f.ResultIDs()
+		if trial > 0 && !reflect.DeepEqual(ids, prev) {
+			t.Fatalf("trial %d result %v differs from previous %v", trial, ids, prev)
+		}
+		prev = ids
+	}
+}

@@ -35,6 +35,10 @@ type Config struct {
 
 	// Seed makes the utility sample reproducible.
 	Seed int64
+
+	// Shards is the number of utility-state shards of the top-k engine;
+	// zero means one per available CPU. The answer does not depend on it.
+	Shards int
 }
 
 func (c Config) validate(dim int) error {
@@ -89,14 +93,22 @@ func New(dim int, points []geom.Point, cfg Config) (*FDRMS, error) {
 	}
 	f := &FDRMS{cfg: cfg, dim: dim}
 	// Line 2: ε-approximate top-k result of every u_i.
-	f.engine = topk.NewEngine(dim, cfg.K, cfg.Eps, points, utilities)
+	if cfg.Shards > 0 {
+		f.engine = topk.NewEngineShards(dim, cfg.K, cfg.Eps, points, utilities, cfg.Shards)
+	} else {
+		f.engine = topk.NewEngine(dim, cfg.K, cfg.Eps, points, utilities)
+	}
 
 	// Register the full membership relation once; the universe (and hence
-	// which memberships participate in covering) is chosen below.
+	// which memberships participate in covering) is chosen below. Points
+	// and memberships are registered in ascending id order so greedy
+	// tie-breaks (and hence the initial cover) are identical run to run.
 	f.cover = setcover.NewSolver()
-	for _, p := range f.engine.Points() {
+	pts := f.engine.Points()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].ID < pts[j].ID })
+	for _, p := range pts {
 		f.cover.RegisterSet(p.ID)
-		for uid := range f.engine.SetOf(p.ID) {
+		for _, uid := range f.engine.SetOf(p.ID) {
 			f.cover.AddSetMember(p.ID, uid)
 		}
 	}
@@ -136,24 +148,43 @@ func rangeInts(n int) []int {
 
 // Insert applies Δ_t = 〈p, +〉 (Algorithm 3, Lines 1–8).
 func (f *FDRMS) Insert(p geom.Point) {
-	if p.Dim() != f.dim {
-		panic(fmt.Sprintf("core: inserting %d-dimensional point into %d-dimensional FD-RMS", p.Dim(), f.dim))
-	}
-	changes := f.engine.Insert(p)
-	f.cover.RegisterSet(p.ID)
-	f.applyChanges(changes)
-	f.settle(nil)
+	f.ApplyBatch([]topk.Op{topk.InsertOp(p)})
 }
 
 // Delete applies Δ_t = 〈p, −〉 (Algorithm 3, Lines 9–12).
 // Deleting a missing id is a no-op.
 func (f *FDRMS) Delete(id int) {
-	if !f.engine.Contains(id) {
-		return
+	f.ApplyBatch([]topk.Op{topk.DeleteOp(id)})
+}
+
+// ApplyBatch applies a sequence of tuple insertions and deletions. The
+// engine executes the per-utility Φ maintenance of consecutive insertions
+// in one shard-parallel phase; each operation's membership deltas are then
+// replayed into the set cover in operation order — additions first, then
+// removals, then settle — exactly as Algorithm 3 prescribes for a single
+// update. Replaying per operation rather than once per batch is what makes
+// ApplyBatch provably equivalent to the one-by-one path: stable set-cover
+// solutions are path-dependent, so reordering deltas across operations
+// could settle on a different (equally valid) cover. The set-cover work is
+// a small fraction of an update's cost; the batch win comes from the
+// engine's parallel phase and the amortized index maintenance around it.
+func (f *FDRMS) ApplyBatch(ops []topk.Op) {
+	for _, op := range ops {
+		if !op.Delete && op.Point.Dim() != f.dim {
+			panic(fmt.Sprintf("core: inserting %d-dimensional point into %d-dimensional FD-RMS", op.Point.Dim(), f.dim))
+		}
 	}
-	changes := f.engine.Delete(id)
-	f.applyChanges(changes)
-	f.settle(&id)
+	f.engine.ApplyBatchFunc(ops, func(op topk.Op, changes []topk.Change) {
+		if op.Delete {
+			f.applyChanges(changes)
+			id := op.ID
+			f.settle(&id)
+			return
+		}
+		f.cover.RegisterSet(op.Point.ID)
+		f.applyChanges(changes)
+		f.settle(nil)
+	})
 }
 
 // applyChanges replays Φ membership deltas into the set system. Additions
@@ -277,7 +308,7 @@ func (f *FDRMS) CheckInvariants() error {
 		return fmt.Errorf("core: |C| = %d exceeds r = %d with m = %d", f.cover.Size(), f.cfg.R, f.m)
 	}
 	for _, p := range f.engine.Points() {
-		for uid := range f.engine.SetOf(p.ID) {
+		for _, uid := range f.engine.SetOf(p.ID) {
 			if uid < f.m && !f.cover.HasSet(p.ID) {
 				return fmt.Errorf("core: tuple %d in Φ(u_%d) but unregistered in the cover", p.ID, uid)
 			}

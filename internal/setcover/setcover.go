@@ -21,6 +21,7 @@
 package setcover
 
 import (
+	"container/heap"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -53,7 +54,7 @@ type Solver struct {
 	// tolerates them transiently during multi-step updates.
 	orphans map[int]bool
 
-	dirty []dirtyEntry // candidate stability violations to revisit
+	dirty dirtyQueue // candidate stability violations, min (level, set) first
 
 	// Stats counters for the ablation harness.
 	Takeovers     int // STABILIZE takeover steps executed
@@ -61,6 +62,29 @@ type Solver struct {
 }
 
 type dirtyEntry struct{ set, level int }
+
+// dirtyQueue is a min-heap of candidate violations ordered by (level, set),
+// so STABILIZE processes them in a deterministic order at O(log n) per
+// push/pop. Duplicate entries are tolerated: a second pop of the same
+// candidate fails the staleness check after the first takeover handled it.
+type dirtyQueue []dirtyEntry
+
+func (q dirtyQueue) Len() int { return len(q) }
+func (q dirtyQueue) Less(i, j int) bool {
+	if q[i].level != q[j].level {
+		return q[i].level < q[j].level
+	}
+	return q[i].set < q[j].set
+}
+func (q dirtyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *dirtyQueue) Push(x interface{}) { *q = append(*q, x.(dirtyEntry)) }
+func (q *dirtyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
@@ -164,7 +188,7 @@ func (sv *Solver) bucketAdd(e, j int) {
 		}
 		b[e] = true
 		if len(b) >= 1<<(j+1) {
-			sv.dirty = append(sv.dirty, dirtyEntry{t, j})
+			heap.Push(&sv.dirty, dirtyEntry{t, j})
 		}
 	}
 }
@@ -309,7 +333,7 @@ func (sv *Solver) AddSetMember(s, e int) {
 			}
 			bs[j][e] = true
 			if len(bs[j]) >= 1<<(j+1) {
-				sv.dirty = append(sv.dirty, dirtyEntry{s, j})
+				heap.Push(&sv.dirty, dirtyEntry{s, j})
 			}
 		}
 	}
@@ -423,15 +447,17 @@ func (sv *Solver) ResetUniverse(elems []int) {
 // Algorithm 1), moving those elements into cov(s) and releveling every
 // touched set. Each takeover strictly raises the level of the moved
 // elements, so the loop terminates (Lemma 2).
+//
+// Candidates are queued by bucketAdd from map iteration, so when several
+// violations coexist the queue order is arbitrary — but takeover order
+// picks which of multiple valid stable solutions we land on. Selecting the
+// smallest (level, set) violation each round makes the whole solver a
+// deterministic function of its operation sequence, which the batched
+// update path (and its equivalence tests) relies on.
 func (sv *Solver) stabilize() {
 	for len(sv.dirty) > 0 {
-		d := sv.dirty[len(sv.dirty)-1]
-		sv.dirty = sv.dirty[:len(sv.dirty)-1]
-		bs := sv.buckets[d.set]
-		if bs == nil {
-			continue
-		}
-		b := bs[d.level]
+		d := heap.Pop(&sv.dirty).(dirtyEntry)
+		b := sv.buckets[d.set][d.level]
 		if len(b) < 1<<(d.level+1) {
 			continue // stale entry
 		}

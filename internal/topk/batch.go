@@ -1,0 +1,371 @@
+// Batched, shard-parallel update path of the engine.
+//
+// ApplyBatch segments an operation sequence into runs of pure insertions
+// (distinct, not-yet-live ids) separated by deletions. For an insert run
+// the cone tree is probed once per tuple against the thresholds at run
+// start — a superset of each operation's exact affected set, because
+// thresholds only rise while inserting — then the per-utility Φ maintenance
+// of the whole run fans out to the shard workers in a single parallel
+// phase. Each worker replays its utilities' operations in batch order
+// against shard-local state, so the final Φ, the change lists, and every
+// counter match the sequential path exactly; stale cone-tree candidates are
+// discarded by an exact threshold re-check inside the worker. Deletions
+// touch few utilities (only those whose Φ contains the tuple) and are
+// processed one at a time, with the same shard fan-out for the requery
+// work.
+//
+// The tuple index is mutated only between parallel phases; workers issue
+// read-only queries against it. Cone-tree threshold repairs are deferred to
+// the end of each phase and applied once per touched utility, which both
+// keeps the workers lock-free and collapses up to |run| path repairs into
+// one.
+package topk
+
+import (
+	"sort"
+	"sync"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/kdtree"
+)
+
+// Op is one database mutation for ApplyBatch: the insertion of Point when
+// Delete is false, or the deletion of tuple ID when Delete is true.
+type Op struct {
+	Point  geom.Point // tuple to insert (Delete == false)
+	ID     int        // tuple to delete (Delete == true)
+	Delete bool
+}
+
+// InsertOp returns the Op inserting p.
+func InsertOp(p geom.Point) Op { return Op{Point: p} }
+
+// DeleteOp returns the Op deleting tuple id.
+func DeleteOp(id int) Op { return Op{ID: id, Delete: true} }
+
+// parallelMinTasks is the per-phase task count below which the shard
+// fan-out is not worth the goroutine overhead and the work runs inline.
+const parallelMinTasks = 32
+
+// taggedChange is a Change tagged with the position of the operation that
+// produced it inside the current insert run.
+type taggedChange struct {
+	pos int
+	ch  Change
+}
+
+// shardResult collects one worker's output for a parallel phase.
+type shardResult struct {
+	changes   []taggedChange
+	touched   []int // utilities whose threshold changed (dupes allowed)
+	processed int   // exact affected-utility count (insert phases)
+	requeries int   // fresh top-k queries issued (delete phases)
+}
+
+// ApplyBatch applies the operations in order and returns the concatenated
+// membership changes. The change order is deterministic: operation order,
+// then utility id, then point id. Equivalent to calling Insert/Delete one
+// by one, but the per-utility maintenance of consecutive insertions is
+// executed in one shard-parallel phase.
+func (e *Engine) ApplyBatch(ops []Op) []Change {
+	var out []Change
+	e.ApplyBatchFunc(ops, func(_ Op, ch []Change) { out = append(out, ch...) })
+	return out
+}
+
+// ApplyBatchFunc applies the operations in order, invoking emit once per
+// effective operation with that operation's membership changes (sorted by
+// utility id, then point id). Deletions of ids that are not live are
+// skipped and produce no emit call, mirroring Delete's no-op contract.
+// An insertion that replaces a live id emits the changes of the implicit
+// deletion followed by those of the insertion, as a single group.
+func (e *Engine) ApplyBatchFunc(ops []Op, emit func(op Op, changes []Change)) {
+	run := make([]insOp, 0, len(ops))
+	pending := make(map[int]bool) // ids inserted by the current run
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		e.flushInsertRun(run, emit)
+		run = run[:0]
+		clear(pending)
+	}
+	for _, op := range ops {
+		if op.Delete {
+			flush()
+			if e.tree.Contains(op.ID) {
+				emit(op, e.deleteLive(op.ID))
+			}
+			continue
+		}
+		id := op.Point.ID
+		if pending[id] {
+			// The run already inserts this id; the new op must observe it
+			// live and replace it.
+			flush()
+		}
+		if e.tree.Contains(id) {
+			flush()
+			pre := e.deleteLive(id)
+			e.flushInsertRun([]insOp{{op: op}}, func(o Op, ch []Change) {
+				emit(o, append(pre, ch...))
+			})
+			continue
+		}
+		run = append(run, insOp{op: op})
+		pending[id] = true
+	}
+	flush()
+}
+
+// insOp is one queued insertion of the current run.
+type insOp struct {
+	op       Op
+	affected []int // cone-tree candidates at run start (exact superset)
+}
+
+// insTask is one (operation, utility) pair assigned to a shard worker.
+type insTask struct {
+	pos int // index into the run
+	uid int
+}
+
+// phaseScratch returns the engine's reusable per-phase buffers, emptied.
+func (e *Engine) phaseScratch() (tasks [][]insTask, results []shardResult) {
+	sc := &e.scratch
+	if sc.tasks == nil {
+		sc.tasks = make([][]insTask, len(e.shards))
+		sc.results = make([]shardResult, len(e.shards))
+		sc.cursors = make([]int, len(e.shards))
+	}
+	for s := range sc.tasks {
+		sc.tasks[s] = sc.tasks[s][:0]
+		sc.results[s].changes = sc.results[s].changes[:0]
+		sc.results[s].touched = sc.results[s].touched[:0]
+		sc.results[s].processed = 0
+		sc.results[s].requeries = 0
+		sc.cursors[s] = 0
+	}
+	return sc.tasks, sc.results
+}
+
+// flushInsertRun applies a run of insertions of distinct, previously
+// not-live ids and emits each operation's changes in order.
+func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change)) {
+	// Probe the utility index before mutating any state: with insertions
+	// only, thresholds are non-decreasing, so candidates computed at run
+	// start are a superset of the exact affected set of every operation.
+	for i := range run {
+		run[i].affected = e.ui.Affected(run[i].op.Point)
+	}
+	for i := range run {
+		e.tree.Insert(run[i].op.Point)
+	}
+	e.InsertOps += len(run)
+
+	tasks, results := e.phaseScratch()
+	total := 0
+	for pos := range run {
+		for _, uid := range run[pos].affected {
+			s := e.shardFor(uid)
+			tasks[s] = append(tasks[s], insTask{pos: pos, uid: uid})
+			total++
+		}
+	}
+	e.runShards(total, tasks, func(s int) {
+		e.insertWorker(&e.shards[s], run, tasks[s], &results[s])
+	})
+	e.mergePhase(results)
+
+	// Group the tagged changes per operation. Each worker emitted its
+	// changes in run order, so a cursor per shard suffices. All groups are
+	// materialized before the first emit call so callbacks see the scratch
+	// buffers released (groups copy the Change values out).
+	cursors := e.scratch.cursors
+	var groups [][]Change
+	if len(run) > 1 {
+		groups = make([][]Change, 0, len(run))
+	}
+	for pos := range run {
+		var group []Change
+		for s := range results {
+			chs := results[s].changes
+			for cursors[s] < len(chs) && chs[cursors[s]].pos == pos {
+				group = append(group, chs[cursors[s]].ch)
+				cursors[s]++
+			}
+		}
+		sortChanges(group)
+		if len(run) == 1 {
+			emit(run[0].op, group)
+			return
+		}
+		groups = append(groups, group)
+	}
+	for pos := range run {
+		emit(run[pos].op, groups[pos])
+	}
+}
+
+// insertWorker replays the run's insertions for the utilities of one shard,
+// in batch order, against shard-local state only.
+func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shardResult) {
+	for _, t := range tasks {
+		st := sh.state(t.uid)
+		p := run[t.pos].op.Point
+		s := geom.Score(st.u, p)
+		oldThresh := e.threshold(st)
+		if s < oldThresh {
+			continue // stale candidate: the threshold rose earlier in the run
+		}
+		res.processed++
+
+		// Repair the exact top-k incrementally.
+		if len(st.topk) < e.k || s > st.topk[len(st.topk)-1].Score {
+			st.topk = insertSorted(st.topk, kdtree.Result{Point: p, Score: s}, e.k)
+		}
+		newThresh := e.threshold(st)
+
+		// p joins Φ(u): it scored >= oldThresh, and if the threshold rose, p
+		// is in the new top-k so it clears the new one as well.
+		st.phi[p.ID] = s
+		sh.addToSet(p.ID, t.uid)
+		res.changes = append(res.changes, taggedChange{t.pos, Change{UtilityID: t.uid, PointID: p.ID, Added: true}})
+
+		// A raised threshold can evict old members.
+		if newThresh > oldThresh {
+			for pid, score := range st.phi {
+				if score < newThresh {
+					delete(st.phi, pid)
+					sh.removeFromSet(pid, t.uid)
+					res.changes = append(res.changes, taggedChange{t.pos, Change{UtilityID: t.uid, PointID: pid, Added: false}})
+				}
+			}
+			res.touched = append(res.touched, t.uid)
+		}
+	}
+}
+
+// deleteLive removes a live tuple, fanning the per-utility repair out to
+// the shards, and returns the changes sorted by utility then point id.
+func (e *Engine) deleteLive(id int) []Change {
+	tasks, results := e.phaseScratch()
+	total := 0
+	for s := range e.shards {
+		// Only utilities whose Φ contains the tuple can change: the exact
+		// top-k is a subset of Φ, so for every other utility both ω_k and
+		// the membership set survive the deletion untouched.
+		for _, uid := range e.shards[s].sets[id] {
+			tasks[s] = append(tasks[s], insTask{uid: uid})
+			total++
+		}
+	}
+	e.tree.Delete(id)
+	e.DeleteOps++
+	e.AffectedTotal += total
+
+	e.runShards(total, tasks, func(s int) {
+		e.deleteWorker(&e.shards[s], id, tasks[s], &results[s])
+	})
+	e.mergePhase(results)
+
+	var out []Change
+	for s := range results {
+		for _, tc := range results[s].changes {
+			out = append(out, tc.ch)
+		}
+	}
+	sortChanges(out)
+	return out
+}
+
+// deleteWorker repairs one shard's utilities after the deletion of tuple
+// id. The tuple index is only queried, never mutated, so workers may run
+// concurrently.
+func (e *Engine) deleteWorker(sh *shard, id int, tasks []insTask, res *shardResult) {
+	for _, t := range tasks {
+		st := sh.state(t.uid)
+		delete(st.phi, id)
+		sh.removeFromSet(id, t.uid)
+		res.changes = append(res.changes, taggedChange{0, Change{UtilityID: t.uid, PointID: id, Added: false}})
+
+		if indexOf(st.topk, id) >= 0 {
+			// A top-k member left: ω_k can drop, which can admit new members.
+			oldThresh := e.threshold(st)
+			res.requeries++
+			st.topk = e.tree.TopK(st.u, e.k)
+			newThresh := e.threshold(st)
+			if newThresh < oldThresh {
+				for _, r := range e.tree.AtLeast(st.u, newThresh) {
+					if _, in := st.phi[r.Point.ID]; !in {
+						st.phi[r.Point.ID] = r.Score
+						sh.addToSet(r.Point.ID, t.uid)
+						res.changes = append(res.changes, taggedChange{0, Change{UtilityID: t.uid, PointID: r.Point.ID, Added: true}})
+					}
+				}
+				res.touched = append(res.touched, t.uid)
+			}
+		}
+	}
+}
+
+// runShards executes work(s) for every shard s with a nonempty task list —
+// concurrently when the engine is sharded and the phase is large enough to
+// amortize the fan-out, inline otherwise. Output is identical either way:
+// workers only touch their own shard and result slot.
+func (e *Engine) runShards(total int, tasks [][]insTask, work func(s int)) {
+	active := 0
+	for s := range tasks {
+		if len(tasks[s]) > 0 {
+			active++
+		}
+	}
+	if active <= 1 || total < parallelMinTasks {
+		for s := range tasks {
+			if len(tasks[s]) > 0 {
+				work(s)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := range tasks {
+		if len(tasks[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			work(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// mergePhase folds the workers' counters into the engine and repairs the
+// cone tree's thresholds, once per touched utility (the cone tree is not
+// safe for concurrent mutation, so this runs after the parallel phase).
+func (e *Engine) mergePhase(results []shardResult) {
+	for s := range results {
+		e.AffectedTotal += results[s].processed
+		e.Requeries += results[s].requeries
+		for _, uid := range results[s].touched {
+			tau := e.threshold(e.stateOf(uid))
+			if cur, ok := e.ui.Threshold(uid); ok && tau != cur {
+				e.ui.SetThreshold(uid, tau)
+			}
+		}
+	}
+}
+
+// sortChanges orders a change list by utility id, then point id. A single
+// operation never produces two changes for the same (utility, point) pair,
+// so the order is total.
+func sortChanges(chs []Change) {
+	sort.Slice(chs, func(i, j int) bool {
+		if chs[i].UtilityID != chs[j].UtilityID {
+			return chs[i].UtilityID < chs[j].UtilityID
+		}
+		return chs[i].PointID < chs[j].PointID
+	})
+}

@@ -1,0 +1,220 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fdrms/internal/geom"
+)
+
+// randomOps builds a mixed operation stream over an engine seeded with pts:
+// fresh inserts, deletes of live ids, replacing inserts, and deletes of
+// missing ids, tracking liveness so the mix stays meaningful.
+func randomOps(rng *rand.Rand, pts []geom.Point, n, d, idBase int) []Op {
+	live := make([]int, 0, len(pts)+n)
+	for _, p := range pts {
+		live = append(live, p.ID)
+	}
+	next := idBase
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		switch r := rng.Intn(10); {
+		case r < 5: // fresh insert
+			ops = append(ops, InsertOp(randomPoints(rng, 1, d, next)[0]))
+			live = append(live, next)
+			next++
+		case r < 7 && len(live) > 0: // delete a live id
+			i := rng.Intn(len(live))
+			ops = append(ops, DeleteOp(live[i]))
+			live = append(live[:i], live[i+1:]...)
+		case r < 9 && len(live) > 0: // replacing insert
+			id := live[rng.Intn(len(live))]
+			p := randomPoints(rng, 1, d, 0)[0]
+			p.ID = id
+			ops = append(ops, InsertOp(p))
+		default: // delete a missing id
+			ops = append(ops, DeleteOp(next+100000))
+		}
+	}
+	return ops
+}
+
+type opGroup struct {
+	op      Op
+	changes []Change
+}
+
+func collectGroups(e *Engine, ops []Op, batchSize int) []opGroup {
+	var out []opGroup
+	for i := 0; i < len(ops); i += batchSize {
+		j := i + batchSize
+		if j > len(ops) {
+			j = len(ops)
+		}
+		e.ApplyBatchFunc(ops[i:j], func(op Op, ch []Change) {
+			out = append(out, opGroup{op, ch})
+		})
+	}
+	return out
+}
+
+func membersSnapshot(e *Engine, utils []Utility) map[int][]int {
+	out := make(map[int][]int, len(utils))
+	for _, ut := range utils {
+		var ids []int
+		for pid := range e.Members(ut.ID) {
+			ids = append(ids, pid)
+		}
+		sort.Ints(ids)
+		out[ut.ID] = ids
+	}
+	return out
+}
+
+// The batched path must be indistinguishable from the sequential path:
+// identical per-operation change groups, identical final membership,
+// identical counters — for every batch size, with the parallel fan-out
+// active (4 shards).
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	for _, batchSize := range []int{1, 3, 16, 64, 512} {
+		rng := rand.New(rand.NewSource(int64(17 + batchSize)))
+		d, k, eps := 4, 2, 0.1
+		pts := randomPoints(rng, 150, d, 0)
+		utils := randomUtilities(rng, 48, d)
+		ops := randomOps(rng, pts, 400, d, 1000)
+
+		batched := NewEngineShards(d, k, eps, pts, utils, 4)
+		sequential := NewEngineShards(d, k, eps, pts, utils, 4)
+
+		got := collectGroups(batched, ops, batchSize)
+		var want []opGroup
+		for _, op := range ops {
+			var ch []Change
+			if op.Delete {
+				if !sequential.Contains(op.ID) {
+					continue // missing delete: batched path skips it too
+				}
+				ch = sequential.Delete(op.ID)
+			} else {
+				ch = sequential.Insert(op.Point)
+			}
+			want = append(want, opGroup{op, ch})
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d emitted groups, want %d", batchSize, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].op, want[i].op) {
+				t.Fatalf("batch=%d group %d: op %+v, want %+v", batchSize, i, got[i].op, want[i].op)
+			}
+			if !reflect.DeepEqual(got[i].changes, want[i].changes) {
+				t.Fatalf("batch=%d group %d (%+v): changes\n%v\nwant\n%v", batchSize, i, got[i].op, got[i].changes, want[i].changes)
+			}
+		}
+		if a, b := membersSnapshot(batched, utils), membersSnapshot(sequential, utils); !reflect.DeepEqual(a, b) {
+			t.Fatalf("batch=%d: final memberships diverge", batchSize)
+		}
+		if batched.InsertOps != sequential.InsertOps || batched.DeleteOps != sequential.DeleteOps ||
+			batched.AffectedTotal != sequential.AffectedTotal || batched.Requeries != sequential.Requeries {
+			t.Fatalf("batch=%d: counters diverge: %+v vs %+v",
+				batchSize,
+				[4]int{batched.InsertOps, batched.DeleteOps, batched.AffectedTotal, batched.Requeries},
+				[4]int{sequential.InsertOps, sequential.DeleteOps, sequential.AffectedTotal, sequential.Requeries})
+		}
+	}
+}
+
+// Φ_{k,ε} is a function of the live point set alone, so any interleaving
+// of operations on distinct ids must land every utility on the same
+// membership — the property that lets batches reorder work internally.
+func TestApplyBatchShuffleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(3)
+		eps := rng.Float64() * 0.15
+		pts := randomPoints(rng, 40+rng.Intn(40), d, 0)
+		utils := randomUtilities(rng, 4+rng.Intn(8), d)
+
+		// Distinct-id ops: inserts of new ids plus deletes of initial ids.
+		var ops []Op
+		for i, p := range randomPoints(rng, 25, d, 1000) {
+			_ = i
+			ops = append(ops, InsertOp(p))
+		}
+		for _, p := range pts[:10] {
+			ops = append(ops, DeleteOp(p.ID))
+		}
+
+		a := NewEngineShards(d, k, eps, pts, utils, 3)
+		b := NewEngineShards(d, k, eps, pts, utils, 3)
+		a.ApplyBatch(ops)
+		shuffled := append([]Op(nil), ops...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b.ApplyBatch(shuffled)
+
+		return reflect.DeepEqual(membersSnapshot(a, utils), membersSnapshot(b, utils))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Changes returned by ApplyBatch replay to the same membership as the
+// engine reports, and missing deletes emit nothing.
+func TestApplyBatchChangeReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d, k, eps := 3, 2, 0.08
+	pts := randomPoints(rng, 80, d, 0)
+	utils := randomUtilities(rng, 20, d)
+	e := NewEngineShards(d, k, eps, pts, utils, 4)
+
+	replayed := make(map[int]map[int]bool)
+	for _, ut := range utils {
+		m := make(map[int]bool)
+		for pid := range e.Members(ut.ID) {
+			m[pid] = true
+		}
+		replayed[ut.ID] = m
+	}
+
+	ops := randomOps(rng, pts, 300, d, 5000)
+	for i := 0; i < len(ops); i += 37 {
+		j := i + 37
+		if j > len(ops) {
+			j = len(ops)
+		}
+		for _, c := range e.ApplyBatch(ops[i:j]) {
+			if c.Added {
+				if replayed[c.UtilityID][c.PointID] {
+					t.Fatalf("add change for existing member u%d/p%d", c.UtilityID, c.PointID)
+				}
+				replayed[c.UtilityID][c.PointID] = true
+			} else {
+				if !replayed[c.UtilityID][c.PointID] {
+					t.Fatalf("remove change for non-member u%d/p%d", c.UtilityID, c.PointID)
+				}
+				delete(replayed[c.UtilityID], c.PointID)
+			}
+		}
+	}
+	for _, ut := range utils {
+		m := e.Members(ut.ID)
+		if len(m) != len(replayed[ut.ID]) {
+			t.Fatalf("u%d: replayed %d members, engine has %d", ut.ID, len(replayed[ut.ID]), len(m))
+		}
+		for pid := range m {
+			if !replayed[ut.ID][pid] {
+				t.Fatalf("u%d: replay misses p%d", ut.ID, pid)
+			}
+		}
+	}
+
+	if got := e.ApplyBatch([]Op{DeleteOp(987654), DeleteOp(987655)}); got != nil {
+		t.Fatalf("missing deletes produced changes: %v", got)
+	}
+}

@@ -16,6 +16,14 @@
 //     incrementally; only deletions of top-k members force a fresh index
 //     query.
 //
+// Per-utility maintenance is embarrassingly parallel, so the engine
+// partitions utility state into shards (one per available CPU by default),
+// each owning contiguous blocks of utility IDs with its own slice-backed
+// state storage and its own fragment of the inverted membership index. The
+// batch entry point ApplyBatch fans the Φ maintenance of each operation out
+// to the shards and merges their change lists deterministically (see
+// batch.go); Insert and Delete are single-element batches.
+//
 // Every mutation returns the resulting membership changes, which FD-RMS
 // Algorithm 3 translates into dynamic set cover operations: the member sets
 // of this engine ARE the sets S(p) of the paper's set system Σ = (U, S).
@@ -23,6 +31,7 @@ package topk
 
 import (
 	"math"
+	"runtime"
 	"sort"
 
 	"fdrms/internal/conetree"
@@ -44,11 +53,83 @@ type Change struct {
 	Added     bool
 }
 
-// uState is the maintained per-utility state.
+// uState is the maintained per-utility state. States live by value inside
+// their shard's slice; take fresh pointers via stateOf and never hold one
+// across a structural mutation (AddUtility may grow the slice).
 type uState struct {
 	u    geom.Vector
 	topk []kdtree.Result // exact top-k, score-descending
 	phi  map[int]float64 // member id -> score (Φ_{k,ε})
+}
+
+// shard owns the state of a contiguous-block partition of the utility IDs.
+// During the parallel phase of a batch, each worker touches exactly one
+// shard, so no field here needs locking.
+type shard struct {
+	states []uState      // slice-backed storage, indexed by slot
+	slots  map[int]int   // utility id -> slot in states
+	free   []int         // recycled slots
+	sets   map[int][]int // pid -> sorted uids (this shard's part of S(p))
+}
+
+func (sh *shard) state(uid int) *uState {
+	if slot, ok := sh.slots[uid]; ok {
+		return &sh.states[slot]
+	}
+	return nil
+}
+
+// put stores st under uid, reusing a free slot when available.
+func (sh *shard) put(uid int, st uState) {
+	if slot, ok := sh.slots[uid]; ok {
+		sh.states[slot] = st
+		return
+	}
+	if n := len(sh.free); n > 0 {
+		slot := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		sh.states[slot] = st
+		sh.slots[uid] = slot
+		return
+	}
+	sh.slots[uid] = len(sh.states)
+	sh.states = append(sh.states, st)
+}
+
+func (sh *shard) drop(uid int) {
+	slot, ok := sh.slots[uid]
+	if !ok {
+		return
+	}
+	sh.states[slot] = uState{}
+	sh.free = append(sh.free, slot)
+	delete(sh.slots, uid)
+}
+
+func (sh *shard) addToSet(pid, uid int) {
+	s := sh.sets[pid]
+	i := sort.SearchInts(s, uid)
+	if i < len(s) && s[i] == uid {
+		return
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = uid
+	sh.sets[pid] = s
+}
+
+func (sh *shard) removeFromSet(pid, uid int) {
+	s := sh.sets[pid]
+	i := sort.SearchInts(s, uid)
+	if i >= len(s) || s[i] != uid {
+		return
+	}
+	s = append(s[:i], s[i+1:]...)
+	if len(s) == 0 {
+		delete(sh.sets, pid)
+	} else {
+		sh.sets[pid] = s
+	}
 }
 
 // Engine maintains Φ_{k,ε} for a set of utilities over a dynamic database.
@@ -57,47 +138,96 @@ type Engine struct {
 	eps float64
 	dim int
 
-	tree  *kdtree.Tree
-	ui    *conetree.Tree
-	state map[int]*uState
+	tree *kdtree.Tree
+	ui   *conetree.Tree
 
-	// sets[pid] is S(p): the utilities whose approximate top-k contains p.
-	sets map[int]map[int]bool
+	shards     []shard
+	shardBlock int // utilities per contiguous id block
+	numUtils   int
+
+	// Per-phase scratch, reused across operations so the single-op wrappers
+	// stay allocation-light. Guarded by the engine's single-writer contract.
+	scratch struct {
+		tasks   [][]insTask
+		results []shardResult
+		cursors []int
+	}
 
 	// Counters for the ablation experiments.
-	InsertOps     int // Insert calls processed
-	DeleteOps     int // Delete calls processed
+	InsertOps     int // insert operations processed
+	DeleteOps     int // delete operations processed
 	AffectedTotal int // utilities whose Φ changed, summed over operations
 	Requeries     int // fresh tuple-index top-k queries during maintenance
 }
 
 // NewEngine indexes the initial database and computes Φ_{k,ε} for every
-// utility. k must be >= 1 and eps in [0, 1).
+// utility, sharding the utility state across the available CPUs. k must be
+// >= 1 and eps in [0, 1).
 func NewEngine(dim, k int, eps float64, points []geom.Point, utilities []Utility) *Engine {
+	return NewEngineShards(dim, k, eps, points, utilities, runtime.GOMAXPROCS(0))
+}
+
+// NewEngineShards is NewEngine with an explicit shard count (tests force
+// cross-shard parallelism regardless of the host; servers can pin it).
+func NewEngineShards(dim, k int, eps float64, points []geom.Point, utilities []Utility, nshards int) *Engine {
+	if nshards < 1 {
+		nshards = 1
+	}
 	e := &Engine{
-		k:     k,
-		eps:   eps,
-		dim:   dim,
-		tree:  kdtree.New(dim, points),
-		state: make(map[int]*uState, len(utilities)),
-		sets:  make(map[int]map[int]bool, len(points)),
+		k:      k,
+		eps:    eps,
+		dim:    dim,
+		tree:   kdtree.New(dim, points),
+		shards: make([]shard, nshards),
+	}
+	maxID := 0
+	for _, ut := range utilities {
+		if ut.ID > maxID {
+			maxID = ut.ID
+		}
+	}
+	// Contiguous blocks: the initial IDs 0..maxID split into nshards ranges.
+	e.shardBlock = (maxID + nshards) / nshards
+	if e.shardBlock < 1 {
+		e.shardBlock = 1
+	}
+	for i := range e.shards {
+		e.shards[i] = shard{slots: make(map[int]int), sets: make(map[int][]int)}
 	}
 	items := make([]conetree.Item, 0, len(utilities))
 	for _, ut := range utilities {
 		st := e.freshState(ut.U)
-		e.state[ut.ID] = st
-		for pid := range st.phi {
-			e.addToSet(pid, ut.ID)
+		sh := &e.shards[e.shardFor(ut.ID)]
+		if sh.state(ut.ID) == nil {
+			e.numUtils++
 		}
-		items = append(items, conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.threshold(st)})
+		sh.put(ut.ID, st)
+		for pid := range st.phi {
+			sh.addToSet(pid, ut.ID)
+		}
+		items = append(items, conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.thresholdOf(st.topk)})
 	}
 	e.ui = conetree.New(dim, items)
 	return e
 }
 
+// shardFor maps a utility id to its owning shard: contiguous blocks of
+// shardBlock ids, wrapping round-robin beyond the initial range.
+func (e *Engine) shardFor(uid int) int {
+	s := (uid / e.shardBlock) % len(e.shards)
+	if s < 0 {
+		s += len(e.shards)
+	}
+	return s
+}
+
+func (e *Engine) stateOf(uid int) *uState {
+	return e.shards[e.shardFor(uid)].state(uid)
+}
+
 // freshState queries the tuple index from scratch for one utility.
-func (e *Engine) freshState(u geom.Vector) *uState {
-	st := &uState{u: u, phi: make(map[int]float64)}
+func (e *Engine) freshState(u geom.Vector) uState {
+	st := uState{u: u, phi: make(map[int]float64)}
 	st.topk = e.tree.TopK(u, e.k)
 	for _, r := range e.tree.AtLeast(u, e.thresholdOf(st.topk)) {
 		st.phi[r.Point.ID] = r.Score
@@ -116,35 +246,20 @@ func (e *Engine) thresholdOf(topk []kdtree.Result) float64 {
 
 func (e *Engine) threshold(st *uState) float64 { return e.thresholdOf(st.topk) }
 
-func (e *Engine) addToSet(pid, uid int) {
-	s, ok := e.sets[pid]
-	if !ok {
-		s = make(map[int]bool)
-		e.sets[pid] = s
-	}
-	s[uid] = true
-}
-
-func (e *Engine) removeFromSet(pid, uid int) {
-	if s, ok := e.sets[pid]; ok {
-		delete(s, uid)
-		if len(s) == 0 {
-			delete(e.sets, pid)
-		}
-	}
-}
-
 // K returns the rank depth k.
 func (e *Engine) K() int { return e.k }
 
 // Epsilon returns the approximation factor ε.
 func (e *Engine) Epsilon() float64 { return e.eps }
 
+// NumShards returns the number of utility-state shards.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
 // Len returns the number of live tuples.
 func (e *Engine) Len() int { return e.tree.Len() }
 
 // NumUtilities returns the number of maintained utilities.
-func (e *Engine) NumUtilities() int { return len(e.state) }
+func (e *Engine) NumUtilities() int { return e.numUtils }
 
 // Contains reports whether tuple id is live.
 func (e *Engine) Contains(id int) bool { return e.tree.Contains(id) }
@@ -158,22 +273,28 @@ func (e *Engine) Points() []geom.Point { return e.tree.Points() }
 // Members returns Φ_{k,ε}(u) for the utility as a set of point ids.
 // The returned map is live engine state: callers must not mutate it.
 func (e *Engine) Members(uid int) map[int]float64 {
-	if st, ok := e.state[uid]; ok {
+	if st := e.stateOf(uid); st != nil {
 		return st.phi
 	}
 	return nil
 }
 
-// SetOf returns S(p): the ids of utilities whose approximate top-k contains
-// the tuple. The returned map is live engine state: callers must not mutate
-// it.
-func (e *Engine) SetOf(pid int) map[int]bool { return e.sets[pid] }
+// SetOf returns S(p), the ids of utilities whose approximate top-k contains
+// the tuple, in ascending order. The slice is freshly allocated.
+func (e *Engine) SetOf(pid int) []int {
+	var out []int
+	for i := range e.shards {
+		out = append(out, e.shards[i].sets[pid]...)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // KthScore returns ω_k(u, P_t) for the utility; ok is false when the
 // database holds fewer than k tuples.
 func (e *Engine) KthScore(uid int) (float64, bool) {
-	st, ok := e.state[uid]
-	if !ok || len(st.topk) < e.k {
+	st := e.stateOf(uid)
+	if st == nil || len(st.topk) < e.k {
 		return 0, false
 	}
 	return st.topk[len(st.topk)-1].Score, true
@@ -181,7 +302,7 @@ func (e *Engine) KthScore(uid int) (float64, bool) {
 
 // TopK returns the maintained exact top-k list of the utility.
 func (e *Engine) TopK(uid int) []kdtree.Result {
-	if st, ok := e.state[uid]; ok {
+	if st := e.stateOf(uid); st != nil {
 		return st.topk
 	}
 	return nil
@@ -192,46 +313,21 @@ func (e *Engine) TopK(uid int) []kdtree.Result {
 func (e *Engine) VisitedOnInsert(p geom.Point) int { return e.ui.Visited(p) }
 
 // Insert adds tuple p and returns the membership changes across all
-// utilities. Inserting an existing id replaces the old tuple.
+// utilities, ordered by utility then point id. Inserting an existing id
+// replaces the old tuple.
 func (e *Engine) Insert(p geom.Point) []Change {
-	var changes []Change
-	if e.tree.Contains(p.ID) {
-		changes = e.Delete(p.ID)
-	}
-	affected := e.ui.Affected(p) // exact: score(u,p) >= current threshold(u)
-	e.tree.Insert(p)
-	e.InsertOps++
-	e.AffectedTotal += len(affected)
-	for _, uid := range affected {
-		st := e.state[uid]
-		s := geom.Score(st.u, p)
-		oldThresh := e.threshold(st)
+	var out []Change
+	e.ApplyBatchFunc([]Op{InsertOp(p)}, func(_ Op, ch []Change) { out = ch })
+	return out
+}
 
-		// Repair the exact top-k incrementally.
-		if len(st.topk) < e.k || s > st.topk[len(st.topk)-1].Score {
-			st.topk = insertSorted(st.topk, kdtree.Result{Point: p, Score: s}, e.k)
-		}
-		newThresh := e.threshold(st)
-
-		// p joins Φ(u): it scored >= oldThresh, and if the threshold rose, p
-		// is in the new top-k so it clears the new one as well.
-		st.phi[p.ID] = s
-		e.addToSet(p.ID, uid)
-		changes = append(changes, Change{UtilityID: uid, PointID: p.ID, Added: true})
-
-		// A raised threshold can evict old members.
-		if newThresh > oldThresh {
-			for pid, score := range st.phi {
-				if score < newThresh {
-					delete(st.phi, pid)
-					e.removeFromSet(pid, uid)
-					changes = append(changes, Change{UtilityID: uid, PointID: pid, Added: false})
-				}
-			}
-			e.ui.SetThreshold(uid, newThresh)
-		}
-	}
-	return changes
+// Delete removes the tuple with the given id and returns the membership
+// changes, ordered by utility then point id. Deleting a missing id is a
+// no-op.
+func (e *Engine) Delete(id int) []Change {
+	var out []Change
+	e.ApplyBatchFunc([]Op{DeleteOp(id)}, func(_ Op, ch []Change) { out = ch })
+	return out
 }
 
 // insertSorted places r into a score-descending top-k list, truncating to k.
@@ -251,52 +347,6 @@ func insertSorted(topk []kdtree.Result, r kdtree.Result, k int) []kdtree.Result 
 	return topk
 }
 
-// Delete removes the tuple with the given id and returns the membership
-// changes. Deleting a missing id is a no-op.
-func (e *Engine) Delete(id int) []Change {
-	if !e.tree.Contains(id) {
-		return nil
-	}
-	// Only utilities whose Φ contains the tuple can change: the exact top-k
-	// is a subset of Φ, so for every other utility both ω_k and the
-	// membership set survive the deletion untouched.
-	var uids []int
-	for uid := range e.sets[id] {
-		uids = append(uids, uid)
-	}
-	sort.Ints(uids) // deterministic change order
-	e.tree.Delete(id)
-	e.DeleteOps++
-	e.AffectedTotal += len(uids)
-
-	var changes []Change
-	for _, uid := range uids {
-		st := e.state[uid]
-		delete(st.phi, id)
-		e.removeFromSet(id, uid)
-		changes = append(changes, Change{UtilityID: uid, PointID: id, Added: false})
-
-		if idx := indexOf(st.topk, id); idx >= 0 {
-			// A top-k member left: ω_k can drop, which can admit new members.
-			oldThresh := e.threshold(st)
-			e.Requeries++
-			st.topk = e.tree.TopK(st.u, e.k)
-			newThresh := e.threshold(st)
-			if newThresh < oldThresh {
-				for _, r := range e.tree.AtLeast(st.u, newThresh) {
-					if _, in := st.phi[r.Point.ID]; !in {
-						st.phi[r.Point.ID] = r.Score
-						e.addToSet(r.Point.ID, uid)
-						changes = append(changes, Change{UtilityID: uid, PointID: r.Point.ID, Added: true})
-					}
-				}
-				e.ui.SetThreshold(uid, newThresh)
-			}
-		}
-	}
-	return changes
-}
-
 func indexOf(topk []kdtree.Result, id int) int {
 	for i, r := range topk {
 		if r.Point.ID == id {
@@ -309,15 +359,17 @@ func indexOf(topk []kdtree.Result, id int) int {
 // AddUtility registers a new utility (Algorithm 4 growing the universe) and
 // returns one Added change per member of its fresh Φ.
 func (e *Engine) AddUtility(ut Utility) []Change {
-	if _, ok := e.state[ut.ID]; ok {
+	if e.stateOf(ut.ID) != nil {
 		e.RemoveUtility(ut.ID)
 	}
 	st := e.freshState(ut.U)
-	e.state[ut.ID] = st
-	e.ui.Insert(conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.threshold(st)})
+	sh := &e.shards[e.shardFor(ut.ID)]
+	sh.put(ut.ID, st)
+	e.numUtils++
+	e.ui.Insert(conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.thresholdOf(st.topk)})
 	changes := make([]Change, 0, len(st.phi))
 	for pid := range st.phi {
-		e.addToSet(pid, ut.ID)
+		sh.addToSet(pid, ut.ID)
 		changes = append(changes, Change{UtilityID: ut.ID, PointID: pid, Added: true})
 	}
 	sort.Slice(changes, func(i, j int) bool { return changes[i].PointID < changes[j].PointID })
@@ -327,17 +379,19 @@ func (e *Engine) AddUtility(ut Utility) []Change {
 // RemoveUtility drops a utility (Algorithm 4 shrinking the universe) and
 // returns one Removed change per former member.
 func (e *Engine) RemoveUtility(uid int) []Change {
-	st, ok := e.state[uid]
-	if !ok {
+	sh := &e.shards[e.shardFor(uid)]
+	st := sh.state(uid)
+	if st == nil {
 		return nil
 	}
 	changes := make([]Change, 0, len(st.phi))
 	for pid := range st.phi {
-		e.removeFromSet(pid, uid)
+		sh.removeFromSet(pid, uid)
 		changes = append(changes, Change{UtilityID: uid, PointID: pid, Added: false})
 	}
 	sort.Slice(changes, func(i, j int) bool { return changes[i].PointID < changes[j].PointID })
-	delete(e.state, uid)
+	sh.drop(uid)
+	e.numUtils--
 	e.ui.Delete(uid)
 	return changes
 }

@@ -87,7 +87,7 @@ func checkEngine(t *testing.T, e *Engine, utilities []Utility, pts []geom.Point)
 	}
 	// Inverted index consistency.
 	for _, p := range pts {
-		for uid := range e.SetOf(p.ID) {
+		for _, uid := range e.SetOf(p.ID) {
 			if _, ok := e.Members(uid)[p.ID]; !ok {
 				t.Fatalf("S(p%d) contains u%d but Φ(u%d) misses p%d", p.ID, uid, uid, p.ID)
 			}

@@ -22,6 +22,23 @@
 //	db.Insert(rms.Point{ID: 99, Values: []float64{0.8, 0.9}})
 //	db.Delete(12)
 //	top := db.Result() // always the up-to-date representative set
+//
+// High-throughput ingestion should batch updates: ApplyBatch executes the
+// per-utility maintenance of consecutive insertions in one shard-parallel
+// phase while producing exactly the same answer as the one-by-one path.
+//
+//	db.ApplyBatch([]rms.Update{
+//		rms.Ins(rms.Point{ID: 100, Values: []float64{0.7, 0.8}}),
+//		rms.Ins(rms.Point{ID: 101, Values: []float64{0.9, 0.2}}),
+//		rms.Del(12),
+//	})
+//
+// Servers that interleave reads with writes should wrap the structure in a
+// Store, which adds an RWMutex and copy-on-read results:
+//
+//	store := rms.NewStoreFrom(db)
+//	go store.ApplyBatch(batch)         // writer
+//	top := store.Result()              // safe from any goroutine
 package rms
 
 import (
@@ -35,6 +52,7 @@ import (
 	"fdrms/internal/nonlinear"
 	"fdrms/internal/regret"
 	"fdrms/internal/skyline"
+	"fdrms/internal/topk"
 )
 
 // Point is a database tuple: a caller-chosen unique ID and nonnegative
@@ -82,6 +100,10 @@ type Options struct {
 	MaxUtilities int
 	// Seed makes all sampling reproducible. Default 1.
 	Seed int64
+	// Shards is the number of utility-state shards used by the batched
+	// update path; zero picks one per available CPU. The answer never
+	// depends on it — it only tunes ApplyBatch parallelism.
+	Shards int
 }
 
 func (o Options) withDefaults(dim int, initial []geom.Point) Options {
@@ -123,7 +145,7 @@ func NewDynamic(dim int, initial []Point, opts Options) (*Dynamic, error) {
 	pts := toGeoms(initial)
 	o := opts.withDefaults(dim, pts)
 	f, err := core.New(dim, pts, core.Config{
-		K: o.K, R: o.R, Eps: o.Epsilon, M: o.MaxUtilities, Seed: o.Seed,
+		K: o.K, R: o.R, Eps: o.Epsilon, M: o.MaxUtilities, Seed: o.Seed, Shards: o.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +166,45 @@ func (d *Dynamic) Insert(p Point) error {
 // Delete removes the tuple with the given ID and updates the answer.
 // Deleting an unknown ID is a no-op.
 func (d *Dynamic) Delete(id int) { d.f.Delete(id) }
+
+// Update is one element of an ApplyBatch call: the insertion of Point when
+// Delete is false, or the deletion of tuple ID when Delete is true. Build
+// them with Ins and Del.
+type Update struct {
+	Point  Point
+	ID     int
+	Delete bool
+}
+
+// Ins returns the Update inserting p (replacing any live tuple with the
+// same ID).
+func Ins(p Point) Update { return Update{Point: p} }
+
+// Del returns the Update deleting tuple id.
+func Del(id int) Update { return Update{ID: id, Delete: true} }
+
+// ApplyBatch applies the updates in order and brings the answer up to
+// date. It is equivalent to calling Insert/Delete once per update — same
+// final answer, bit for bit — but the engine executes the per-utility
+// top-k maintenance of consecutive insertions in a single shard-parallel
+// phase, so large batches ingest at a multiple of the sequential rate on
+// multi-core hosts. The whole batch is validated before any update is
+// applied.
+func (d *Dynamic) ApplyBatch(batch []Update) error {
+	ops := make([]topk.Op, len(batch))
+	for i, u := range batch {
+		if u.Delete {
+			ops[i] = topk.DeleteOp(u.ID)
+			continue
+		}
+		if len(u.Point.Values) != d.dim {
+			return fmt.Errorf("rms: batch[%d]: tuple has %d values, database has %d attributes", i, len(u.Point.Values), d.dim)
+		}
+		ops[i] = topk.InsertOp(toGeom(u.Point))
+	}
+	d.f.ApplyBatch(ops)
+	return nil
+}
 
 // Result returns the current k-RMS answer (at most R tuples, ordered by
 // ID).

@@ -1,0 +1,94 @@
+package rms
+
+import (
+	"sync"
+
+	"fdrms/internal/core"
+)
+
+// Store is a concurrency-safe wrapper around a Dynamic instance: writers
+// (Insert, Delete, ApplyBatch) take an exclusive lock, readers (Result,
+// Len, Contains, Stats) share one, and every result is deep-copied before
+// the lock is released, so callers may hold, mutate, or hand off returned
+// values freely while updates continue. A server typically runs one
+// ingestion goroutine applying batches and any number of query goroutines
+// reading the current answer.
+type Store struct {
+	mu sync.RWMutex
+	d  *Dynamic
+}
+
+// NewStore builds the maintenance structure over the initial database and
+// returns it wrapped in a Store. See NewDynamic for the parameters.
+func NewStore(dim int, initial []Point, opts Options) (*Store, error) {
+	d, err := NewDynamic(dim, initial, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{d: d}, nil
+}
+
+// NewStoreFrom wraps an existing Dynamic instance. The caller must not use
+// the instance directly afterwards.
+func NewStoreFrom(d *Dynamic) *Store { return &Store{d: d} }
+
+// Insert adds a tuple (replacing any live tuple with the same ID) and
+// updates the answer.
+func (s *Store) Insert(p Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Insert(p)
+}
+
+// Delete removes the tuple with the given ID and updates the answer.
+// Deleting an unknown ID is a no-op.
+func (s *Store) Delete(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.Delete(id)
+}
+
+// ApplyBatch applies the updates in order under one exclusive lock — the
+// preferred write path for heavy ingestion, since readers wait for at most
+// one batch rather than contending on every tuple.
+func (s *Store) ApplyBatch(batch []Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.ApplyBatch(batch)
+}
+
+// Result returns the current k-RMS answer. The returned points are deep
+// copies: they stay valid and immutable after further updates.
+func (s *Store) Result() []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := s.d.Result()
+	out := make([]Point, len(res))
+	for i, p := range res {
+		vals := make([]float64, len(p.Values))
+		copy(vals, p.Values)
+		out[i] = Point{ID: p.ID, Values: vals}
+	}
+	return out
+}
+
+// Len returns the current database size.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Len()
+}
+
+// Contains reports whether a tuple with the given ID is live.
+func (s *Store) Contains(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Contains(id)
+}
+
+// Stats reports maintenance internals (see Dynamic.Stats).
+func (s *Store) Stats() core.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.d.Stats()
+}
