@@ -118,3 +118,13 @@ func BenchmarkBatchThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSlidingWindow regenerates the sliding-window / delete-heavy
+// throughput table, exercising the run-segmented delete batching.
+func BenchmarkSlidingWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := bench.SlidingWindow(bench.QuickOptions()); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	rmsbench -exp ablation-cone          # cone-tree pruning effectiveness
 //	rmsbench -exp ablation-topk          # top-k fast-path requery rate
 //	rmsbench -exp batch                  # batched vs sequential update throughput
+//	rmsbench -exp window                 # sliding-window / delete-heavy throughput
 //	rmsbench -exp all                    # everything above
 //
 // Flags -scale, -samples, -m, -recomputes, -budget and -seed control the
@@ -33,8 +34,8 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | all")
-		batches    = flag.String("batches", "1,16,256", "comma-separated batch sizes for -exp batch")
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | all")
+		batches    = flag.String("batches", "1,16,256", "comma-separated batch sizes for -exp batch and -exp window")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
 		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
 		m          = flag.Int("m", 2048, "FD-RMS utility sample upper bound M")
@@ -100,7 +101,7 @@ func main() {
 			for _, t := range bench.Nonlinear(opt, names...) {
 				t.Fprint(os.Stdout)
 			}
-		case "batch":
+		case "batch", "window":
 			var sizes []int
 			for _, s := range strings.Split(*batches, ",") {
 				v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -110,7 +111,11 @@ func main() {
 				}
 				sizes = append(sizes, v)
 			}
-			bench.BatchThroughput(opt, sizes...).Fprint(os.Stdout)
+			if e == "batch" {
+				bench.BatchThroughput(opt, sizes...).Fprint(os.Stdout)
+			} else {
+				bench.SlidingWindow(opt, sizes...).Fprint(os.Stdout)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
 			flag.Usage()
@@ -121,7 +126,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch"} {
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window"} {
 			run(e)
 		}
 		return

@@ -11,47 +11,19 @@ import (
 	"fdrms/internal/topk"
 )
 
-// DefaultBatchSizes is the batch-size grid of the throughput experiment.
+// DefaultBatchSizes is the batch-size grid of the throughput experiments.
 var DefaultBatchSizes = []int{1, 16, 256}
 
-// BatchThroughput measures FD-RMS update throughput on the anti-correlated
-// synthetic workload at increasing batch sizes. Batch size 1 is the
-// sequential path (one Insert/Delete per operation) and is the baseline the
-// speedup column is relative to; larger sizes go through ApplyBatch. Two
-// streams are timed per size: pure insertion (the paper's append-heavy
-// regime and the acceptance metric of the batched pipeline) and a mixed
-// stream with 20% deletions. Every run's final cover is compared against
-// the sequential one, so the table doubles as an end-to-end equivalence
-// check at bench scale.
-func BatchThroughput(o Options, sizes ...int) *Table {
-	o = o.withDefaults()
-	if len(sizes) == 0 {
-		sizes = DefaultBatchSizes
-	}
-	n := scaled(o.SynthN, o.Scale)
-	streamLen := n / 10
-	if streamLen < 512 {
-		streamLen = 512
-	}
-	ds := dataset.AntiCor(n+streamLen, o.SynthD, o.Seed)
-	initial := ds.Points[:n]
-	fresh := ds.Points[n:]
-	cfg := core.Config{K: 1, R: capR(defaultR("AntiCor"), n), Eps: 0.01, M: o.M, Seed: o.Seed}
-
-	streams := map[string][]topk.Op{
-		"insert": insertStream(fresh),
-		"mixed":  mixedStream(initial, fresh),
-	}
-
-	t := &Table{
-		Title:  fmt.Sprintf("Batched update throughput (AntiCor, n=%d, d=%d, M=%d, r=%d, stream=%d ops)", n, o.SynthD, o.M, cfg.R, streamLen),
-		Header: []string{"workload", "batch", "elapsed", "ops/s", "speedup", "result==seq"},
-	}
-	for _, name := range []string{"insert", "mixed"} {
+// runStreams times each named operation stream over a fresh FD-RMS instance
+// per (stream, batch size) cell. Batch size 1 is the sequential path (one
+// Insert/Delete per operation) and the baseline of the speedup column;
+// larger sizes go through ApplyBatch. Every run's final cover is compared
+// against the sequential one, so the table doubles as an end-to-end
+// equivalence check at bench scale.
+func runStreams(t *Table, o Options, initial []geom.Point, cfg core.Config,
+	order []string, streams map[string][]topk.Op, sizes []int) {
+	for _, name := range order {
 		ops := streams[name]
-		// The reference is always the sequential path, regardless of which
-		// batch sizes were requested: both the speedup column and the
-		// result==seq equivalence column compare against it.
 		run := func(size int) (time.Duration, []int) {
 			f, err := core.New(o.SynthD, initial, cfg)
 			if err != nil {
@@ -77,6 +49,9 @@ func BatchThroughput(o Options, sizes ...int) *Table {
 			}
 			return time.Since(start), f.ResultIDs()
 		}
+		// The reference is always the sequential path, regardless of which
+		// batch sizes were requested: both the speedup column and the
+		// result==seq equivalence column compare against it.
 		seqElapsed, seqResult := run(1)
 		baseline := float64(len(ops)) / seqElapsed.Seconds()
 		for _, size := range sizes {
@@ -85,13 +60,77 @@ func BatchThroughput(o Options, sizes ...int) *Table {
 				elapsed, result = run(size)
 			}
 			opsPerSec := float64(len(ops)) / elapsed.Seconds()
-			t.AddRow(name, fmt.Sprintf("%d", size), fmtDur(elapsed),
+			t.AddRow(name, fmt.Sprint(len(ops)), fmt.Sprintf("%d", size), fmtDur(elapsed),
 				fmt.Sprintf("%.0f", opsPerSec),
 				fmt.Sprintf("%.2fx", opsPerSec/baseline),
 				fmt.Sprintf("%v", reflect.DeepEqual(result, seqResult)))
 		}
 	}
+}
+
+// batchSetup materializes the shared workload of the throughput tables: an
+// anti-correlated initial database plus a pool of fresh points for the
+// streams to insert.
+func batchSetup(o Options) (initial, fresh []geom.Point, cfg core.Config) {
+	n := scaled(o.SynthN, o.Scale)
+	streamLen := n / 10
+	if streamLen < 512 {
+		streamLen = 512
+	}
+	ds := dataset.AntiCor(n+streamLen, o.SynthD, o.Seed)
+	initial = ds.Points[:n]
+	fresh = ds.Points[n:]
+	cfg = core.Config{K: 1, R: capR(defaultR("AntiCor"), n), Eps: 0.01, M: o.M, Seed: o.Seed}
+	return initial, fresh, cfg
+}
+
+// BatchThroughput measures FD-RMS update throughput on the anti-correlated
+// synthetic workload at increasing batch sizes: a pure insertion stream
+// (the paper's append-heavy regime) and a mixed stream with 20% deletions.
+func BatchThroughput(o Options, sizes ...int) *Table {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = DefaultBatchSizes
+	}
+	initial, fresh, cfg := batchSetup(o)
+	streams := map[string][]topk.Op{
+		"insert": insertStream(fresh),
+		"mixed":  mixedStream(initial, fresh),
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Batched update throughput (AntiCor, n=%d, d=%d, M=%d, r=%d)", len(initial), o.SynthD, o.M, cfg.R),
+		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "result==seq"},
+	}
+	runStreams(t, o, initial, cfg, []string{"insert", "mixed"}, streams, sizes)
 	t.Notes = append(t.Notes,
+		"batch=1 is the sequential Insert/Delete path; larger batches use ApplyBatch",
+		"the shard-parallel fan-out needs multiple CPUs to show its full speedup")
+	return t
+}
+
+// SlidingWindow measures the delete-heavy regimes that delete-run batching
+// targets: a sliding window (every insertion evicts the oldest tuple, 50%
+// deletions), bursts (blocks of 16 insertions then 16 evictions, so
+// ApplyBatch segments long runs of both kinds), and a pure deletion stream
+// (draining half the database in one long delete run).
+func SlidingWindow(o Options, sizes ...int) *Table {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = DefaultBatchSizes
+	}
+	initial, fresh, cfg := batchSetup(o)
+	streams := map[string][]topk.Op{
+		"sliding": slidingStream(initial, fresh),
+		"bursty":  burstyStream(initial, fresh, 16),
+		"delete":  deleteStream(initial),
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Sliding-window / delete-heavy throughput (AntiCor, n=%d, d=%d, M=%d, r=%d)", len(initial), o.SynthD, o.M, cfg.R),
+		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "result==seq"},
+	}
+	runStreams(t, o, initial, cfg, []string{"sliding", "bursty", "delete"}, streams, sizes)
+	t.Notes = append(t.Notes,
+		"sliding: insert+evict pairs (50% deletes); bursty: alternating 16-op insert/delete runs; delete: one long drain",
 		"batch=1 is the sequential Insert/Delete path; larger batches use ApplyBatch",
 		"the shard-parallel fan-out needs multiple CPUs to show its full speedup")
 	return t
@@ -117,6 +156,52 @@ func mixedStream(initial, fresh []geom.Point) []topk.Op {
 			ops = append(ops, topk.DeleteOp(initial[del].ID))
 			del++
 		}
+	}
+	return ops
+}
+
+// slidingStream keeps the window size constant: every insertion of a fresh
+// tuple is followed by the eviction of the oldest live one (50% deletes).
+func slidingStream(initial, fresh []geom.Point) []topk.Op {
+	ops := make([]topk.Op, 0, 2*len(fresh))
+	del := 0
+	for _, p := range fresh {
+		ops = append(ops, topk.InsertOp(p))
+		if del < len(initial) {
+			ops = append(ops, topk.DeleteOp(initial[del].ID))
+			del++
+		}
+	}
+	return ops
+}
+
+// burstyStream alternates blocks of blockLen insertions with blocks of
+// blockLen evictions of the oldest live tuples, producing long runs of both
+// kinds for the run-segmented batch path.
+func burstyStream(initial, fresh []geom.Point, blockLen int) []topk.Op {
+	ops := make([]topk.Op, 0, 2*len(fresh))
+	del := 0
+	for i := 0; i < len(fresh); i += blockLen {
+		j := i + blockLen
+		if j > len(fresh) {
+			j = len(fresh)
+		}
+		for _, p := range fresh[i:j] {
+			ops = append(ops, topk.InsertOp(p))
+		}
+		for b := 0; b < j-i && del < len(initial); b++ {
+			ops = append(ops, topk.DeleteOp(initial[del].ID))
+			del++
+		}
+	}
+	return ops
+}
+
+// deleteStream drains half of the initial database in one long delete run.
+func deleteStream(initial []geom.Point) []topk.Op {
+	ops := make([]topk.Op, len(initial)/2)
+	for i := range ops {
+		ops[i] = topk.DeleteOp(initial[i].ID)
 	}
 	return ops
 }

@@ -115,6 +115,24 @@ func TestStaticFeasible(t *testing.T) {
 	}
 }
 
+// The throughput tables double as equivalence checks: every batched run
+// must report result==seq true. Tiny scale keeps this a smoke test.
+func TestThroughputTablesEquivalent(t *testing.T) {
+	o := QuickOptions()
+	o.Scale = 0.01
+	o.M = 256
+	for _, tb := range []*Table{BatchThroughput(o, 1, 8), SlidingWindow(o, 1, 8)} {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", tb.Title)
+		}
+		for _, row := range tb.Rows {
+			if got := row[len(row)-1]; got != "true" {
+				t.Fatalf("%s: row %v not equivalent to sequential", tb.Title, row)
+			}
+		}
+	}
+}
+
 func TestCapR(t *testing.T) {
 	if capR(50, 100000) != 50 {
 		t.Fatal("cap must not bind at paper scale")

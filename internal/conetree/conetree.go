@@ -59,10 +59,19 @@ type node struct {
 func New(dim int, items []Item) *Tree {
 	t := &Tree{dim: dim, items: make(map[int]*entry, len(items))}
 	for _, it := range items {
-		t.items[it.ID] = &entry{item: it}
+		t.items[it.ID] = &entry{item: it} // duplicate ids: the last item wins
 	}
-	ids := make([]int, 0, len(items))
+	// One leaf slot per DISTINCT id (first-occurrence order keeps the build
+	// deterministic). Planting a duplicated id in two leaves would leave a
+	// phantom copy behind after Delete, and the next refreshLeaf of the
+	// other leaf would dereference the no-longer-mapped id.
+	ids := make([]int, 0, len(t.items))
+	seen := make(map[int]bool, len(t.items))
 	for _, it := range items {
+		if seen[it.ID] {
+			continue
+		}
+		seen[it.ID] = true
 		ids = append(ids, it.ID)
 	}
 	t.root = t.build(nil, ids)

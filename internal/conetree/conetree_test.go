@@ -295,6 +295,69 @@ func TestAffectedExactQuick(t *testing.T) {
 	}
 }
 
+// New must deduplicate ids: building from a slice with repeated ids used to
+// plant the same id in two leaf slots, and the first Delete left a phantom
+// copy whose next refreshLeaf dereferenced the no-longer-mapped id (nil
+// panic). The last item of a duplicated id wins, matching Insert's replace
+// semantics.
+func TestNewDuplicateIDs(t *testing.T) {
+	items := []Item{
+		{ID: 0, U: geom.Vector{1, 0}, Threshold: 0.9},
+		{ID: 0, U: geom.Vector{0, 1}, Threshold: 0.1}, // replaces the first
+		{ID: 1, U: geom.Vector{1, 0}, Threshold: 0.5},
+	}
+	tr := New(2, items)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct ids", tr.Len())
+	}
+	// Only the last copy of id 0 (direction y, threshold 0.1) may match.
+	got := sortedCopy(tr.Affected(geom.NewPoint(0, 0.0, 0.8)))
+	if !equalInts(got, []int{0}) {
+		t.Fatalf("Affected = %v, want [0]", got)
+	}
+	// Deleting the duplicated id must not leave a phantom leaf entry: the
+	// follow-up delete (and its refreshLeaf) used to nil-panic.
+	if !tr.Delete(0) {
+		t.Fatal("Delete(0) reported missing")
+	}
+	if !tr.Delete(1) {
+		t.Fatal("Delete(1) reported missing")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if got := tr.Affected(geom.NewPoint(0, 1, 1)); got != nil {
+		t.Fatalf("emptied tree Affected = %v", got)
+	}
+}
+
+// Many duplicates spanning several leaves, checked against brute force
+// after deleting the duplicated ids.
+func TestNewDuplicateIDsManyLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := 3
+	base := randomItems(rng, 40, d)
+	items := append(append([]Item(nil), base...), base[:20]...) // 20 ids twice
+	tr := New(d, items)
+	if tr.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", tr.Len())
+	}
+	ref := make(map[int]Item, len(base))
+	for _, it := range base {
+		ref[it.ID] = it
+	}
+	for id := 0; id < 20; id++ {
+		if !tr.Delete(id) {
+			t.Fatalf("Delete(%d) reported missing", id)
+		}
+		delete(ref, id)
+		p := randomPoint(rng, d)
+		if !equalInts(sortedCopy(tr.Affected(p)), bruteAffected(ref, p)) {
+			t.Fatalf("Affected mismatch after deleting %d", id)
+		}
+	}
+}
+
 func BenchmarkAffected(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	d := 6

@@ -102,6 +102,78 @@ func TestApplyBatchEquivalentToSequential(t *testing.T) {
 	}
 }
 
+// The delete-run path must keep the cover bit-identical too: alternating
+// blocks of insertions and deletions (sliding-window style) so ApplyBatch
+// segments long runs of each kind at every batch size.
+func TestApplyBatchDeleteRunsEquivalent(t *testing.T) {
+	for _, batchSize := range []int{1, 16, 128, 512} {
+		rng := rand.New(rand.NewSource(int64(53 + batchSize)))
+		d := 4
+		pts := make([]geom.Point, 150)
+		for i := range pts {
+			v := make(geom.Vector, d)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			pts[i] = geom.Point{ID: i, Coords: v}
+		}
+		cfg := Config{K: 2, R: 8, Eps: 0.02, M: 128, Seed: 5, Shards: 4}
+		batched := mustNew(t, d, pts, cfg)
+		sequential := mustNew(t, d, pts, cfg)
+
+		// Blocks of 30 inserts alternating with blocks of 30 deletes of the
+		// oldest live ids.
+		live := make([]int, len(pts))
+		for i := range live {
+			live[i] = i
+		}
+		next := 1000
+		var ops []topk.Op
+		for b := 0; b < 10; b++ {
+			if b%2 == 0 {
+				for i := 0; i < 30; i++ {
+					v := make(geom.Vector, d)
+					for j := range v {
+						v[j] = rng.Float64()
+					}
+					ops = append(ops, topk.InsertOp(geom.Point{ID: next, Coords: v}))
+					live = append(live, next)
+					next++
+				}
+			} else {
+				for i := 0; i < 30 && len(live) > 0; i++ {
+					ops = append(ops, topk.DeleteOp(live[0]))
+					live = live[1:]
+				}
+			}
+		}
+
+		for i := 0; i < len(ops); i += batchSize {
+			j := i + batchSize
+			if j > len(ops) {
+				j = len(ops)
+			}
+			batched.ApplyBatch(ops[i:j])
+			for _, op := range ops[i:j] {
+				if op.Delete {
+					sequential.Delete(op.ID)
+				} else {
+					sequential.Insert(op.Point)
+				}
+			}
+			if a, b := batched.ResultIDs(), sequential.ResultIDs(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("batch=%d after op %d: covers differ: %v vs %v", batchSize, j, a, b)
+			}
+			if err := batched.CheckInvariants(); err != nil {
+				t.Fatalf("batch=%d after op %d: %v", batchSize, j, err)
+			}
+		}
+		if a, b := batched.Stats(), sequential.Stats(); a != b {
+			t.Fatalf("batch=%d: stats diverge: %+v vs %+v", batchSize, a, b)
+		}
+	}
+}
+
 // Two identically-configured instances fed the same operations must agree
 // exactly — the solver, the engine, and initialization are deterministic
 // functions of the operation sequence.

@@ -217,22 +217,51 @@ func (f *FDRMS) settle(deleted *int) {
 	}
 }
 
+// updateMMaxFlips bounds the grow/shrink direction changes of one updateM
+// call. A single element step usually moves |C| by at most one, but a
+// STABILIZE cascade can jump it (one RemoveElement may empty several sets
+// via takeovers, one AddElement may open a set a takeover then keeps), so
+// the walk can overshoot r in either direction and needs both directions to
+// reach a fixpoint. Stable covers are path-dependent, so a pathological
+// system could in principle keep crossing r; after this many flips the walk
+// settles for the current |C| <= r state instead of chasing it.
+const updateMMaxFlips = 32
+
 // updateM is Algorithm 4: grow or shrink the universe one utility vector at
 // a time until the stable cover uses exactly r sets, m reaches M, or m
-// reaches its lower bound r.
+// reaches its lower bound r. Growing and shrinking alternate as needed —
+// a shrink step that collapses several sets at once (takeover cascade) can
+// undershoot r and leave room to grow again, which a one-directional walk
+// would miss.
 func (f *FDRMS) updateM() {
-	if f.cover.Size() < f.cfg.R {
-		for f.m < f.cfg.M && f.cover.Size() < f.cfg.R {
+	growing := f.cover.Size() < f.cfg.R
+	flips := 0
+	for {
+		switch size := f.cover.Size(); {
+		case size < f.cfg.R && f.m < f.cfg.M:
+			if !growing {
+				growing = true
+				if flips++; flips > updateMMaxFlips {
+					// Oscillation guard: |C| < r is a valid (if conservative)
+					// answer; |C| > r would violate the size constraint, so
+					// only the grow direction may give up.
+					return
+				}
+			}
 			// Memberships of u_m are already registered (the engine maintains
 			// all M utilities), so only the universe grows.
 			f.cover.AddElement(f.m)
 			f.m++
+		case size > f.cfg.R && f.m > f.cfg.R:
+			if growing {
+				growing = false
+				flips++
+			}
+			f.m--
+			f.cover.RemoveElement(f.m)
+		default:
+			return
 		}
-		return
-	}
-	for f.cover.Size() > f.cfg.R && f.m > f.cfg.R {
-		f.m--
-		f.cover.RemoveElement(f.m)
 	}
 }
 

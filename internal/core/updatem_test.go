@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/setcover"
+)
+
+// checkUpdateMFixpoint asserts Algorithm 4's post-condition: after settle,
+// either |C| == r, or the walk is pinned at a bound (m == M with a cover
+// that is still too small, m == r with one that is still too large). A
+// state with |C| < r and m < M means updateM stopped with room to grow —
+// the one-directional walk bug, hit when a RemoveElement collapses several
+// sets via a takeover cascade and |C| drops from r+1 past r.
+func checkUpdateMFixpoint(t *testing.T, f *FDRMS, when string) {
+	t.Helper()
+	st := f.Stats()
+	r, M := f.cfg.R, f.cfg.M
+	if st.CoverSize < r && st.M < M {
+		t.Fatalf("%s: |C| = %d < r = %d with m = %d < M = %d (room to grow)", when, st.CoverSize, r, st.M, M)
+	}
+	if st.CoverSize > r && st.M > r {
+		t.Fatalf("%s: |C| = %d > r = %d with m = %d > r (room to shrink)", when, st.CoverSize, r, st.M)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("%s: %v", when, err)
+	}
+}
+
+// gridCorePoints lie on a coarse grid, so many tuples tie exactly and the
+// member sets S(p) overlap heavily — the regime where STABILIZE takeovers
+// cascade and one deletion can collapse several chosen sets at once.
+func gridCorePoints(rng *rand.Rand, n, d, idBase, levels int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = float64(rng.Intn(levels)) / float64(levels-1)
+		}
+		pts[i] = geom.Point{ID: idBase + i, Coords: v}
+	}
+	return pts
+}
+
+// Delete-heavy churn on tie-heavy data must keep updateM at its fixpoint
+// after every operation.
+func TestUpdateMFixpointUnderChurn(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6, 7, 8} {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(2)
+		pts := gridCorePoints(rng, 80, d, 0, 3)
+		cfg := Config{K: 1, R: 3 + rng.Intn(3), Eps: 0.05, M: 48, Seed: seed}
+		f := mustNew(t, d, pts, cfg)
+		checkUpdateMFixpoint(t, f, "init")
+
+		live := make([]int, 0, len(pts))
+		for _, p := range pts {
+			live = append(live, p.ID)
+		}
+		next := 1000
+		for op := 0; op < 120; op++ {
+			// 60% deletes: shrink pressure is what exposes the collapse.
+			if rng.Intn(10) < 6 && len(live) > 2*cfg.R {
+				i := rng.Intn(len(live))
+				f.Delete(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				p := gridCorePoints(rng, 1, d, next, 3)[0]
+				next++
+				f.Insert(p)
+				live = append(live, p.ID)
+			}
+			checkUpdateMFixpoint(t, f, "churn")
+		}
+	}
+}
+
+// collapseCover rebuilds the solver state of the setcover package's
+// TestRemoveElementCanCollapseSeveralSets (same seeded recipe): a stable
+// cover of 4 sets over universe {0..11} whose next RemoveElement(11)
+// collapses |C| to 2 through a takeover cascade. Memberships span elements
+// 0..31, so re-growing the universe is possible.
+func collapseCover(t *testing.T) *setcover.Solver {
+	t.Helper()
+	rng := rand.New(rand.NewSource(79))
+	nSets := 4 + rng.Intn(12) // = 15
+	M := 10 + rng.Intn(30)    // = 32
+	sv := setcover.NewSolver()
+	for s := 0; s < nSets; s++ {
+		sv.RegisterSet(100 + s)
+		for e := 0; e < M; e++ {
+			if rng.Intn(3) == 0 {
+				sv.AddSetMember(100+s, e)
+			}
+		}
+	}
+	m := M/2 + rng.Intn(M/2) // = 30
+	sv.ResetUniverse(rangeInts(m))
+	for i := 0; i < 60; i++ {
+		s := 100 + rng.Intn(nSets)
+		e := rng.Intn(M)
+		if rng.Intn(2) == 0 {
+			sv.AddSetMember(s, e)
+		} else {
+			sv.RemoveSetMember(s, e)
+		}
+	}
+	for m > 12 {
+		m--
+		sv.RemoveElement(m)
+	}
+	if got := sv.Size(); got != 4 {
+		t.Fatalf("recipe drifted: |C| = %d, want 4 (keep in sync with setcover's collapseScenario)", got)
+	}
+	return sv
+}
+
+// updateM must reach its fixpoint even when the shrink step collapses |C|
+// from r+1 past r: the walk has to turn around and grow again. The old
+// one-directional walk returned with |C| = 2 < r = 3 and m = 11 far below
+// M. (The FDRMS value is assembled directly — updateM reads only cfg,
+// cover, and m, and no geometric database is needed to pin the set-cover
+// mechanics.)
+func TestUpdateMRegrowsAfterCollapse(t *testing.T) {
+	sv := collapseCover(t)
+	f := &FDRMS{cfg: Config{K: 1, R: 3, Eps: 0.01, M: 32, Seed: 1}, cover: sv, m: 12}
+	// |C| = 4 = r+1: exactly the state settle hands to updateM.
+	f.updateM()
+	if err := sv.CheckStable(); err != nil {
+		t.Fatal(err)
+	}
+	st := Stats{M: f.m, CoverSize: sv.Size()}
+	if st.CoverSize < f.cfg.R && st.M < f.cfg.M {
+		t.Fatalf("|C| = %d < r = %d with m = %d < M = %d: updateM stopped with room to grow", st.CoverSize, f.cfg.R, st.M, f.cfg.M)
+	}
+	if st.CoverSize > f.cfg.R && st.M > f.cfg.R {
+		t.Fatalf("|C| = %d > r = %d with m = %d: updateM stopped with room to shrink", st.CoverSize, f.cfg.R, st.M)
+	}
+	if got := sv.UniverseSize(); got != f.m {
+		t.Fatalf("universe size %d != m %d", got, f.m)
+	}
+}
+
+// Draining the database to fewer points than r and refilling crosses every
+// boundary case of the grow/shrink walk.
+func TestUpdateMFixpointDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := 3
+	pts := gridCorePoints(rng, 60, d, 0, 2) // levels=2: extreme overlap
+	cfg := Config{K: 1, R: 4, Eps: 0.05, M: 32, Seed: 3}
+	f := mustNew(t, d, pts, cfg)
+	for _, p := range pts {
+		f.Delete(p.ID)
+		checkUpdateMFixpoint(t, f, "drain")
+	}
+	for _, p := range gridCorePoints(rng, 60, d, 2000, 2) {
+		f.Insert(p)
+		checkUpdateMFixpoint(t, f, "refill")
+	}
+}

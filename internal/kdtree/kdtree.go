@@ -10,6 +10,24 @@
 //   - NearestK: Euclidean k-nearest-neighbours, used by the MIPS-to-kNN
 //     reduction of Bachrach et al. (see mips.go) that the paper cites;
 //   - Insert and Delete with tombstoning and automatic rebuilds.
+//
+// # Epoch versioning
+//
+// Every mutation advances the tree's epoch: nodes carry the epoch of their
+// insertion and (for tombstones) of their deletion, so a point is visible
+// as of epoch e when ins <= e < del. The At-suffixed queries (TopKAt,
+// AtLeastAt, ContainsAt, PointByIDAt, KthScoreAt) evaluate against the
+// database as it stood after the mutation that produced epoch e, while the
+// plain methods read the present. Historic reads need the relevant
+// tombstones to still be physically present, which a retain window
+// guarantees: between BeginRetain and EndRetain no tombstone is compacted
+// (rebuilds are deferred and the defensive rebuild keeps retained
+// tombstones), so reads at any epoch >= the BeginRetain epoch are exact.
+// This is how the batched delete path of internal/topk replays a whole run
+// of deletions in one parallel phase: the run is tombstoned up front and
+// every worker requeries at its operation's epoch. Within one retain window
+// each id may be deleted at most once (the batch pipeline guarantees this);
+// reads at epochs before the window observe the present database instead.
 package kdtree
 
 import (
@@ -25,73 +43,101 @@ type Tree struct {
 	dim     int
 	live    int
 	removed int
-	byID    map[int]geom.Point
+	byID    map[int]liveEntry
+
+	epoch       uint64 // advanced by every Insert and effective Delete
+	retaining   bool
+	retainFloor uint64        // epoch at BeginRetain (valid when retaining)
+	graveyard   map[int]grave // retained tombstones by id (only while retaining)
+}
+
+// liveEntry is the by-id record of a live point.
+type liveEntry struct {
+	p   geom.Point
+	ins uint64 // insertion epoch
+}
+
+// grave is the by-id record of a tombstone kept alive by a retain window.
+type grave struct {
+	p        geom.Point
+	ins, del uint64
 }
 
 type node struct {
 	point          geom.Point
 	axis           int
 	deleted        bool
+	ins, del       uint64 // insertion / deletion epoch (del valid when deleted)
+	maxDel         uint64 // max deletion epoch over the subtree (0: none)
 	left, right    *node
 	boxMin, boxMax geom.Vector // bounding box of the whole subtree
 	liveCount      int
 }
 
+// rec is one point record handed to build: a live point or, during a
+// retaining rebuild, a tombstone that must survive compaction.
+type rec struct {
+	p        geom.Point
+	ins, del uint64
+	deleted  bool
+}
+
 // New builds a balanced tree over pts by recursive median split.
 // The input slice is not modified.
 func New(dim int, pts []geom.Point) *Tree {
-	t := &Tree{dim: dim, byID: make(map[int]geom.Point, len(pts))}
-	buf := make([]geom.Point, len(pts))
-	copy(buf, pts)
-	for _, p := range pts {
-		t.byID[p.ID] = p
+	t := &Tree{dim: dim, byID: make(map[int]liveEntry, len(pts))}
+	buf := make([]rec, len(pts))
+	for i, p := range pts {
+		buf[i] = rec{p: p}
+		t.byID[p.ID] = liveEntry{p: p}
 	}
 	t.root = build(buf, 0, dim)
 	t.live = len(pts)
 	return t
 }
 
-func build(pts []geom.Point, axis, dim int) *node {
-	if len(pts) == 0 {
+func build(recs []rec, axis, dim int) *node {
+	if len(recs) == 0 {
 		return nil
 	}
-	mid := len(pts) / 2
-	selectKth(pts, mid, axis)
-	n := &node{point: pts[mid], axis: axis}
+	mid := len(recs) / 2
+	selectKth(recs, mid, axis)
+	r := recs[mid]
+	n := &node{point: r.p, axis: axis, ins: r.ins, del: r.del, deleted: r.deleted}
 	next := (axis + 1) % dim
-	n.left = build(pts[:mid], next, dim)
-	n.right = build(pts[mid+1:], next, dim)
+	n.left = build(recs[:mid], next, dim)
+	n.right = build(recs[mid+1:], next, dim)
 	n.refreshBounds(dim)
 	return n
 }
 
-// selectKth partially sorts pts so pts[k] is the k-th smallest on axis
+// selectKth partially sorts recs so recs[k] is the k-th smallest on axis
 // (quickselect with median-of-three pivoting).
-func selectKth(pts []geom.Point, k, axis int) {
-	lo, hi := 0, len(pts)-1
+func selectKth(recs []rec, k, axis int) {
+	lo, hi := 0, len(recs)-1
 	for lo < hi {
 		// Median-of-three pivot.
 		mid := (lo + hi) / 2
-		if pts[mid].Coords[axis] < pts[lo].Coords[axis] {
-			pts[mid], pts[lo] = pts[lo], pts[mid]
+		if recs[mid].p.Coords[axis] < recs[lo].p.Coords[axis] {
+			recs[mid], recs[lo] = recs[lo], recs[mid]
 		}
-		if pts[hi].Coords[axis] < pts[lo].Coords[axis] {
-			pts[hi], pts[lo] = pts[lo], pts[hi]
+		if recs[hi].p.Coords[axis] < recs[lo].p.Coords[axis] {
+			recs[hi], recs[lo] = recs[lo], recs[hi]
 		}
-		if pts[hi].Coords[axis] < pts[mid].Coords[axis] {
-			pts[hi], pts[mid] = pts[mid], pts[hi]
+		if recs[hi].p.Coords[axis] < recs[mid].p.Coords[axis] {
+			recs[hi], recs[mid] = recs[mid], recs[hi]
 		}
-		pivot := pts[mid].Coords[axis]
+		pivot := recs[mid].p.Coords[axis]
 		i, j := lo, hi
 		for i <= j {
-			for pts[i].Coords[axis] < pivot {
+			for recs[i].p.Coords[axis] < pivot {
 				i++
 			}
-			for pts[j].Coords[axis] > pivot {
+			for recs[j].p.Coords[axis] > pivot {
 				j--
 			}
 			if i <= j {
-				pts[i], pts[j] = pts[j], pts[i]
+				recs[i], recs[j] = recs[j], recs[i]
 				i++
 				j--
 			}
@@ -110,7 +156,10 @@ func (n *node) refreshBounds(dim int) {
 	n.boxMin = n.point.Coords.Clone()
 	n.boxMax = n.point.Coords.Clone()
 	n.liveCount = 0
-	if !n.deleted {
+	n.maxDel = 0
+	if n.deleted {
+		n.maxDel = n.del
+	} else {
 		n.liveCount = 1
 	}
 	for _, c := range []*node{n.left, n.right} {
@@ -118,6 +167,9 @@ func (n *node) refreshBounds(dim int) {
 			continue
 		}
 		n.liveCount += c.liveCount
+		if c.maxDel > n.maxDel {
+			n.maxDel = c.maxDel
+		}
 		for i := 0; i < dim; i++ {
 			if c.boxMin[i] < n.boxMin[i] {
 				n.boxMin[i] = c.boxMin[i]
@@ -129,11 +181,53 @@ func (n *node) refreshBounds(dim int) {
 	}
 }
 
+// visibleAt reports whether the node's point is part of the database as of
+// epoch e.
+func (n *node) visibleAt(e uint64) bool {
+	return n.ins <= e && (!n.deleted || n.del > e)
+}
+
+// emptyAt reports whether the subtree can be pruned for an as-of-e read: no
+// currently-live point and no tombstone deleted after e. (A subtree whose
+// only visible points were inserted after e is still descended; the
+// per-node visibility check rejects them.)
+func (n *node) emptyAt(e uint64) bool {
+	return n.liveCount == 0 && n.maxDel <= e
+}
+
 // Len returns the number of live points.
 func (t *Tree) Len() int { return t.live }
 
 // Dim returns the tree's dimensionality.
 func (t *Tree) Dim() int { return t.dim }
+
+// Epoch returns the current epoch: the number of mutations applied so far.
+// A read at this epoch observes the present database.
+func (t *Tree) Epoch() uint64 { return t.epoch }
+
+// BeginRetain opens a retain window at the current epoch and returns it.
+// Until EndRetain, tombstones are kept (rebuilds deferred, deleted points
+// parked in a graveyard for by-id reads), so every At-query with an epoch
+// >= the returned value is exact even while later deletions are recorded.
+// Windows do not nest.
+func (t *Tree) BeginRetain() uint64 {
+	t.retaining = true
+	t.retainFloor = t.epoch
+	if t.graveyard == nil {
+		t.graveyard = make(map[int]grave)
+	}
+	return t.epoch
+}
+
+// EndRetain closes the retain window, drops the graveyard, and performs any
+// deferred compaction.
+func (t *Tree) EndRetain() {
+	t.retaining = false
+	clear(t.graveyard)
+	if t.removed > t.live {
+		t.rebuild()
+	}
+}
 
 // Contains reports whether a live point with the given id exists.
 func (t *Tree) Contains(id int) bool {
@@ -141,17 +235,35 @@ func (t *Tree) Contains(id int) bool {
 	return ok
 }
 
+// ContainsAt reports whether a point with the given id was live as of epoch e.
+func (t *Tree) ContainsAt(id int, e uint64) bool {
+	_, ok := t.PointByIDAt(id, e)
+	return ok
+}
+
 // PointByID returns the live point with the given id.
 func (t *Tree) PointByID(id int) (geom.Point, bool) {
-	p, ok := t.byID[id]
-	return p, ok
+	le, ok := t.byID[id]
+	return le.p, ok
+}
+
+// PointByIDAt returns the point with the given id as it was live at epoch e.
+// Deleted points are found only inside a retain window covering e.
+func (t *Tree) PointByIDAt(id int, e uint64) (geom.Point, bool) {
+	if le, ok := t.byID[id]; ok && le.ins <= e {
+		return le.p, true
+	}
+	if g, ok := t.graveyard[id]; ok && g.ins <= e && g.del > e {
+		return g.p, true
+	}
+	return geom.Point{}, false
 }
 
 // Points returns all live points in unspecified order.
 func (t *Tree) Points() []geom.Point {
 	out := make([]geom.Point, 0, t.live)
-	for _, p := range t.byID {
-		out = append(out, p)
+	for _, le := range t.byID {
+		out = append(out, le.p)
 	}
 	return out
 }
@@ -162,17 +274,18 @@ func (t *Tree) Insert(p geom.Point) {
 	if t.Contains(p.ID) {
 		t.Delete(p.ID)
 	}
-	t.byID[p.ID] = p
+	t.epoch++
+	t.byID[p.ID] = liveEntry{p: p, ins: t.epoch}
 	t.live++
 	if t.root == nil {
-		t.root = &node{point: p, axis: 0}
+		t.root = &node{point: p, axis: 0, ins: t.epoch}
 		t.root.refreshBounds(t.dim)
 		return
 	}
-	t.insertAt(t.root, p)
+	t.insertAt(t.root, p, t.epoch)
 }
 
-func (t *Tree) insertAt(n *node, p geom.Point) {
+func (t *Tree) insertAt(n *node, p geom.Point, ins uint64) {
 	n.liveCount++
 	for i := 0; i < t.dim; i++ {
 		if p.Coords[i] < n.boxMin[i] {
@@ -185,49 +298,56 @@ func (t *Tree) insertAt(n *node, p geom.Point) {
 	next := (n.axis + 1) % t.dim
 	if p.Coords[n.axis] < n.point.Coords[n.axis] {
 		if n.left == nil {
-			n.left = &node{point: p, axis: next}
+			n.left = &node{point: p, axis: next, ins: ins}
 			n.left.refreshBounds(t.dim)
 			return
 		}
-		t.insertAt(n.left, p)
+		t.insertAt(n.left, p, ins)
 	} else {
 		if n.right == nil {
-			n.right = &node{point: p, axis: next}
+			n.right = &node{point: p, axis: next, ins: ins}
 			n.right.refreshBounds(t.dim)
 			return
 		}
-		t.insertAt(n.right, p)
+		t.insertAt(n.right, p, ins)
 	}
 }
 
 // Delete tombstones the point with the given id and reports whether it was
 // present. When more than half of the stored nodes are tombstones the tree
-// is rebuilt from the live points, keeping queries balanced.
+// is rebuilt from the live points, keeping queries balanced; inside a
+// retain window the rebuild is deferred to EndRetain so historic reads stay
+// valid.
 func (t *Tree) Delete(id int) bool {
-	p, ok := t.byID[id]
+	le, ok := t.byID[id]
 	if !ok {
 		return false
 	}
 	delete(t.byID, id)
-	if !t.tombstone(t.root, p) {
+	t.epoch++
+	if t.retaining {
+		t.graveyard[id] = grave{p: le.p, ins: le.ins, del: t.epoch}
+	}
+	if !t.tombstone(t.root, le.p, t.epoch) {
 		// The map and tree disagree; rebuild defensively to restore the
-		// invariant rather than leave a phantom live node.
+		// invariant rather than leave a phantom live node. The rebuild keeps
+		// retained tombstones, so open retain windows survive it.
 		t.rebuild()
-		t.live = len(t.byID)
 		return true
 	}
 	t.live--
 	t.removed++
-	if t.removed > t.live {
+	if !t.retaining && t.removed > t.live {
 		t.rebuild()
 	}
 	return true
 }
 
 // tombstone finds the node holding point p (matching by ID) and marks it
-// deleted, decrementing live counts along the path. Coordinates equal on the
-// split axis may sit in either subtree, so both are searched when needed.
-func (t *Tree) tombstone(n *node, p geom.Point) bool {
+// deleted at epoch del, decrementing live counts along the path.
+// Coordinates equal on the split axis may sit in either subtree, so both
+// are searched when needed.
+func (t *Tree) tombstone(n *node, p geom.Point, del uint64) bool {
 	if n == nil {
 		return false
 	}
@@ -239,34 +359,62 @@ func (t *Tree) tombstone(n *node, p geom.Point) bool {
 	}
 	if n.point.ID == p.ID && !n.deleted {
 		n.deleted = true
+		n.del = del
+		if del > n.maxDel {
+			n.maxDel = del
+		}
 		n.liveCount--
 		return true
 	}
 	if p.Coords[n.axis] < n.point.Coords[n.axis] {
-		if t.tombstone(n.left, p) {
+		if t.tombstone(n.left, p, del) {
 			n.liveCount--
+			if del > n.maxDel {
+				n.maxDel = del
+			}
 			return true
 		}
 		return false
 	}
-	if t.tombstone(n.right, p) {
+	if t.tombstone(n.right, p, del) {
 		n.liveCount--
+		if del > n.maxDel {
+			n.maxDel = del
+		}
 		return true
 	}
 	// Equal axis values historically went right, but an interleaved rebuild
 	// may have placed them left of the median; search the other side too.
-	if p.Coords[n.axis] == n.point.Coords[n.axis] && t.tombstone(n.left, p) {
+	if p.Coords[n.axis] == n.point.Coords[n.axis] && t.tombstone(n.left, p, del) {
 		n.liveCount--
+		if del > n.maxDel {
+			n.maxDel = del
+		}
 		return true
 	}
 	return false
 }
 
+// rebuild reconstructs the tree from the live points (the by-id map is
+// authoritative), keeping the tombstones of an open retain window so
+// historic reads stay exact.
 func (t *Tree) rebuild() {
-	pts := t.Points()
-	t.root = build(pts, 0, t.dim)
-	t.live = len(pts)
-	t.removed = 0
+	recs := make([]rec, 0, len(t.byID)+len(t.graveyard))
+	for _, le := range t.byID {
+		recs = append(recs, rec{p: le.p, ins: le.ins})
+	}
+	removed := 0
+	if t.retaining {
+		for _, g := range t.graveyard {
+			if g.del > t.retainFloor {
+				recs = append(recs, rec{p: g.p, ins: g.ins, del: g.del, deleted: true})
+				removed++
+			}
+		}
+	}
+	t.root = build(recs, 0, t.dim)
+	t.live = len(t.byID)
+	t.removed = removed
 }
 
 // boxScoreUB returns an upper bound on <u, p> over every point in the box
@@ -305,11 +453,20 @@ func (q *nodePQ) Pop() interface{} {
 	return x
 }
 
-// resultHeap is a min-heap over scores used to keep the best k results.
+// resultHeap is a min-heap used to keep the best k results; the root is the
+// WORST kept result under the total order (score descending, then point ID
+// ascending), so among equal scores the largest id is evicted first and the
+// returned k-set is a deterministic function of the candidate set alone —
+// not of the traversal order, which varies with the tree's structure.
 type resultHeap []Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Point.ID > h[j].Point.ID
+}
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
 func (h *resultHeap) Pop() interface{} {
@@ -322,71 +479,142 @@ func (h *resultHeap) Pop() interface{} {
 
 // TopK returns the k live points with the largest score <u, p>, in
 // decreasing score order. Fewer than k points are returned when the tree
-// holds fewer. Ties are broken by smaller point ID so results are stable.
+// holds fewer. Ties are broken by smaller point ID so results are stable:
+// the answer is a deterministic function of the visible point set alone,
+// never of the tree's internal shape (which rebuild timing perturbs).
 func (t *Tree) TopK(u geom.Vector, k int) []Result {
-	if t.root == nil || k <= 0 {
+	return t.TopKAt(u, k, t.epoch)
+}
+
+// TopKAt is TopK against the database as of epoch e.
+//
+// Two phases: a best-first branch-and-bound with strict pruning finds the
+// k best SCORES (the score multiset is shape-independent, the identities of
+// tuples tying the kth score are not — a pruned sibling box can hide an
+// equal-scoring tuple with a smaller id). When anything was excluded at a
+// value TYING the then-current kth score — a pruned box, a skipped point,
+// an evicted tie — a threshold sweep at the final kth score collects every
+// tying tuple and keeps the smallest ids. Exclusions strictly below the
+// current kth can never reach the final kth (it only rises), so tie-free
+// queries skip the sweep entirely; admitting ub == kth boxes into the heap
+// search instead would explore the same region at far higher cost (clipped
+// real datasets tie constantly).
+func (t *Tree) TopKAt(u geom.Vector, k int, e uint64) []Result {
+	best, ambiguous := t.searchTopK(u, k, e)
+	if len(best) == 0 {
 		return nil
+	}
+	if len(best) == k && ambiguous {
+		// Deterministic tie resolution at the kth-score boundary.
+		out := t.AtLeastAt(u, best[0].Score, e)
+		sortResults(out)
+		return out[:k:k]
+	}
+	// Tie-free boundary (or fewer than k visible points, where the search
+	// explored everything): the set itself is forced, so it is already
+	// deterministic.
+	out := make([]Result, len(best))
+	copy(out, best)
+	sortResults(out)
+	return out
+}
+
+// searchTopK is the phase-1 branch-and-bound: it returns k results whose
+// SCORES are the exact k best as of epoch e (identities of tuples tying
+// the kth score are traversal-dependent), plus whether any exclusion tied
+// the then-current kth score — the signal that identity resolution needs
+// the phase-2 sweep.
+func (t *Tree) searchTopK(u geom.Vector, k int, e uint64) (best resultHeap, ambiguous bool) {
+	if t.root == nil || k <= 0 {
+		return nil, false
 	}
 	var frontier nodePQ
 	heap.Push(&frontier, nodeEntry{t.root, boxScoreUB(u, t.root)})
-	var best resultHeap
 	for frontier.Len() > 0 {
-		e := heap.Pop(&frontier).(nodeEntry)
-		if len(best) == k && e.ub <= best[0].Score {
-			break // no node can beat the current kth score
+		ent := heap.Pop(&frontier).(nodeEntry)
+		if len(best) == k && ent.ub <= best[0].Score {
+			// Remaining frontier entries bound no higher than this one.
+			if ent.ub == best[0].Score {
+				ambiguous = true
+			}
+			break
 		}
-		n := e.n
-		if !n.deleted {
+		n := ent.n
+		if n.visibleAt(e) {
 			s := geom.Score(u, n.point)
 			if len(best) < k {
 				heap.Push(&best, Result{n.point, s})
 			} else if s > best[0].Score {
+				evicted := best[0].Score
 				best[0] = Result{n.point, s}
 				heap.Fix(&best, 0)
+				if best[0].Score == evicted {
+					ambiguous = true // the evicted point tied the surviving kth
+				}
+			} else if s == best[0].Score {
+				ambiguous = true
 			}
 		}
 		for _, c := range []*node{n.left, n.right} {
-			if c == nil || c.liveCount == 0 {
+			if c == nil || c.emptyAt(e) {
 				continue
 			}
 			ub := boxScoreUB(u, c)
 			if len(best) < k || ub > best[0].Score {
 				heap.Push(&frontier, nodeEntry{c, ub})
+			} else if ub == best[0].Score {
+				ambiguous = true
 			}
 		}
 	}
-	out := make([]Result, len(best))
-	copy(out, best)
+	return best, ambiguous
+}
+
+// sortResults orders results by decreasing score, then increasing point ID.
+func sortResults(out []Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Point.ID < out[j].Point.ID
 	})
-	return out
 }
 
 // KthScore returns the k-th largest score w.r.t. u (ω_k in the paper).
 // When fewer than k live points exist it returns the smallest live score,
 // so every point counts as a top-k member; ok is false on an empty tree.
 func (t *Tree) KthScore(u geom.Vector, k int) (score float64, ok bool) {
-	res := t.TopK(u, k)
-	if len(res) == 0 {
+	return t.KthScoreAt(u, k, t.epoch)
+}
+
+// KthScoreAt is KthScore against the database as of epoch e. Only the kth
+// SCORE is needed, which phase 1 determines exactly, so the identity-
+// resolving tie sweep of TopKAt is skipped entirely.
+func (t *Tree) KthScoreAt(u geom.Vector, k int, e uint64) (score float64, ok bool) {
+	best, _ := t.searchTopK(u, k, e)
+	if len(best) == 0 {
 		return 0, false
 	}
-	return res[len(res)-1].Score, true
+	// best[0] is the heap's worst kept result = the kth (or, with fewer
+	// than k points, the smallest live) score.
+	return best[0].Score, true
 }
 
 // AtLeast returns every live point with score <u, p> >= tau, in unspecified
 // order. This realizes Φ_{k,ε} when tau = (1-ε)·ω_k.
 func (t *Tree) AtLeast(u geom.Vector, tau float64) []Result {
+	return t.AtLeastAt(u, tau, t.epoch)
+}
+
+// AtLeastAt is AtLeast against the database as of epoch e.
+func (t *Tree) AtLeastAt(u geom.Vector, tau float64, e uint64) []Result {
 	var out []Result
 	var walk func(n *node)
 	walk = func(n *node) {
-		if n == nil || n.liveCount == 0 || boxScoreUB(u, n) < tau {
+		if n == nil || n.emptyAt(e) || boxScoreUB(u, n) < tau {
 			return
 		}
-		if !n.deleted {
+		if n.visibleAt(e) {
 			if s := geom.Score(u, n.point); s >= tau {
 				out = append(out, Result{n.point, s})
 			}

@@ -46,11 +46,13 @@ func (t *Tree) NearestK(q geom.Vector, k int) []Result {
 	}
 	var frontier nodePQ // reuse: store negative distance so max-heap pops nearest box first
 	heap.Push(&frontier, nodeEntry{t.root, -boxDistLB(q, t.root)})
-	// Max-heap on distance keeps the k closest seen so far.
+	// Max-heap on distance keeps the k closest seen so far. Like TopK, boxes
+	// and points tying the kth distance are still considered so the ID
+	// tie-break is honored regardless of the tree's shape.
 	var best resultHeap // Score holds negative distance, so best[0] is the farthest kept
 	for frontier.Len() > 0 {
 		e := heap.Pop(&frontier).(nodeEntry)
-		if len(best) == k && -e.ub >= -best[0].Score {
+		if len(best) == k && -e.ub > -best[0].Score {
 			break
 		}
 		n := e.n
@@ -58,7 +60,7 @@ func (t *Tree) NearestK(q geom.Vector, k int) []Result {
 			d := geom.Dist(q, n.point.Coords)
 			if len(best) < k {
 				heap.Push(&best, Result{n.point, -d})
-			} else if -d > best[0].Score {
+			} else if -d > best[0].Score || (-d == best[0].Score && n.point.ID < best[0].Point.ID) {
 				best[0] = Result{n.point, -d}
 				heap.Fix(&best, 0)
 			}
@@ -68,7 +70,7 @@ func (t *Tree) NearestK(q geom.Vector, k int) []Result {
 				continue
 			}
 			lb := boxDistLB(q, c)
-			if len(best) < k || -lb > best[0].Score {
+			if len(best) < k || -lb >= best[0].Score {
 				heap.Push(&frontier, nodeEntry{c, -lb})
 			}
 		}

@@ -538,3 +538,69 @@ func BenchmarkSigmaOps(b *testing.B) {
 		}
 	}
 }
+
+// collapseScenario drives the solver into a stable state (found by seeded
+// search) where removing the single universe element 11 empties several
+// chosen sets at once through a takeover cascade. It returns the solver
+// with universe {0..11} and |C| = 4. The same recipe backs the updateM
+// regression test in internal/core, which relies on exactly this collapse.
+func collapseScenario(tb testing.TB) *Solver {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(79))
+	nSets := 4 + rng.Intn(12) // = 15
+	M := 10 + rng.Intn(30)    // = 32
+	sv := NewSolver()
+	for s := 0; s < nSets; s++ {
+		sv.RegisterSet(100 + s)
+		for e := 0; e < M; e++ {
+			if rng.Intn(3) == 0 {
+				sv.AddSetMember(100+s, e)
+			}
+		}
+	}
+	m := M/2 + rng.Intn(M/2) // = 30
+	elems := make([]int, m)
+	for i := range elems {
+		elems[i] = i
+	}
+	sv.ResetUniverse(elems)
+	// Drift the solution away from the greedy start with membership churn.
+	for i := 0; i < 60; i++ {
+		s := 100 + rng.Intn(nSets)
+		e := rng.Intn(M)
+		if rng.Intn(2) == 0 {
+			sv.AddSetMember(s, e)
+		} else {
+			sv.RemoveSetMember(s, e)
+		}
+	}
+	for m > 12 {
+		m--
+		sv.RemoveElement(m)
+	}
+	if err := sv.CheckStable(); err != nil {
+		tb.Fatalf("scenario not stable: %v", err)
+	}
+	if got := sv.Size(); got != 4 {
+		tb.Fatalf("scenario drifted: |C| = %d, want 4 (solver behaviour changed; re-run the seed search)", got)
+	}
+	return sv
+}
+
+// One RemoveElement may empty SEVERAL chosen sets: unassigning the element
+// shrinks its set, the relevel rebuckets survivors at a lower level, and
+// the resulting takeover cascade can merge multiple covers. Consumers that
+// assume |C| moves by at most one per element step (updateM's shrink walk
+// did) are wrong — this pins the collapse primitive.
+func TestRemoveElementCanCollapseSeveralSets(t *testing.T) {
+	sv := collapseScenario(t)
+	before := sv.Size()
+	sv.RemoveElement(11)
+	after := sv.Size()
+	if err := sv.CheckStable(); err != nil {
+		t.Fatal(err)
+	}
+	if before-after < 2 {
+		t.Fatalf("|C| went %d -> %d; scenario no longer collapses (solver behaviour changed; re-run the seed search)", before, after)
+	}
+}

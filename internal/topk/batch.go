@@ -1,27 +1,40 @@
 // Batched, shard-parallel update path of the engine.
 //
-// ApplyBatch segments an operation sequence into runs of pure insertions
-// (distinct, not-yet-live ids) separated by deletions. For an insert run
-// the cone tree is probed once per tuple against the thresholds at run
-// start — a superset of each operation's exact affected set, because
-// thresholds only rise while inserting — then the per-utility Φ maintenance
-// of the whole run fans out to the shard workers in a single parallel
-// phase. Each worker replays its utilities' operations in batch order
-// against shard-local state, so the final Φ, the change lists, and every
-// counter match the sequential path exactly; stale cone-tree candidates are
-// discarded by an exact threshold re-check inside the worker. Deletions
-// touch few utilities (only those whose Φ contains the tuple) and are
-// processed one at a time, with the same shard fan-out for the requery
-// work.
+// ApplyBatch segments an operation sequence into maximal runs of pure
+// insertions (distinct, not-yet-live ids) and pure deletions (distinct live
+// ids); each run executes its per-utility Φ maintenance in ONE parallel
+// phase across the utility shards, and every worker replays its utilities'
+// operations in batch order against shard-local state, so the final Φ, the
+// change lists, and every counter match the sequential path exactly.
+//
+// Insert runs: the cone tree is probed once per tuple against the
+// thresholds at run start — a superset of each operation's exact affected
+// set, because thresholds only rise while inserting — and stale candidates
+// are discarded by an exact threshold re-check inside the worker.
+//
+// Delete runs: the whole run is tombstoned up front inside a tuple-index
+// retain window (epoch-versioned tombstones, see package kdtree), and each
+// shard's task list is the union of the inverted index entries S(id) over
+// the run's ids at run start. That union is exactly the set of utilities
+// any replay can touch: deleting a tuple outside Φ(u) changes neither
+// ω_k(u) nor the membership of u (the exact top-k is a subset of Φ), so a
+// utility's state first changes at the first run operation whose tuple is
+// in its current Φ — which the inverted index knows before the run starts.
+// Tuples admitted into Φ(u) by earlier operations of the same run and
+// deleted again later are handled inside the worker, which scans the whole
+// run in op order against its own Φ and issues requeries at each
+// operation's epoch, observing exactly the database state the sequential
+// path would.
 //
 // The tuple index is mutated only between parallel phases; workers issue
-// read-only queries against it. Cone-tree threshold repairs are deferred to
-// the end of each phase and applied once per touched utility, which both
-// keeps the workers lock-free and collapses up to |run| path repairs into
-// one.
+// read-only (as-of-epoch) queries against it. Cone-tree threshold repairs
+// are deferred to the end of each phase and applied once per touched
+// utility, which both keeps the workers lock-free and collapses up to |run|
+// path repairs into one.
 package topk
 
 import (
+	"container/heap"
 	"sort"
 	"sync"
 
@@ -48,7 +61,7 @@ func DeleteOp(id int) Op { return Op{ID: id, Delete: true} }
 const parallelMinTasks = 32
 
 // taggedChange is a Change tagged with the position of the operation that
-// produced it inside the current insert run.
+// produced it inside the current run.
 type taggedChange struct {
 	pos int
 	ch  Change
@@ -58,15 +71,16 @@ type taggedChange struct {
 type shardResult struct {
 	changes   []taggedChange
 	touched   []int // utilities whose threshold changed (dupes allowed)
-	processed int   // exact affected-utility count (insert phases)
-	requeries int   // fresh top-k queries issued (delete phases)
+	processed int   // exact affected-utility count, summed over operations
+	requeries int   // fresh tuple-index top-k queries issued (delete phases)
 }
 
 // ApplyBatch applies the operations in order and returns the concatenated
 // membership changes. The change order is deterministic: operation order,
 // then utility id, then point id. Equivalent to calling Insert/Delete one
-// by one, but the per-utility maintenance of consecutive insertions is
-// executed in one shard-parallel phase.
+// by one, but the per-utility maintenance of consecutive insertions — and,
+// symmetrically, of consecutive deletions — is executed in one
+// shard-parallel phase per run.
 func (e *Engine) ApplyBatch(ops []Op) []Change {
 	var out []Change
 	e.ApplyBatchFunc(ops, func(_ Op, ch []Change) { out = append(out, ch...) })
@@ -80,42 +94,58 @@ func (e *Engine) ApplyBatch(ops []Op) []Change {
 // An insertion that replaces a live id emits the changes of the implicit
 // deletion followed by those of the insertion, as a single group.
 func (e *Engine) ApplyBatchFunc(ops []Op, emit func(op Op, changes []Change)) {
-	run := make([]insOp, 0, len(ops))
-	pending := make(map[int]bool) // ids inserted by the current run
-	flush := func() {
-		if len(run) == 0 {
+	insRun := make([]insOp, 0, len(ops))
+	var delRun []Op
+	pendingIns := make(map[int]bool) // ids inserted by the current insert run
+	pendingDel := make(map[int]bool) // ids deleted by the current delete run
+	flushIns := func() {
+		if len(insRun) == 0 {
 			return
 		}
-		e.flushInsertRun(run, emit)
-		run = run[:0]
-		clear(pending)
+		e.flushInsertRun(insRun, emit)
+		insRun = insRun[:0]
+		clear(pendingIns)
 	}
+	flushDel := func() {
+		if len(delRun) == 0 {
+			return
+		}
+		e.flushDeleteRun(delRun, emit)
+		delRun = delRun[:0]
+		clear(pendingDel)
+	}
+	// At most one run is open at any moment: a delete op flushes the insert
+	// run before queueing and vice versa, so liveness checks against the
+	// tuple index only need to account for the run of their own kind.
 	for _, op := range ops {
 		if op.Delete {
-			flush()
-			if e.tree.Contains(op.ID) {
-				emit(op, e.deleteLive(op.ID))
+			flushIns()
+			if e.tree.Contains(op.ID) && !pendingDel[op.ID] {
+				delRun = append(delRun, op)
+				pendingDel[op.ID] = true
 			}
 			continue
 		}
+		flushDel()
 		id := op.Point.ID
-		if pending[id] {
+		if pendingIns[id] {
 			// The run already inserts this id; the new op must observe it
 			// live and replace it.
-			flush()
+			flushIns()
 		}
 		if e.tree.Contains(id) {
-			flush()
+			flushIns()
 			pre := e.deleteLive(id)
 			e.flushInsertRun([]insOp{{op: op}}, func(o Op, ch []Change) {
 				emit(o, append(pre, ch...))
 			})
 			continue
 		}
-		run = append(run, insOp{op: op})
-		pending[id] = true
+		insRun = append(insRun, insOp{op: op})
+		pendingIns[id] = true
 	}
-	flush()
+	flushIns()
+	flushDel()
 }
 
 // insOp is one queued insertion of the current run.
@@ -128,6 +158,30 @@ type insOp struct {
 type insTask struct {
 	pos int // index into the run
 	uid int
+}
+
+// delTask is one utility assigned to a delete-phase worker, with the run
+// positions whose tuples are in its Φ at run start. Positions that become
+// relevant mid-run (a requery admits a tuple that a later operation
+// deletes) are discovered by the worker itself.
+type delTask struct {
+	uid  int
+	poss []int // ascending
+}
+
+// posHeap is a min-heap of run positions pending for one utility.
+type posHeap []int
+
+func (h posHeap) Len() int            { return len(h) }
+func (h posHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *posHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // phaseScratch returns the engine's reusable per-phase buffers, emptied.
@@ -172,39 +226,89 @@ func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change))
 			total++
 		}
 	}
-	e.runShards(total, tasks, func(s int) {
+	e.runShards(total, func(s int) bool { return len(tasks[s]) > 0 }, func(s int) {
 		e.insertWorker(&e.shards[s], run, tasks[s], &results[s])
 	})
 	e.mergePhase(results)
+	e.emitRunGroups(len(run), results, func(i int) Op { return run[i].op }, emit)
+}
 
-	// Group the tagged changes per operation. Each worker emitted its
-	// changes in run order, so a cursor per shard suffices. All groups are
-	// materialized before the first emit call so callbacks see the scratch
-	// buffers released (groups copy the Change values out).
-	cursors := e.scratch.cursors
-	var groups [][]Change
-	if len(run) > 1 {
-		groups = make([][]Change, 0, len(run))
+// flushDeleteRun applies a run of deletions of distinct live ids and emits
+// each operation's changes in order. The run is tombstoned up front inside
+// a retain window of the tuple index; workers then replay the run per
+// utility, requerying at each operation's epoch (see the package comment
+// for why the run-start inverted index yields the complete task list).
+func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
+	_, results := e.phaseScratch()
+	sc := &e.scratch
+	if sc.dtasks == nil {
+		sc.dtasks = make([][]delTask, len(e.shards))
 	}
-	for pos := range run {
-		var group []Change
-		for s := range results {
-			chs := results[s].changes
-			for cursors[s] < len(chs) && chs[cursors[s]].pos == pos {
-				group = append(group, chs[cursors[s]].ch)
-				cursors[s]++
+	if sc.runPos == nil {
+		sc.runPos = make(map[int]int, len(run))
+	}
+	tasks := sc.dtasks
+	runPos := sc.runPos
+	for s := range tasks {
+		tasks[s] = tasks[s][:0]
+	}
+	clear(runPos)
+	for pos, op := range run {
+		runPos[op.ID] = pos
+	}
+
+	// Group the run positions by affected utility, walking operations in
+	// order so each task's position list is ascending. Task order (first
+	// appearance over run order × sorted inverted-index entries) is
+	// deterministic.
+	total := 0
+	for s := range e.shards {
+		sh := &e.shards[s]
+		var idx map[int]int // uid -> slot in tasks[s], for runs touching a utility twice
+		for pos, op := range run {
+			for _, uid := range sh.sets[op.ID] {
+				i := -1
+				if idx != nil {
+					if j, ok := idx[uid]; ok {
+						i = j
+					}
+				}
+				if i < 0 {
+					i = len(tasks[s])
+					tasks[s] = append(tasks[s], delTask{uid: uid})
+					if len(run) > 1 {
+						if idx == nil {
+							idx = make(map[int]int)
+						}
+						idx[uid] = i
+					}
+				}
+				tasks[s][i].poss = append(tasks[s][i].poss, pos)
+				total++
 			}
 		}
-		sortChanges(group)
-		if len(run) == 1 {
-			emit(run[0].op, group)
-			return
-		}
-		groups = append(groups, group)
 	}
-	for pos := range run {
-		emit(run[pos].op, groups[pos])
+
+	base := e.tree.BeginRetain()
+	for _, op := range run {
+		e.tree.Delete(op.ID)
 	}
+	e.DeleteOps += len(run)
+
+	e.runShards(total, func(s int) bool { return len(tasks[s]) > 0 }, func(s int) {
+		e.deleteWorker(&e.shards[s], run, base, runPos, tasks[s], &results[s])
+	})
+	e.tree.EndRetain()
+	e.mergePhase(results)
+	e.emitRunGroups(len(run), results, func(i int) Op { return run[i] }, emit)
+}
+
+// deleteLive removes a live tuple as a single-operation delete run and
+// returns the changes sorted by utility then point id.
+func (e *Engine) deleteLive(id int) []Change {
+	var out []Change
+	e.flushDeleteRun([]Op{DeleteOp(id)}, func(_ Op, ch []Change) { out = ch })
+	return out
 }
 
 // insertWorker replays the run's insertions for the utilities of one shard,
@@ -220,9 +324,19 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 		}
 		res.processed++
 
-		// Repair the exact top-k incrementally.
-		if len(st.topk) < e.k || s > st.topk[len(st.topk)-1].Score {
-			st.topk = insertSorted(st.topk, kdtree.Result{Point: p, Score: s}, e.k)
+		// Repair the runner-up buffer incrementally: admit p when it
+		// outranks the buffer minimum (or the buffer is below k). The gate
+		// must also admit a tuple tying the minimum's score with a smaller
+		// id — fresh tuple-index queries break score ties by smaller point
+		// ID, and the maintained prefix has to match them bit for bit. A
+		// tuple ranking below a shrunken buffer's minimum must NOT be
+		// appended: earlier truncations may have dropped tuples that
+		// outrank it, and only the relative order of surviving entries is
+		// known to be preserved.
+		if n := len(st.topk); n < e.k ||
+			s > st.topk[n-1].Score ||
+			(s == st.topk[n-1].Score && p.ID < st.topk[n-1].Point.ID) {
+			st.topk = insertSorted(st.topk, kdtree.Result{Point: p, Score: s}, e.maxTopK())
 		}
 		newThresh := e.threshold(st)
 
@@ -232,7 +346,10 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 		sh.addToSet(p.ID, t.uid)
 		res.changes = append(res.changes, taggedChange{t.pos, Change{UtilityID: t.uid, PointID: p.ID, Added: true}})
 
-		// A raised threshold can evict old members.
+		// A raised threshold can evict old members — from Φ and from the
+		// buffer tail, which must stay inside Φ so the delete path (which
+		// visits only the utilities whose Φ holds the tuple) never leaves a
+		// dead tuple buffered.
 		if newThresh > oldThresh {
 			for pid, score := range st.phi {
 				if score < newThresh {
@@ -241,71 +358,123 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 					res.changes = append(res.changes, taggedChange{t.pos, Change{UtilityID: t.uid, PointID: pid, Added: false}})
 				}
 			}
+			st.topk = clampTail(st.topk, e.k, newThresh)
 			res.touched = append(res.touched, t.uid)
 		}
 	}
 }
 
-// deleteLive removes a live tuple, fanning the per-utility repair out to
-// the shards, and returns the changes sorted by utility then point id.
-func (e *Engine) deleteLive(id int) []Change {
-	tasks, results := e.phaseScratch()
-	total := 0
-	for s := range e.shards {
-		// Only utilities whose Φ contains the tuple can change: the exact
-		// top-k is a subset of Φ, so for every other utility both ω_k and
-		// the membership set survive the deletion untouched.
-		for _, uid := range e.shards[s].sets[id] {
-			tasks[s] = append(tasks[s], insTask{uid: uid})
-			total++
-		}
-	}
-	e.tree.Delete(id)
-	e.DeleteOps++
-	e.AffectedTotal += total
-
-	e.runShards(total, tasks, func(s int) {
-		e.deleteWorker(&e.shards[s], id, tasks[s], &results[s])
-	})
-	e.mergePhase(results)
-
-	var out []Change
-	for s := range results {
-		for _, tc := range results[s].changes {
-			out = append(out, tc.ch)
-		}
-	}
-	sortChanges(out)
-	return out
-}
-
-// deleteWorker repairs one shard's utilities after the deletion of tuple
-// id. The tuple index is only queried, never mutated, so workers may run
-// concurrently.
-func (e *Engine) deleteWorker(sh *shard, id int, tasks []insTask, res *shardResult) {
+// deleteWorker repairs one shard's utilities after a run of deletions,
+// replaying each owned utility's relevant operations in op order. The
+// tuple index is only queried — at each operation's epoch — never mutated,
+// so workers may run concurrently while later tombstones are already
+// recorded.
+//
+// The positions pending for one utility start as the task's list (members
+// at run start) and grow when a requery admits a tuple that a later run
+// operation deletes — an admitted tuple's deletion position is always
+// AFTER the admitting one, because the as-of query at an earlier epoch
+// cannot see tuples already tombstoned. A min-heap keeps the replay in op
+// order without scanning the whole run per utility.
+func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]int, tasks []delTask, res *shardResult) {
+	var pending posHeap
 	for _, t := range tasks {
 		st := sh.state(t.uid)
-		delete(st.phi, id)
-		sh.removeFromSet(id, t.uid)
-		res.changes = append(res.changes, taggedChange{0, Change{UtilityID: t.uid, PointID: id, Added: false}})
+		// An ascending slice already satisfies the min-heap invariant.
+		pending = append(pending[:0], t.poss...)
+		for len(pending) > 0 {
+			pos := heap.Pop(&pending).(int)
+			op := run[pos]
+			if _, in := st.phi[op.ID]; !in {
+				continue // defensive: queued candidates are always members
+			}
+			res.processed++
+			delete(st.phi, op.ID)
+			sh.removeFromSet(op.ID, t.uid)
+			res.changes = append(res.changes, taggedChange{pos, Change{UtilityID: t.uid, PointID: op.ID, Added: false}})
 
-		if indexOf(st.topk, id) >= 0 {
-			// A top-k member left: ω_k can drop, which can admit new members.
-			oldThresh := e.threshold(st)
-			res.requeries++
-			st.topk = e.tree.TopK(st.u, e.k)
-			newThresh := e.threshold(st)
-			if newThresh < oldThresh {
-				for _, r := range e.tree.AtLeast(st.u, newThresh) {
-					if _, in := st.phi[r.Point.ID]; !in {
-						st.phi[r.Point.ID] = r.Score
-						sh.addToSet(r.Point.ID, t.uid)
-						res.changes = append(res.changes, taggedChange{0, Change{UtilityID: t.uid, PointID: r.Point.ID, Added: true}})
+			if rank := indexOf(st.topk, op.ID); rank >= 0 {
+				oldThresh := e.threshold(st)
+				st.topk = append(st.topk[:rank], st.topk[rank+1:]...)
+				if rank >= e.k {
+					continue // a buffered runner-up left: ω_k is untouched
+				}
+				// A top-k member left: a buffered runner-up takes its place
+				// (the buffer is the exact live top-L, so the promotion is
+				// exact). Only when deletions have exhausted the buffer is
+				// it rebuilt — from Φ while it still holds k members (every
+				// tuple scoring >= the threshold is a member, so no outside
+				// tuple can beat one), and otherwise from the tuple index,
+				// queried as of the epoch right after this operation's
+				// tombstone so the replay observes exactly the database
+				// state the sequential path would.
+				asOf := base + uint64(pos) + 1
+				if len(st.topk) < e.k {
+					if len(st.phi) >= e.k {
+						st.topk = e.topKFromPhi(st, asOf, st.topk[:0])
+					} else {
+						res.requeries++
+						st.topk = e.tree.TopKAt(st.u, e.maxTopK(), asOf)
 					}
 				}
-				res.touched = append(res.touched, t.uid)
+				newThresh := e.threshold(st)
+				if newThresh < oldThresh {
+					// ω_k dropped: admit every tuple now clearing the
+					// threshold.
+					for _, r := range e.tree.AtLeastAt(st.u, newThresh, asOf) {
+						if _, in := st.phi[r.Point.ID]; !in {
+							st.phi[r.Point.ID] = r.Score
+							sh.addToSet(r.Point.ID, t.uid)
+							res.changes = append(res.changes, taggedChange{pos, Change{UtilityID: t.uid, PointID: r.Point.ID, Added: true}})
+							if dp, ok := runPos[r.Point.ID]; ok && dp > pos {
+								heap.Push(&pending, dp)
+							}
+						}
+					}
+					res.touched = append(res.touched, t.uid)
+				}
+				// An index rebuild can buffer sub-threshold tuples; clamp
+				// so the buffer stays inside Φ (members all score >= the
+				// threshold, so none are lost).
+				st.topk = clampTail(st.topk, e.k, newThresh)
 			}
 		}
+	}
+	// Replay order is utility-major; the per-operation group merge needs
+	// the changes op-major. Order within one operation is irrelevant (each
+	// group is re-sorted), so a plain sort by position suffices.
+	sort.Slice(res.changes, func(i, j int) bool { return res.changes[i].pos < res.changes[j].pos })
+}
+
+// emitRunGroups groups the workers' tagged changes per operation and emits
+// them in run order. Each shard's changes arrive sorted by position, so one
+// cursor per shard suffices. All groups are materialized before the first
+// emit call so callbacks see the scratch buffers released (groups copy the
+// Change values out).
+func (e *Engine) emitRunGroups(n int, results []shardResult, opAt func(int) Op, emit func(op Op, changes []Change)) {
+	cursors := e.scratch.cursors
+	var groups [][]Change
+	if n > 1 {
+		groups = make([][]Change, 0, n)
+	}
+	for pos := 0; pos < n; pos++ {
+		var group []Change
+		for s := range results {
+			chs := results[s].changes
+			for cursors[s] < len(chs) && chs[cursors[s]].pos == pos {
+				group = append(group, chs[cursors[s]].ch)
+				cursors[s]++
+			}
+		}
+		sortChanges(group)
+		if n == 1 {
+			emit(opAt(0), group)
+			return
+		}
+		groups = append(groups, group)
+	}
+	for pos := 0; pos < n; pos++ {
+		emit(opAt(pos), groups[pos])
 	}
 }
 
@@ -313,24 +482,24 @@ func (e *Engine) deleteWorker(sh *shard, id int, tasks []insTask, res *shardResu
 // concurrently when the engine is sharded and the phase is large enough to
 // amortize the fan-out, inline otherwise. Output is identical either way:
 // workers only touch their own shard and result slot.
-func (e *Engine) runShards(total int, tasks [][]insTask, work func(s int)) {
+func (e *Engine) runShards(total int, hasWork func(s int) bool, work func(s int)) {
 	active := 0
-	for s := range tasks {
-		if len(tasks[s]) > 0 {
+	for s := range e.shards {
+		if hasWork(s) {
 			active++
 		}
 	}
 	if active <= 1 || total < parallelMinTasks {
-		for s := range tasks {
-			if len(tasks[s]) > 0 {
+		for s := range e.shards {
+			if hasWork(s) {
 				work(s)
 			}
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	for s := range tasks {
-		if len(tasks[s]) == 0 {
+	for s := range e.shards {
+		if !hasWork(s) {
 			continue
 		}
 		wg.Add(1)

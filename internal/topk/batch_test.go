@@ -128,6 +128,133 @@ func TestApplyBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// burstyOps builds an operation stream of alternating insert and delete
+// BLOCKS, so ApplyBatch segments long runs of each kind: sliding-window
+// style delete bursts (oldest ids first), plus occasional deletes of
+// missing ids and repeated deletes inside one block.
+func burstyOps(rng *rand.Rand, pts []geom.Point, blocks, blockLen, d, idBase int) []Op {
+	live := make([]int, 0, len(pts)+blocks*blockLen)
+	for _, p := range pts {
+		live = append(live, p.ID)
+	}
+	next := idBase
+	var ops []Op
+	for b := 0; b < blocks; b++ {
+		if b%2 == 0 {
+			for i := 0; i < blockLen; i++ {
+				ops = append(ops, InsertOp(randomPoints(rng, 1, d, next)[0]))
+				live = append(live, next)
+				next++
+			}
+			continue
+		}
+		for i := 0; i < blockLen && len(live) > 0; i++ {
+			switch rng.Intn(8) {
+			case 0: // missing id: skipped by both paths
+				ops = append(ops, DeleteOp(next+500000))
+			case 1: // duplicate delete within the block
+				if len(ops) > 0 && ops[len(ops)-1].Delete {
+					ops = append(ops, ops[len(ops)-1])
+					continue
+				}
+				fallthrough
+			default: // delete the oldest live id (sliding window)
+				ops = append(ops, DeleteOp(live[0]))
+				live = live[1:]
+			}
+		}
+	}
+	return ops
+}
+
+// Delete runs must be bit-identical to the sequential path too: per-op
+// change groups, final membership, and counters, across batch sizes that
+// split runs at every boundary, with the parallel fan-out active.
+func TestApplyBatchDeleteRunsMatchSequential(t *testing.T) {
+	for _, batchSize := range []int{1, 2, 5, 16, 64, 512} {
+		rng := rand.New(rand.NewSource(int64(101 + batchSize)))
+		d, k, eps := 4, 2, 0.1
+		pts := randomPoints(rng, 120, d, 0)
+		utils := randomUtilities(rng, 48, d)
+		ops := burstyOps(rng, pts, 12, 40, d, 1000)
+
+		batched := NewEngineShards(d, k, eps, pts, utils, 4)
+		sequential := NewEngineShards(d, k, eps, pts, utils, 4)
+
+		got := collectGroups(batched, ops, batchSize)
+		var want []opGroup
+		for _, op := range ops {
+			var ch []Change
+			if op.Delete {
+				if !sequential.Contains(op.ID) {
+					continue
+				}
+				ch = sequential.Delete(op.ID)
+			} else {
+				ch = sequential.Insert(op.Point)
+			}
+			want = append(want, opGroup{op, ch})
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d emitted groups, want %d", batchSize, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].op, want[i].op) {
+				t.Fatalf("batch=%d group %d: op %+v, want %+v", batchSize, i, got[i].op, want[i].op)
+			}
+			if !reflect.DeepEqual(got[i].changes, want[i].changes) {
+				t.Fatalf("batch=%d group %d (%+v): changes\n%v\nwant\n%v", batchSize, i, got[i].op, got[i].changes, want[i].changes)
+			}
+		}
+		if a, b := membersSnapshot(batched, utils), membersSnapshot(sequential, utils); !reflect.DeepEqual(a, b) {
+			t.Fatalf("batch=%d: final memberships diverge", batchSize)
+		}
+		if batched.InsertOps != sequential.InsertOps || batched.DeleteOps != sequential.DeleteOps ||
+			batched.AffectedTotal != sequential.AffectedTotal || batched.Requeries != sequential.Requeries {
+			t.Fatalf("batch=%d: counters diverge: %+v vs %+v",
+				batchSize,
+				[4]int{batched.InsertOps, batched.DeleteOps, batched.AffectedTotal, batched.Requeries},
+				[4]int{sequential.InsertOps, sequential.DeleteOps, sequential.AffectedTotal, sequential.Requeries})
+		}
+	}
+}
+
+// A whole-database delete run (drain) followed by a refill run crosses the
+// fewer-than-k boundary inside one batch; tie-heavy grid data stresses the
+// per-epoch requeries.
+func TestApplyBatchDrainRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, k, eps := 3, 2, 0.1
+	pts := gridPoints(rng, 60, d, 0, 3)
+	utils := gridUtilities(d, 12)
+	var ops []Op
+	for _, p := range pts {
+		ops = append(ops, DeleteOp(p.ID))
+	}
+	for _, p := range gridPoints(rng, 60, d, 4000, 3) {
+		ops = append(ops, InsertOp(p))
+	}
+
+	batched := NewEngineShards(d, k, eps, pts, utils, 4)
+	sequential := NewEngineShards(d, k, eps, pts, utils, 4)
+	got := collectGroups(batched, ops, len(ops)) // one giant batch
+	var want []opGroup
+	for _, op := range ops {
+		if op.Delete {
+			want = append(want, opGroup{op, sequential.Delete(op.ID)})
+		} else {
+			want = append(want, opGroup{op, sequential.Insert(op.Point)})
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("drain+refill batch diverges from sequential")
+	}
+	if a, b := membersSnapshot(batched, utils), membersSnapshot(sequential, utils); !reflect.DeepEqual(a, b) {
+		t.Fatal("final memberships diverge")
+	}
+}
+
 // Φ_{k,ε} is a function of the live point set alone, so any interleaving
 // of operations on distinct ids must land every utility on the same
 // membership — the property that lets batches reorder work internally.

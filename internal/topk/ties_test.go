@@ -141,6 +141,69 @@ func TestDuplicateCoordinates(t *testing.T) {
 	}
 }
 
+// The maintained exact top-k list must match a fresh tuple-index query BIT
+// FOR BIT — identities included — under tie-heavy churn. Fresh queries
+// break score ties by smaller point ID, and the incremental insert gate
+// used to skip a tuple scoring exactly ω_k with a smaller id than the
+// incumbent, leaving the maintained list on the wrong tie member.
+func TestTiesTopKMatchesFreshQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, k := 3, 3
+	pts := gridPoints(rng, 30, d, 0, 3)
+	utils := gridUtilities(d, 6)
+	e := NewEngineShards(d, k, 0.1, pts, utils, 4)
+	next := 2000
+	live := make([]int, 0, len(pts))
+	for _, p := range pts {
+		live = append(live, p.ID)
+	}
+	for op := 0; op < 300; op++ {
+		if rng.Intn(3) != 0 || len(live) <= k {
+			// Monotone fresh ids can never tie with a SMALLER id than the
+			// incumbent, so also replace live small ids: the replacement
+			// re-inserts an id below the current tie members, which is the
+			// case the old gate got wrong.
+			var p geom.Point
+			if rng.Intn(4) == 0 && len(live) > 0 {
+				p = gridPoints(rng, 1, d, live[rng.Intn(len(live))], 3)[0]
+			} else {
+				p = gridPoints(rng, 1, d, next, 3)[0]
+				next++
+			}
+			e.Insert(p)
+			if !containsInt(live, p.ID) {
+				live = append(live, p.ID)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			e.Delete(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		for _, ut := range utils {
+			got := e.TopK(ut.ID)
+			want := e.tree.TopK(ut.U, k)
+			if len(got) != len(want) {
+				t.Fatalf("op %d u%d: maintained top-k has %d entries, fresh query %d", op, ut.ID, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Point.ID != want[i].Point.ID || got[i].Score != want[i].Score {
+					t.Fatalf("op %d u%d rank %d: maintained (id %d, %v), fresh (id %d, %v)",
+						op, ut.ID, i, got[i].Point.ID, got[i].Score, want[i].Point.ID, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 // The maintained exact top-k scores must match brute force under tie-heavy
 // churn (scores, not identities: equal-scoring tuples are interchangeable).
 func TestTiesTopKScores(t *testing.T) {

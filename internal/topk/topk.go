@@ -13,8 +13,12 @@
 //   - one scoring between the threshold and ω_k joins Φ without a requery
 //     (ω_k is unchanged);
 //   - one scoring above ω_k shifts the exact top-k, which is repaired
-//     incrementally; only deletions of top-k members force a fresh index
-//     query.
+//     incrementally inside a runner-up buffer (the exact live top-L,
+//     L up to 2k+8, see uState); the deletion of a top-k member promotes a
+//     buffered runner-up, an exhausted buffer is rebuilt from Φ while it
+//     still holds k members (every tuple scoring at least the threshold is
+//     a member, so none outside Φ can qualify), and only an underfull Φ
+//     forces a fresh index query.
 //
 // Per-utility maintenance is embarrassingly parallel, so the engine
 // partitions utility state into shards (one per available CPU by default),
@@ -31,8 +35,10 @@ package topk
 
 import (
 	"math"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 
 	"fdrms/internal/conetree"
 	"fdrms/internal/geom"
@@ -56,9 +62,22 @@ type Change struct {
 // uState is the maintained per-utility state. States live by value inside
 // their shard's slice; take fresh pointers via stateOf and never hold one
 // across a structural mutation (AddUtility may grow the slice).
+//
+// topk is a RUNNER-UP BUFFER: the exact top-L of the live database under
+// (score descending, point ID ascending), with k <= L <= maxTopK() while
+// at least that many members exist. The first k entries are the exact
+// top-k; the tail entries are insurance, so the deletion of a top-k member
+// usually promotes a buffered runner-up instead of recomputing — the
+// recompute (from Φ, or from the tuple index when Φ is underfull) runs
+// only when deletions exhaust the buffer, amortizing one scan over up to
+// maxTopK()-k+1 top-k deletions. Two invariants keep promotions sound:
+// every buffer entry is a member of Φ (so the delete path, which visits
+// exactly the utilities whose Φ contains the tuple, never leaves a dead
+// tuple buffered), and every non-buffered live tuple ranks below the
+// buffer minimum (pairwise order is static, so this survives deletions).
 type uState struct {
 	u    geom.Vector
-	topk []kdtree.Result // exact top-k, score-descending
+	topk []kdtree.Result // exact top-L prefix of the live ranking
 	phi  map[int]float64 // member id -> score (Φ_{k,ε})
 }
 
@@ -149,6 +168,8 @@ type Engine struct {
 	// stay allocation-light. Guarded by the engine's single-writer contract.
 	scratch struct {
 		tasks   [][]insTask
+		dtasks  [][]delTask
+		runPos  map[int]int
 		results []shardResult
 		cursors []int
 	}
@@ -164,7 +185,21 @@ type Engine struct {
 // utility, sharding the utility state across the available CPUs. k must be
 // >= 1 and eps in [0, 1).
 func NewEngine(dim, k int, eps float64, points []geom.Point, utilities []Utility) *Engine {
-	return NewEngineShards(dim, k, eps, points, utilities, runtime.GOMAXPROCS(0))
+	return NewEngineShards(dim, k, eps, points, utilities, DefaultShards())
+}
+
+// DefaultShards returns the shard count NewEngine uses: one per available
+// CPU, overridable through the FDRMS_SHARDS environment variable. The
+// override exists so CI (and operators of small machines) can force the
+// cross-shard parallel path — every answer is independent of the shard
+// count, only ApplyBatch parallelism changes.
+func DefaultShards() int {
+	if s := os.Getenv("FDRMS_SHARDS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NewEngineShards is NewEngine with an explicit shard count (tests force
@@ -225,23 +260,41 @@ func (e *Engine) stateOf(uid int) *uState {
 	return e.shards[e.shardFor(uid)].state(uid)
 }
 
+// maxTopK returns the runner-up buffer capacity L_max = 2k+8.
+func (e *Engine) maxTopK() int { return 2*e.k + 8 }
+
 // freshState queries the tuple index from scratch for one utility.
 func (e *Engine) freshState(u geom.Vector) uState {
 	st := uState{u: u, phi: make(map[int]float64)}
-	st.topk = e.tree.TopK(u, e.k)
-	for _, r := range e.tree.AtLeast(u, e.thresholdOf(st.topk)) {
+	st.topk = e.tree.TopK(u, e.maxTopK())
+	tau := e.thresholdOf(st.topk)
+	for _, r := range e.tree.AtLeast(u, tau) {
 		st.phi[r.Point.ID] = r.Score
 	}
+	st.topk = clampTail(st.topk, e.k, tau) // buffer ⊆ Φ
 	return st
 }
 
-// thresholdOf computes (1-ε)·ω_k for a top-k list; with fewer than k live
-// tuples every tuple is a top-k member, so the threshold is -Inf.
+// thresholdOf computes (1-ε)·ω_k from a top-k (or longer runner-up) list;
+// with fewer than k live tuples every tuple is a top-k member, so the
+// threshold is -Inf.
 func (e *Engine) thresholdOf(topk []kdtree.Result) float64 {
 	if len(topk) < e.k {
 		return math.Inf(-1)
 	}
-	return (1 - e.eps) * topk[len(topk)-1].Score
+	return (1 - e.eps) * topk[e.k-1].Score
+}
+
+// clampTail drops runner-up entries scoring below tau, never shortening
+// the exact top-k prefix (prefix scores are >= ω_k >= any valid tau).
+// It restores the buffer-⊆-Φ invariant after index refills, whose tail can
+// reach below the membership threshold.
+func clampTail(topk []kdtree.Result, k int, tau float64) []kdtree.Result {
+	n := len(topk)
+	for n > k && topk[n-1].Score < tau {
+		n--
+	}
+	return topk[:n]
 }
 
 func (e *Engine) threshold(st *uState) float64 { return e.thresholdOf(st.topk) }
@@ -297,15 +350,20 @@ func (e *Engine) KthScore(uid int) (float64, bool) {
 	if st == nil || len(st.topk) < e.k {
 		return 0, false
 	}
-	return st.topk[len(st.topk)-1].Score, true
+	return st.topk[e.k-1].Score, true
 }
 
-// TopK returns the maintained exact top-k list of the utility.
+// TopK returns the maintained exact top-k list of the utility (the prefix
+// of the runner-up buffer).
 func (e *Engine) TopK(uid int) []kdtree.Result {
-	if st := e.stateOf(uid); st != nil {
-		return st.topk
+	st := e.stateOf(uid)
+	if st == nil {
+		return nil
 	}
-	return nil
+	if len(st.topk) > e.k {
+		return st.topk[:e.k:e.k]
+	}
+	return st.topk
 }
 
 // VisitedOnInsert reports how many utilities the cone tree would evaluate
@@ -327,6 +385,35 @@ func (e *Engine) Insert(p geom.Point) []Change {
 func (e *Engine) Delete(id int) []Change {
 	var out []Change
 	e.ApplyBatchFunc([]Op{DeleteOp(id)}, func(_ Op, ch []Change) { out = ch })
+	return out
+}
+
+// topKFromPhi rebuilds the runner-up buffer from the membership map alone —
+// valid whenever |Φ| >= k, because every tuple scoring at least the
+// threshold is a member, so no outside tuple can beat a member and the
+// best min(|Φ|, maxTopK()) members ARE the live top-L. The result is
+// ordered by (score descending, point ID ascending) and independent of map
+// iteration order; buf (typically the old buffer, reused) backs the
+// output. Point data is resolved through the tuple index at the given
+// epoch, which inside a delete run still knows members that later
+// operations tombstone.
+func (e *Engine) topKFromPhi(st *uState, asOf uint64, buf []kdtree.Result) []kdtree.Result {
+	out := buf[:0]
+	max := e.maxTopK()
+	for pid, score := range st.phi {
+		if len(out) == max {
+			last := out[len(out)-1]
+			if score < last.Score || (score == last.Score && pid > last.Point.ID) {
+				continue
+			}
+		}
+		p, ok := e.tree.PointByIDAt(pid, asOf)
+		if !ok {
+			// Unreachable: members are visible at their replay epoch.
+			continue
+		}
+		out = insertSorted(out, kdtree.Result{Point: p, Score: score}, max)
+	}
 	return out
 }
 

@@ -24,8 +24,10 @@
 //	top := db.Result() // always the up-to-date representative set
 //
 // High-throughput ingestion should batch updates: ApplyBatch executes the
-// per-utility maintenance of consecutive insertions in one shard-parallel
-// phase while producing exactly the same answer as the one-by-one path.
+// per-utility maintenance of consecutive insertions — and, symmetrically,
+// of consecutive deletions (sliding-window evictions, drains) — in one
+// shard-parallel phase per run while producing exactly the same answer as
+// the one-by-one path.
 //
 //	db.ApplyBatch([]rms.Update{
 //		rms.Ins(rms.Point{ID: 100, Values: []float64{0.7, 0.8}}),
@@ -101,8 +103,9 @@ type Options struct {
 	// Seed makes all sampling reproducible. Default 1.
 	Seed int64
 	// Shards is the number of utility-state shards used by the batched
-	// update path; zero picks one per available CPU. The answer never
-	// depends on it — it only tunes ApplyBatch parallelism.
+	// update path; zero picks one per available CPU (overridable through
+	// the FDRMS_SHARDS environment variable). The answer never depends on
+	// it — it only tunes ApplyBatch parallelism.
 	Shards int
 }
 
@@ -186,8 +189,11 @@ func Del(id int) Update { return Update{ID: id, Delete: true} }
 // ApplyBatch applies the updates in order and brings the answer up to
 // date. It is equivalent to calling Insert/Delete once per update — same
 // final answer, bit for bit — but the engine executes the per-utility
-// top-k maintenance of consecutive insertions in a single shard-parallel
-// phase, so large batches ingest at a multiple of the sequential rate on
+// top-k maintenance of each run of consecutive insertions, and likewise
+// each run of consecutive deletions, in a single shard-parallel phase
+// (deletions are tombstoned up front in an epoch-versioned tuple index and
+// every repair requeries the database as it stood at its own operation),
+// so large batches ingest at a multiple of the sequential rate on
 // multi-core hosts. The whole batch is validated before any update is
 // applied.
 func (d *Dynamic) ApplyBatch(batch []Update) error {
