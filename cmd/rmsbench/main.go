@@ -16,6 +16,10 @@
 //	rmsbench -exp window                 # sliding-window / delete-heavy throughput
 //	rmsbench -exp all                    # everything above
 //
+// With -json, each experiment additionally writes BENCH_<exp>.json — the
+// same tables with rows keyed by column name (ops/s, speedup, allocs/op,
+// result==seq, ...), so the performance trajectory is machine-readable.
+//
 // Flags -scale, -samples, -m, -recomputes, -budget and -seed control the
 // reproduction scale; see EXPERIMENTS.md for the settings used to produce
 // the recorded results.
@@ -43,6 +47,7 @@ func main() {
 		budget     = flag.Duration("budget", 20*time.Second, "per-recompute budget before a static algorithm is skipped")
 		seed       = flag.Int64("seed", 1, "random seed")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
+		jsonOut    = flag.Bool("json", false, "also write BENCH_<exp>.json with machine-readable rows")
 	)
 	flag.Parse()
 
@@ -59,28 +64,35 @@ func main() {
 		names = strings.Split(*datasets, ",")
 	}
 
-	// perDataset streams one table per dataset so long sweeps show progress.
+	// emit prints a table immediately (so long sweeps show progress) and
+	// collects it for the optional JSON report.
+	var collected []*bench.Table
+	emit := func(ts ...*bench.Table) {
+		for _, t := range ts {
+			t.Fprint(os.Stdout)
+			collected = append(collected, t)
+		}
+	}
+
+	// perDataset streams one table per dataset.
 	perDataset := func(f func(bench.Options, ...string) []*bench.Table) {
 		list := names
 		if len(list) == 0 {
 			list = bench.DatasetNames
 		}
 		for _, name := range list {
-			for _, t := range f(opt, name) {
-				t.Fprint(os.Stdout)
-			}
+			emit(f(opt, name)...)
 		}
 	}
 
 	run := func(e string) {
 		start := time.Now()
+		collected = collected[:0]
 		switch e {
 		case "table1":
-			bench.Table1(opt).Fprint(os.Stdout)
+			emit(bench.Table1(opt))
 		case "fig4":
-			for _, t := range bench.Fig4(opt) {
-				t.Fprint(os.Stdout)
-			}
+			emit(bench.Fig4(opt)...)
 		case "fig5":
 			perDataset(bench.Fig5)
 		case "fig6":
@@ -88,19 +100,15 @@ func main() {
 		case "fig7":
 			perDataset(bench.Fig7)
 		case "fig8":
-			for _, t := range bench.Fig8(opt) {
-				t.Fprint(os.Stdout)
-			}
+			emit(bench.Fig8(opt)...)
 		case "ablation-cover":
-			bench.AblationCover(opt, names...).Fprint(os.Stdout)
+			emit(bench.AblationCover(opt, names...))
 		case "ablation-cone":
-			bench.AblationCone(opt, names...).Fprint(os.Stdout)
+			emit(bench.AblationCone(opt, names...))
 		case "ablation-topk":
-			bench.AblationTopK(opt, names...).Fprint(os.Stdout)
+			emit(bench.AblationTopK(opt, names...))
 		case "nonlinear":
-			for _, t := range bench.Nonlinear(opt, names...) {
-				t.Fprint(os.Stdout)
-			}
+			emit(bench.Nonlinear(opt, names...)...)
 		case "batch", "window":
 			var sizes []int
 			for _, s := range strings.Split(*batches, ",") {
@@ -112,14 +120,22 @@ func main() {
 				sizes = append(sizes, v)
 			}
 			if e == "batch" {
-				bench.BatchThroughput(opt, sizes...).Fprint(os.Stdout)
+				emit(bench.BatchThroughput(opt, sizes...))
 			} else {
-				bench.SlidingWindow(opt, sizes...).Fprint(os.Stdout)
+				emit(bench.SlidingWindow(opt, sizes...))
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
 			flag.Usage()
 			os.Exit(2)
+		}
+		if *jsonOut {
+			path := fmt.Sprintf("BENCH_%s.json", e)
+			if err := bench.WriteJSON(path, e, collected); err != nil {
+				fmt.Fprintf(os.Stderr, "rmsbench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
 		}
 		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e, time.Since(start).Round(time.Millisecond))
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"time"
 
 	"fdrms/internal/core"
@@ -24,11 +25,14 @@ func runStreams(t *Table, o Options, initial []geom.Point, cfg core.Config,
 	order []string, streams map[string][]topk.Op, sizes []int) {
 	for _, name := range order {
 		ops := streams[name]
-		run := func(size int) (time.Duration, []int) {
+		run := func(size int) (time.Duration, float64, []int) {
 			f, err := core.New(o.SynthD, initial, cfg)
 			if err != nil {
 				panic(err)
 			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			mallocs := ms.Mallocs
 			start := time.Now()
 			if size <= 1 {
 				for _, op := range ops {
@@ -47,22 +51,26 @@ func runStreams(t *Table, o Options, initial []geom.Point, cfg core.Config,
 					f.ApplyBatch(ops[i:j])
 				}
 			}
-			return time.Since(start), f.ResultIDs()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms)
+			allocsPerOp := float64(ms.Mallocs-mallocs) / float64(len(ops))
+			return elapsed, allocsPerOp, f.ResultIDs()
 		}
 		// The reference is always the sequential path, regardless of which
 		// batch sizes were requested: both the speedup column and the
 		// result==seq equivalence column compare against it.
-		seqElapsed, seqResult := run(1)
+		seqElapsed, seqAllocs, seqResult := run(1)
 		baseline := float64(len(ops)) / seqElapsed.Seconds()
 		for _, size := range sizes {
-			elapsed, result := seqElapsed, seqResult
+			elapsed, allocs, result := seqElapsed, seqAllocs, seqResult
 			if size > 1 {
-				elapsed, result = run(size)
+				elapsed, allocs, result = run(size)
 			}
 			opsPerSec := float64(len(ops)) / elapsed.Seconds()
 			t.AddRow(name, fmt.Sprint(len(ops)), fmt.Sprintf("%d", size), fmtDur(elapsed),
 				fmt.Sprintf("%.0f", opsPerSec),
 				fmt.Sprintf("%.2fx", opsPerSec/baseline),
+				fmt.Sprintf("%.1f", allocs),
 				fmt.Sprintf("%v", reflect.DeepEqual(result, seqResult)))
 		}
 	}
@@ -99,7 +107,7 @@ func BatchThroughput(o Options, sizes ...int) *Table {
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Batched update throughput (AntiCor, n=%d, d=%d, M=%d, r=%d)", len(initial), o.SynthD, o.M, cfg.R),
-		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "result==seq"},
+		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "allocs/op", "result==seq"},
 	}
 	runStreams(t, o, initial, cfg, []string{"insert", "mixed"}, streams, sizes)
 	t.Notes = append(t.Notes,
@@ -126,7 +134,7 @@ func SlidingWindow(o Options, sizes ...int) *Table {
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Sliding-window / delete-heavy throughput (AntiCor, n=%d, d=%d, M=%d, r=%d)", len(initial), o.SynthD, o.M, cfg.R),
-		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "result==seq"},
+		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "allocs/op", "result==seq"},
 	}
 	runStreams(t, o, initial, cfg, []string{"sliding", "bursty", "delete"}, streams, sizes)
 	t.Notes = append(t.Notes,

@@ -14,8 +14,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 )
@@ -76,6 +78,47 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	t.Fprint(&sb)
 	return sb.String()
+}
+
+// jsonTable is the machine-readable form of one table: rows become objects
+// keyed by the column headers, so downstream tooling (perf-trajectory
+// dashboards, CI gates) reads cells by name instead of position.
+type jsonTable struct {
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// jsonReport is the top-level document WriteJSON produces.
+type jsonReport struct {
+	Experiment string      `json:"experiment"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+// WriteJSON writes the tables of one experiment as an indented JSON
+// document (see jsonTable for the shape) to path.
+func WriteJSON(path, experiment string, tables []*Table) error {
+	rep := jsonReport{Experiment: experiment, Tables: make([]jsonTable, 0, len(tables))}
+	for _, t := range tables {
+		jt := jsonTable{Title: t.Title, Header: t.Header, Notes: t.Notes,
+			Rows: make([]map[string]string, 0, len(t.Rows))}
+		for _, row := range t.Rows {
+			m := make(map[string]string, len(row))
+			for i, c := range row {
+				if i < len(t.Header) {
+					m[t.Header[i]] = c
+				}
+			}
+			jt.Rows = append(jt.Rows, m)
+		}
+		rep.Tables = append(rep.Tables, jt)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // fmtDur renders a duration as the paper's millisecond axis.

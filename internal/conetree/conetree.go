@@ -38,6 +38,11 @@ type Tree struct {
 	dim   int
 	items map[int]*entry
 	churn int // structural deletions since the last rebuild
+
+	// stack is the reusable DFS scratch of the probe path (AffectedInto,
+	// Visited). The tree is single-writer/single-prober, matching the topk
+	// engine's batch pipeline, which probes only between parallel phases.
+	stack []*node
 }
 
 type entry struct {
@@ -329,17 +334,27 @@ func (t *Tree) rebuild() {
 // Affected returns the IDs of every indexed utility u with
 // <u, p> >= Threshold(u), i.e., the utilities whose ε-approximate top-k
 // result the insertion of p can change. Visited leaves check exactly;
-// pruned subtrees are guaranteed to contain no match.
+// pruned subtrees are guaranteed to contain no match. The slice is freshly
+// allocated; hot paths should use AffectedInto.
 func (t *Tree) Affected(p geom.Point) []int {
+	return t.AffectedInto(p, nil)
+}
+
+// AffectedInto is Affected appending into out (typically a reused buffer
+// re-sliced to length zero), avoiding any allocation when both out and the
+// tree's DFS scratch have warmed up. Matches are appended in leaf order
+// (left subtree before right), the order the recursive walk produced.
+func (t *Tree) AffectedInto(p geom.Point, out []int) []int {
 	if t.root == nil || t.root.count == 0 {
-		return nil
+		return out
 	}
 	normP := geom.Norm(p.Coords)
-	var out []int
-	var walk func(n *node)
-	walk = func(n *node) {
+	stack := append(t.stack[:0], t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if n == nil || n.count == 0 {
-			return
+			continue
 		}
 		// Upper bound of <u, p> over the cone.
 		theta := geom.Angle(n.center, p.Coords) - n.maxAngle
@@ -347,7 +362,7 @@ func (t *Tree) Affected(p geom.Point) []int {
 			theta = 0
 		}
 		if normP*math.Cos(theta) < n.minThresh {
-			return
+			continue
 		}
 		if n.ids != nil {
 			for _, id := range n.ids {
@@ -356,12 +371,12 @@ func (t *Tree) Affected(p geom.Point) []int {
 					out = append(out, id)
 				}
 			}
-			return
+			continue
 		}
-		walk(n.left)
-		walk(n.right)
+		stack = append(stack, n.right, n.left)
 	}
-	walk(t.root)
+	clear(stack[:cap(stack)]) // drop node references so rebuilds free old nodes
+	t.stack = stack[:0]
 	return out
 }
 
@@ -374,25 +389,27 @@ func (t *Tree) Visited(p geom.Point) int {
 	}
 	normP := geom.Norm(p.Coords)
 	count := 0
-	var walk func(n *node)
-	walk = func(n *node) {
+	stack := append(t.stack[:0], t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if n == nil || n.count == 0 {
-			return
+			continue
 		}
 		theta := geom.Angle(n.center, p.Coords) - n.maxAngle
 		if theta < 0 {
 			theta = 0
 		}
 		if normP*math.Cos(theta) < n.minThresh {
-			return
+			continue
 		}
 		if n.ids != nil {
 			count += len(n.ids)
-			return
+			continue
 		}
-		walk(n.left)
-		walk(n.right)
+		stack = append(stack, n.right, n.left)
 	}
-	walk(t.root)
+	clear(stack[:cap(stack)]) // drop node references so rebuilds free old nodes
+	t.stack = stack[:0]
 	return count
 }

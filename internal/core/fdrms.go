@@ -77,6 +77,11 @@ type FDRMS struct {
 	engine *topk.Engine     // Φ_{k,ε} of all M utilities over P_t
 	cover  *setcover.Solver // stable set cover over Σ
 	m      int              // current universe size (u_0 .. u_{m-1})
+
+	// Reused by the single-op wrappers and ApplyBatch so the sequential
+	// update path allocates no per-op closures or slices.
+	opBuf  [1]topk.Op
+	emitFn func(op topk.Op, changes []topk.Change)
 }
 
 // New runs Algorithm 2 (INITIALIZATION) on the initial database.
@@ -148,13 +153,17 @@ func rangeInts(n int) []int {
 
 // Insert applies Δ_t = 〈p, +〉 (Algorithm 3, Lines 1–8).
 func (f *FDRMS) Insert(p geom.Point) {
-	f.ApplyBatch([]topk.Op{topk.InsertOp(p)})
+	f.opBuf[0] = topk.InsertOp(p)
+	f.ApplyBatch(f.opBuf[:1])
+	f.opBuf[0] = topk.Op{} // don't pin the tuple past the call
 }
 
 // Delete applies Δ_t = 〈p, −〉 (Algorithm 3, Lines 9–12).
 // Deleting a missing id is a no-op.
 func (f *FDRMS) Delete(id int) {
-	f.ApplyBatch([]topk.Op{topk.DeleteOp(id)})
+	f.opBuf[0] = topk.DeleteOp(id)
+	f.ApplyBatch(f.opBuf[:1])
+	f.opBuf[0] = topk.Op{}
 }
 
 // ApplyBatch applies a sequence of tuple insertions and deletions. The
@@ -174,17 +183,19 @@ func (f *FDRMS) ApplyBatch(ops []topk.Op) {
 			panic(fmt.Sprintf("core: inserting %d-dimensional point into %d-dimensional FD-RMS", op.Point.Dim(), f.dim))
 		}
 	}
-	f.engine.ApplyBatchFunc(ops, func(op topk.Op, changes []topk.Change) {
-		if op.Delete {
+	if f.emitFn == nil {
+		f.emitFn = func(op topk.Op, changes []topk.Change) {
+			if op.Delete {
+				f.applyChanges(changes)
+				f.settle(op.ID, true)
+				return
+			}
+			f.cover.RegisterSet(op.Point.ID)
 			f.applyChanges(changes)
-			id := op.ID
-			f.settle(&id)
-			return
+			f.settle(0, false)
 		}
-		f.cover.RegisterSet(op.Point.ID)
-		f.applyChanges(changes)
-		f.settle(nil)
-	})
+	}
+	f.engine.ApplyBatchFunc(ops, f.emitFn)
 }
 
 // applyChanges replays Φ membership deltas into the set system. Additions
@@ -206,11 +217,11 @@ func (f *FDRMS) applyChanges(changes []topk.Change) {
 	}
 }
 
-// settle drops the deleted tuple's emptied set and restores |C| = r
-// (Algorithm 3, Lines 13–14).
-func (f *FDRMS) settle(deleted *int) {
-	if deleted != nil {
-		f.cover.DropSetIfEmpty(*deleted)
+// settle drops the deleted tuple's emptied set (when wasDelete) and
+// restores |C| = r (Algorithm 3, Lines 13–14).
+func (f *FDRMS) settle(deleted int, wasDelete bool) {
+	if wasDelete {
+		f.cover.DropSetIfEmpty(deleted)
 	}
 	if f.cover.Size() != f.cfg.R {
 		f.updateM()

@@ -24,15 +24,16 @@ func gridPointsKD(rng *rand.Rand, n, d, idBase, levels int) []geom.Point {
 	return pts
 }
 
-// checkTreeInvariants walks the tree and verifies liveCount and maxDel
+// checkTreeInvariants walks the arena and verifies liveCount and maxDel
 // bookkeeping bottom-up.
 func checkTreeInvariants(t *testing.T, tr *Tree) {
 	t.Helper()
-	var walk func(n *node) (live int, maxDel uint64)
-	walk = func(n *node) (int, uint64) {
-		if n == nil {
+	var walk func(idx int32) (live int32, maxDel uint64)
+	walk = func(idx int32) (int32, uint64) {
+		if idx == nilNode {
 			return 0, 0
 		}
+		n := &tr.nodes[idx]
 		ll, lm := walk(n.left)
 		rl, rm := walk(n.right)
 		live, maxDel := ll+rl, lm
@@ -47,15 +48,15 @@ func checkTreeInvariants(t *testing.T, tr *Tree) {
 			live++
 		}
 		if n.liveCount != live {
-			t.Fatalf("liveCount drift at node %d: stored %d, actual %d", n.point.ID, n.liveCount, live)
+			t.Fatalf("liveCount drift at node %d: stored %d, actual %d", tr.pts[idx].ID, n.liveCount, live)
 		}
 		if n.maxDel != maxDel {
-			t.Fatalf("maxDel drift at node %d: stored %d, actual %d", n.point.ID, n.maxDel, maxDel)
+			t.Fatalf("maxDel drift at node %d: stored %d, actual %d", tr.pts[idx].ID, n.maxDel, maxDel)
 		}
 		return live, maxDel
 	}
 	live, _ := walk(tr.root)
-	if live != tr.Len() {
+	if int(live) != tr.Len() {
 		t.Fatalf("tree holds %d live nodes, Len() = %d", live, tr.Len())
 	}
 }
@@ -142,19 +143,19 @@ func TestDeleteInvariantsEqualCoords(t *testing.T) {
 	}
 }
 
-// findNode locates the physical node holding the live point with the given
-// id (test helper for corrupting the tree).
-func findNode(n *node, id int) *node {
-	if n == nil {
-		return nil
+// findNode locates the arena slot holding the live point with the given id
+// (test helper for corrupting the tree); nilNode when absent.
+func findNode(tr *Tree, idx int32, id int) int32 {
+	if idx == nilNode {
+		return nilNode
 	}
-	if n.point.ID == id && !n.deleted {
-		return n
+	if tr.pts[idx].ID == id && !tr.nodes[idx].deleted {
+		return idx
 	}
-	if f := findNode(n.left, id); f != nil {
+	if f := findNode(tr, tr.nodes[idx].left, id); f != nilNode {
 		return f
 	}
-	return findNode(n.right, id)
+	return findNode(tr, tr.nodes[idx].right, id)
 }
 
 // The defensive-rebuild branch: when the by-id map and the tree disagree
@@ -168,11 +169,11 @@ func TestDeleteDefensiveRebuild(t *testing.T) {
 
 	// Corrupt: mark id 7's node deleted behind the tree's back, so the
 	// coming tombstone search fails while byID still lists the point.
-	n := findNode(tr.root, 7)
-	if n == nil {
+	n := findNode(tr, tr.root, 7)
+	if n == nilNode {
 		t.Fatal("setup: node 7 not found")
 	}
-	n.deleted = true
+	tr.nodes[n].deleted = true
 
 	if !tr.Delete(7) {
 		t.Fatal("Delete(7) reported missing")
@@ -220,11 +221,11 @@ func TestDeleteDefensiveRebuildDuringRetain(t *testing.T) {
 	wantAfter1 := bruteTopK(pts[1:], u, 5)
 
 	// Corrupt id 2's node and delete it: defensive rebuild, retaining.
-	n := findNode(tr.root, 2)
-	if n == nil {
+	n := findNode(tr, tr.root, 2)
+	if n == nilNode {
 		t.Fatal("setup: node 2 not found")
 	}
-	n.deleted = true
+	tr.nodes[n].deleted = true
 	if !tr.Delete(2) {
 		t.Fatal("Delete(2) reported missing")
 	}

@@ -11,6 +11,20 @@
 //     reduction of Bachrach et al. (see mips.go) that the paper cites;
 //   - Insert and Delete with tombstoning and automatic rebuilds.
 //
+// # Arena layout
+//
+// Nodes live in a flat arena, not a pointer graph: children are int32
+// indices into a single node slice, and the per-node data the query inner
+// loops stream — subtree bounding boxes and the point coordinates — sit in
+// flat dim-strided float64 arrays (structure-of-arrays), so boxScoreUB and
+// the score evaluation read contiguous memory instead of chasing heap
+// pointers. Insertion appends to the arena; rebuilds compact it in place,
+// reusing both the arena storage and a persistent record scratch, so
+// steady-state maintenance does not allocate. The branch-and-bound frontier
+// and the result ranking use typed inline heaps backed by caller-owned
+// QueryScratch buffers (see scratch.go): a warmed-up TopKInto/AtLeastInto
+// query performs zero allocations.
+//
 // # Epoch versioning
 //
 // Every mutation advances the tree's epoch: nodes carry the epoch of their
@@ -31,19 +45,45 @@
 package kdtree
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
 
 	"fdrms/internal/geom"
 )
 
+// nilNode marks an absent child in the arena.
+const nilNode = int32(-1)
+
+// node is the scalar metadata of one arena slot. The fields the query inner
+// loops stream over many nodes — bounding boxes and point coordinates —
+// live in the Tree's flat dim-strided arrays instead (structure-of-arrays).
+type node struct {
+	left, right int32
+	axis        int32
+	deleted     bool
+	ins, del    uint64 // insertion / deletion epoch (del valid when deleted)
+	maxDel      uint64 // max deletion epoch over the subtree (0: none)
+	liveCount   int32
+}
+
 // Tree is a dynamic k-d tree over points in R^d.
 type Tree struct {
-	root    *node
 	dim     int
 	live    int
 	removed int
 	byID    map[int]liveEntry
+
+	// Arena: slot i of every slice describes the same node. boxMin, boxMax
+	// and coords are flat dim-strided arrays (slot i occupies
+	// [i*dim, (i+1)*dim)), so the branch-and-bound upper-bound and score
+	// computations stream contiguous float64s.
+	nodes  []node
+	pts    []geom.Point // node payload, returned in Results
+	coords []float64    // flat copy of pts[i].Coords (hot score path)
+	boxMin []float64    // subtree bounding boxes
+	boxMax []float64
+	root   int32
+
+	recScratch []rec // reusable rebuild record buffer
 
 	epoch       uint64 // advanced by every Insert and effective Delete
 	retaining   bool
@@ -63,17 +103,6 @@ type grave struct {
 	ins, del uint64
 }
 
-type node struct {
-	point          geom.Point
-	axis           int
-	deleted        bool
-	ins, del       uint64 // insertion / deletion epoch (del valid when deleted)
-	maxDel         uint64 // max deletion epoch over the subtree (0: none)
-	left, right    *node
-	boxMin, boxMax geom.Vector // bounding box of the whole subtree
-	liveCount      int
-}
-
 // rec is one point record handed to build: a live point or, during a
 // retaining rebuild, a tombstone that must survive compaction.
 type rec struct {
@@ -85,30 +114,59 @@ type rec struct {
 // New builds a balanced tree over pts by recursive median split.
 // The input slice is not modified.
 func New(dim int, pts []geom.Point) *Tree {
-	t := &Tree{dim: dim, byID: make(map[int]liveEntry, len(pts))}
-	buf := make([]rec, len(pts))
+	t := &Tree{dim: dim, root: nilNode, byID: make(map[int]liveEntry, len(pts))}
+	recs := make([]rec, len(pts))
 	for i, p := range pts {
-		buf[i] = rec{p: p}
+		recs[i] = rec{p: p}
 		t.byID[p.ID] = liveEntry{p: p}
 	}
-	t.root = build(buf, 0, dim)
+	t.growArena(len(recs))
+	t.root = t.build(recs, 0)
 	t.live = len(pts)
 	return t
 }
 
-func build(recs []rec, axis, dim int) *node {
+// growArena reserves arena capacity for n more nodes.
+func (t *Tree) growArena(n int) {
+	t.nodes = slices.Grow(t.nodes, n)
+	t.pts = slices.Grow(t.pts, n)
+	t.coords = slices.Grow(t.coords, n*t.dim)
+	t.boxMin = slices.Grow(t.boxMin, n*t.dim)
+	t.boxMax = slices.Grow(t.boxMax, n*t.dim)
+}
+
+// pushNode appends one node to the arena with its box initialized to the
+// point itself and no children; liveCount/maxDel are set by refreshBounds.
+func (t *Tree) pushNode(r rec, axis int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		left: nilNode, right: nilNode, axis: int32(axis),
+		deleted: r.deleted, ins: r.ins, del: r.del,
+	})
+	t.pts = append(t.pts, r.p)
+	t.coords = append(t.coords, r.p.Coords...)
+	t.boxMin = append(t.boxMin, r.p.Coords...)
+	t.boxMax = append(t.boxMax, r.p.Coords...)
+	return idx
+}
+
+// build constructs a subtree over recs (recursive median split on axis),
+// appending nodes to the arena, and returns the subtree root's index.
+func (t *Tree) build(recs []rec, axis int) int32 {
 	if len(recs) == 0 {
-		return nil
+		return nilNode
 	}
 	mid := len(recs) / 2
 	selectKth(recs, mid, axis)
-	r := recs[mid]
-	n := &node{point: r.p, axis: axis, ins: r.ins, del: r.del, deleted: r.deleted}
-	next := (axis + 1) % dim
-	n.left = build(recs[:mid], next, dim)
-	n.right = build(recs[mid+1:], next, dim)
-	n.refreshBounds(dim)
-	return n
+	idx := t.pushNode(recs[mid], axis)
+	next := (axis + 1) % t.dim
+	// The arena may reallocate during recursion: write children through the
+	// index, never through a held pointer.
+	l := t.build(recs[:mid], next)
+	r := t.build(recs[mid+1:], next)
+	t.nodes[idx].left, t.nodes[idx].right = l, r
+	t.refreshBounds(idx)
+	return idx
 }
 
 // selectKth partially sorts recs so recs[k] is the k-th smallest on axis
@@ -152,9 +210,14 @@ func selectKth(recs []rec, k, axis int) {
 	}
 }
 
-func (n *node) refreshBounds(dim int) {
-	n.boxMin = n.point.Coords.Clone()
-	n.boxMax = n.point.Coords.Clone()
+// refreshBounds recomputes the box, liveCount and maxDel of slot idx from
+// its point and children.
+func (t *Tree) refreshBounds(idx int32) {
+	n := &t.nodes[idx]
+	d := t.dim
+	base := int(idx) * d
+	copy(t.boxMin[base:base+d], t.coords[base:base+d])
+	copy(t.boxMax[base:base+d], t.coords[base:base+d])
 	n.liveCount = 0
 	n.maxDel = 0
 	if n.deleted {
@@ -162,20 +225,22 @@ func (n *node) refreshBounds(dim int) {
 	} else {
 		n.liveCount = 1
 	}
-	for _, c := range []*node{n.left, n.right} {
-		if c == nil {
+	for _, c := range [2]int32{n.left, n.right} {
+		if c == nilNode {
 			continue
 		}
-		n.liveCount += c.liveCount
-		if c.maxDel > n.maxDel {
-			n.maxDel = c.maxDel
+		cn := &t.nodes[c]
+		n.liveCount += cn.liveCount
+		if cn.maxDel > n.maxDel {
+			n.maxDel = cn.maxDel
 		}
-		for i := 0; i < dim; i++ {
-			if c.boxMin[i] < n.boxMin[i] {
-				n.boxMin[i] = c.boxMin[i]
+		cb := int(c) * d
+		for i := 0; i < d; i++ {
+			if t.boxMin[cb+i] < t.boxMin[base+i] {
+				t.boxMin[base+i] = t.boxMin[cb+i]
 			}
-			if c.boxMax[i] > n.boxMax[i] {
-				n.boxMax[i] = c.boxMax[i]
+			if t.boxMax[cb+i] > t.boxMax[base+i] {
+				t.boxMax[base+i] = t.boxMax[cb+i]
 			}
 		}
 	}
@@ -259,7 +324,8 @@ func (t *Tree) PointByIDAt(id int, e uint64) (geom.Point, bool) {
 	return geom.Point{}, false
 }
 
-// Points returns all live points in unspecified order.
+// Points returns all live points in unspecified order. The slice is freshly
+// allocated at exactly the live count.
 func (t *Tree) Points() []geom.Point {
 	out := make([]geom.Point, 0, t.live)
 	for _, le := range t.byID {
@@ -277,39 +343,48 @@ func (t *Tree) Insert(p geom.Point) {
 	t.epoch++
 	t.byID[p.ID] = liveEntry{p: p, ins: t.epoch}
 	t.live++
-	if t.root == nil {
-		t.root = &node{point: p, axis: 0, ins: t.epoch}
-		t.root.refreshBounds(t.dim)
+	if t.root == nilNode {
+		t.root = t.pushNode(rec{p: p, ins: t.epoch}, 0)
+		t.refreshBounds(t.root)
 		return
 	}
 	t.insertAt(t.root, p, t.epoch)
 }
 
-func (t *Tree) insertAt(n *node, p geom.Point, ins uint64) {
-	n.liveCount++
-	for i := 0; i < t.dim; i++ {
-		if p.Coords[i] < n.boxMin[i] {
-			n.boxMin[i] = p.Coords[i]
+func (t *Tree) insertAt(idx int32, p geom.Point, ins uint64) {
+	d := t.dim
+	for {
+		n := &t.nodes[idx]
+		n.liveCount++
+		base := int(idx) * d
+		for i := 0; i < d; i++ {
+			if p.Coords[i] < t.boxMin[base+i] {
+				t.boxMin[base+i] = p.Coords[i]
+			}
+			if p.Coords[i] > t.boxMax[base+i] {
+				t.boxMax[base+i] = p.Coords[i]
+			}
 		}
-		if p.Coords[i] > n.boxMax[i] {
-			n.boxMax[i] = p.Coords[i]
+		axis := int(n.axis)
+		next := (axis + 1) % d
+		goLeft := p.Coords[axis] < t.coords[base+axis]
+		child := n.right
+		if goLeft {
+			child = n.left
 		}
-	}
-	next := (n.axis + 1) % t.dim
-	if p.Coords[n.axis] < n.point.Coords[n.axis] {
-		if n.left == nil {
-			n.left = &node{point: p, axis: next, ins: ins}
-			n.left.refreshBounds(t.dim)
+		if child == nilNode {
+			// pushNode may reallocate the arena: write the link through the
+			// index, not through n.
+			c := t.pushNode(rec{p: p, ins: ins}, next)
+			if goLeft {
+				t.nodes[idx].left = c
+			} else {
+				t.nodes[idx].right = c
+			}
+			t.refreshBounds(c)
 			return
 		}
-		t.insertAt(n.left, p, ins)
-	} else {
-		if n.right == nil {
-			n.right = &node{point: p, axis: next, ins: ins}
-			n.right.refreshBounds(t.dim)
-			return
-		}
-		t.insertAt(n.right, p, ins)
+		idx = child
 	}
 }
 
@@ -347,17 +422,20 @@ func (t *Tree) Delete(id int) bool {
 // deleted at epoch del, decrementing live counts along the path.
 // Coordinates equal on the split axis may sit in either subtree, so both
 // are searched when needed.
-func (t *Tree) tombstone(n *node, p geom.Point, del uint64) bool {
-	if n == nil {
+func (t *Tree) tombstone(idx int32, p geom.Point, del uint64) bool {
+	if idx == nilNode {
 		return false
 	}
+	d := t.dim
+	base := int(idx) * d
 	// Box pruning: p must be inside the subtree's bounding box.
-	for i := 0; i < t.dim; i++ {
-		if p.Coords[i] < n.boxMin[i] || p.Coords[i] > n.boxMax[i] {
+	for i := 0; i < d; i++ {
+		if p.Coords[i] < t.boxMin[base+i] || p.Coords[i] > t.boxMax[base+i] {
 			return false
 		}
 	}
-	if n.point.ID == p.ID && !n.deleted {
+	n := &t.nodes[idx] // no arena growth during tombstoning: safe to hold
+	if t.pts[idx].ID == p.ID && !n.deleted {
 		n.deleted = true
 		n.del = del
 		if del > n.maxDel {
@@ -366,7 +444,7 @@ func (t *Tree) tombstone(n *node, p geom.Point, del uint64) bool {
 		n.liveCount--
 		return true
 	}
-	if p.Coords[n.axis] < n.point.Coords[n.axis] {
+	if p.Coords[n.axis] < t.coords[base+int(n.axis)] {
 		if t.tombstone(n.left, p, del) {
 			n.liveCount--
 			if del > n.maxDel {
@@ -385,7 +463,7 @@ func (t *Tree) tombstone(n *node, p geom.Point, del uint64) bool {
 	}
 	// Equal axis values historically went right, but an interleaved rebuild
 	// may have placed them left of the median; search the other side too.
-	if p.Coords[n.axis] == n.point.Coords[n.axis] && t.tombstone(n.left, p, del) {
+	if p.Coords[n.axis] == t.coords[base+int(n.axis)] && t.tombstone(n.left, p, del) {
 		n.liveCount--
 		if del > n.maxDel {
 			n.maxDel = del
@@ -397,9 +475,11 @@ func (t *Tree) tombstone(n *node, p geom.Point, del uint64) bool {
 
 // rebuild reconstructs the tree from the live points (the by-id map is
 // authoritative), keeping the tombstones of an open retain window so
-// historic reads stay exact.
+// historic reads stay exact. The arena is compacted in place: its storage
+// and the record scratch are reused across rebuilds, so steady-state
+// compaction performs no allocation beyond amortized growth.
 func (t *Tree) rebuild() {
-	recs := make([]rec, 0, len(t.byID)+len(t.graveyard))
+	recs := t.recScratch[:0]
 	for _, le := range t.byID {
 		recs = append(recs, rec{p: le.p, ins: le.ins})
 	}
@@ -412,17 +492,40 @@ func (t *Tree) rebuild() {
 			}
 		}
 	}
-	t.root = build(recs, 0, t.dim)
+	t.recScratch = recs
+	t.nodes = t.nodes[:0]
+	t.pts = t.pts[:0]
+	t.coords = t.coords[:0]
+	t.boxMin = t.boxMin[:0]
+	t.boxMax = t.boxMax[:0]
+	t.root = t.build(recs, 0)
 	t.live = len(t.byID)
 	t.removed = removed
+	// Drop stale point references from the reusable buffers so compaction
+	// does not pin coordinate arrays of long-gone tuples.
+	clear(recs)
+	clear(t.pts[len(t.pts):cap(t.pts)])
 }
 
 // boxScoreUB returns an upper bound on <u, p> over every point in the box
-// of n. Utilities are nonnegative, so the per-axis maximum is tight.
-func boxScoreUB(u geom.Vector, n *node) float64 {
+// of slot idx. Utilities are nonnegative, so the per-axis maximum is tight.
+// The box row is one contiguous stretch of the flat boxMax array.
+func (t *Tree) boxScoreUB(u geom.Vector, idx int32) float64 {
+	box := t.boxMax[int(idx)*t.dim:][:len(u)]
 	var s float64
 	for i, ui := range u {
-		s += ui * n.boxMax[i]
+		s += ui * box[i]
+	}
+	return s
+}
+
+// scoreOf returns <u, p> for the point of slot idx from the arena's flat
+// coordinate array.
+func (t *Tree) scoreOf(u geom.Vector, idx int32) float64 {
+	c := t.coords[int(idx)*t.dim:][:len(u)]
+	var s float64
+	for i, ui := range u {
+		s += ui * c[i]
 	}
 	return s
 }
@@ -433,60 +536,31 @@ type Result struct {
 	Score float64
 }
 
-// nodePQ is a max-heap of nodes ordered by score upper bound.
-type nodePQ []nodeEntry
-
-type nodeEntry struct {
-	n  *node
-	ub float64
-}
-
-func (q nodePQ) Len() int            { return len(q) }
-func (q nodePQ) Less(i, j int) bool  { return q[i].ub > q[j].ub }
-func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodePQ) Push(x interface{}) { *q = append(*q, x.(nodeEntry)) }
-func (q *nodePQ) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
-}
-
-// resultHeap is a min-heap used to keep the best k results; the root is the
-// WORST kept result under the total order (score descending, then point ID
-// ascending), so among equal scores the largest id is evicted first and the
-// returned k-set is a deterministic function of the candidate set alone —
-// not of the traversal order, which varies with the tree's structure.
-type resultHeap []Result
-
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].Point.ID > h[j].Point.ID
-}
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // TopK returns the k live points with the largest score <u, p>, in
 // decreasing score order. Fewer than k points are returned when the tree
 // holds fewer. Ties are broken by smaller point ID so results are stable:
 // the answer is a deterministic function of the visible point set alone,
 // never of the tree's internal shape (which rebuild timing perturbs).
+// The slice is freshly allocated; hot paths should use TopKInto.
 func (t *Tree) TopK(u geom.Vector, k int) []Result {
 	return t.TopKAt(u, k, t.epoch)
 }
 
 // TopKAt is TopK against the database as of epoch e.
+func (t *Tree) TopKAt(u geom.Vector, k int, e uint64) []Result {
+	var sc QueryScratch
+	return copyResults(t.TopKAtInto(u, k, e, &sc))
+}
+
+// TopKInto is TopK reusing the caller's scratch: the returned slice is
+// backed by sc and valid only until the next query through it.
+func (t *Tree) TopKInto(u geom.Vector, k int, sc *QueryScratch) []Result {
+	return t.TopKAtInto(u, k, t.epoch, sc)
+}
+
+// TopKAtInto is TopKAt reusing the caller's scratch: the returned slice is
+// backed by sc and valid only until the next query through it. A warmed-up
+// scratch makes the query allocation-free.
 //
 // Two phases: a best-first branch-and-bound with strict pruning finds the
 // k best SCORES (the score multiset is shape-independent, the identities of
@@ -499,39 +573,42 @@ func (t *Tree) TopK(u geom.Vector, k int) []Result {
 // queries skip the sweep entirely; admitting ub == kth boxes into the heap
 // search instead would explore the same region at far higher cost (clipped
 // real datasets tie constantly).
-func (t *Tree) TopKAt(u geom.Vector, k int, e uint64) []Result {
-	best, ambiguous := t.searchTopK(u, k, e)
+func (t *Tree) TopKAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) []Result {
+	best, ambiguous := t.searchTopK(u, k, e, sc)
 	if len(best) == 0 {
 		return nil
 	}
 	if len(best) == k && ambiguous {
 		// Deterministic tie resolution at the kth-score boundary.
-		out := t.AtLeastAt(u, best[0].Score, e)
+		out := t.AtLeastAtInto(u, best[0].Score, e, sc)
 		sortResults(out)
-		return out[:k:k]
+		return out[:k]
 	}
 	// Tie-free boundary (or fewer than k visible points, where the search
 	// explored everything): the set itself is forced, so it is already
 	// deterministic.
-	out := make([]Result, len(best))
-	copy(out, best)
-	sortResults(out)
-	return out
+	sortResults(best)
+	return best
 }
 
 // searchTopK is the phase-1 branch-and-bound: it returns k results whose
 // SCORES are the exact k best as of epoch e (identities of tuples tying
 // the kth score are traversal-dependent), plus whether any exclusion tied
 // the then-current kth score — the signal that identity resolution needs
-// the phase-2 sweep.
-func (t *Tree) searchTopK(u geom.Vector, k int, e uint64) (best resultHeap, ambiguous bool) {
-	if t.root == nil || k <= 0 {
+// the phase-2 sweep. The returned slice is backed by sc.results.
+func (t *Tree) searchTopK(u geom.Vector, k int, e uint64, sc *QueryScratch) (best []Result, ambiguous bool) {
+	if t.root == nilNode || k <= 0 {
+		clear(sc.results) // same anti-pinning hygiene as the non-empty path
+		sc.results = sc.results[:0]
 		return nil, false
 	}
-	var frontier nodePQ
-	heap.Push(&frontier, nodeEntry{t.root, boxScoreUB(u, t.root)})
-	for frontier.Len() > 0 {
-		ent := heap.Pop(&frontier).(nodeEntry)
+	prevResults := len(sc.results)
+	frontier := sc.frontier[:0]
+	best = sc.results[:0]
+	frontier = pushFrontier(frontier, frontierEntry{t.boxScoreUB(u, t.root), t.root})
+	for len(frontier) > 0 {
+		var ent frontierEntry
+		ent, frontier = popFrontier(frontier)
 		if len(best) == k && ent.ub <= best[0].Score {
 			// Remaining frontier entries bound no higher than this one.
 			if ent.ub == best[0].Score {
@@ -539,15 +616,15 @@ func (t *Tree) searchTopK(u geom.Vector, k int, e uint64) (best resultHeap, ambi
 			}
 			break
 		}
-		n := ent.n
+		n := &t.nodes[ent.idx]
 		if n.visibleAt(e) {
-			s := geom.Score(u, n.point)
+			s := t.scoreOf(u, ent.idx)
 			if len(best) < k {
-				heap.Push(&best, Result{n.point, s})
+				best = pushResult(best, Result{t.pts[ent.idx], s})
 			} else if s > best[0].Score {
 				evicted := best[0].Score
-				best[0] = Result{n.point, s}
-				heap.Fix(&best, 0)
+				best[0] = Result{t.pts[ent.idx], s}
+				fixResultRoot(best)
 				if best[0].Score == evicted {
 					ambiguous = true // the evicted point tied the surviving kth
 				}
@@ -555,29 +632,72 @@ func (t *Tree) searchTopK(u geom.Vector, k int, e uint64) (best resultHeap, ambi
 				ambiguous = true
 			}
 		}
-		for _, c := range []*node{n.left, n.right} {
-			if c == nil || c.emptyAt(e) {
+		for _, c := range [2]int32{n.left, n.right} {
+			if c == nilNode || t.nodes[c].emptyAt(e) {
 				continue
 			}
-			ub := boxScoreUB(u, c)
+			ub := t.boxScoreUB(u, c)
 			if len(best) < k || ub > best[0].Score {
-				heap.Push(&frontier, nodeEntry{c, ub})
+				frontier = pushFrontier(frontier, frontierEntry{ub, c})
 			} else if ub == best[0].Score {
 				ambiguous = true
 			}
 		}
 	}
+	sc.frontier = frontier
+	// Results hold geom.Points: zero the shrink gap so the scratch does not
+	// pin coordinate arrays of tuples a previous, larger query returned.
+	// (Equal caps mean append never reallocated, i.e. same backing array.)
+	if n := len(best); n < prevResults && cap(best) == cap(sc.results) {
+		clear(best[n:prevResults])
+	}
+	sc.results = best
 	return best, ambiguous
 }
 
 // sortResults orders results by decreasing score, then increasing point ID.
 func sortResults(out []Result) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b Result) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Point.ID < b.Point.ID:
+			return -1
+		case a.Point.ID > b.Point.ID:
+			return 1
 		}
-		return out[i].Point.ID < out[j].Point.ID
+		return 0
 	})
+}
+
+// sortResultsAsc orders results by increasing score, then increasing point
+// ID (NearestK's distance ordering).
+func sortResultsAsc(out []Result) {
+	slices.SortFunc(out, func(a, b Result) int {
+		switch {
+		case a.Score < b.Score:
+			return -1
+		case a.Score > b.Score:
+			return 1
+		case a.Point.ID < b.Point.ID:
+			return -1
+		case a.Point.ID > b.Point.ID:
+			return 1
+		}
+		return 0
+	})
+}
+
+// copyResults clones a scratch-backed result slice into caller-owned memory.
+func copyResults(res []Result) []Result {
+	if res == nil {
+		return nil
+	}
+	out := make([]Result, len(res))
+	copy(out, res)
+	return out
 }
 
 // KthScore returns the k-th largest score w.r.t. u (ω_k in the paper).
@@ -587,11 +707,17 @@ func (t *Tree) KthScore(u geom.Vector, k int) (score float64, ok bool) {
 	return t.KthScoreAt(u, k, t.epoch)
 }
 
-// KthScoreAt is KthScore against the database as of epoch e. Only the kth
-// SCORE is needed, which phase 1 determines exactly, so the identity-
-// resolving tie sweep of TopKAt is skipped entirely.
+// KthScoreAt is KthScore against the database as of epoch e.
 func (t *Tree) KthScoreAt(u geom.Vector, k int, e uint64) (score float64, ok bool) {
-	best, _ := t.searchTopK(u, k, e)
+	var sc QueryScratch
+	return t.KthScoreAtInto(u, k, e, &sc)
+}
+
+// KthScoreAtInto is KthScoreAt reusing the caller's scratch. Only the kth
+// SCORE is needed, which phase 1 determines exactly, so the identity-
+// resolving tie sweep of TopKAtInto is skipped entirely.
+func (t *Tree) KthScoreAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) (score float64, ok bool) {
+	best, _ := t.searchTopK(u, k, e, sc)
 	if len(best) == 0 {
 		return 0, false
 	}
@@ -601,44 +727,82 @@ func (t *Tree) KthScoreAt(u geom.Vector, k int, e uint64) (score float64, ok boo
 }
 
 // AtLeast returns every live point with score <u, p> >= tau, in unspecified
-// order. This realizes Φ_{k,ε} when tau = (1-ε)·ω_k.
+// order. This realizes Φ_{k,ε} when tau = (1-ε)·ω_k. The slice is freshly
+// allocated; hot paths should use AtLeastInto.
 func (t *Tree) AtLeast(u geom.Vector, tau float64) []Result {
 	return t.AtLeastAt(u, tau, t.epoch)
 }
 
 // AtLeastAt is AtLeast against the database as of epoch e.
 func (t *Tree) AtLeastAt(u geom.Vector, tau float64, e uint64) []Result {
-	var out []Result
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n == nil || n.emptyAt(e) || boxScoreUB(u, n) < tau {
-			return
+	var sc QueryScratch
+	out := t.AtLeastAtInto(u, tau, e, &sc)
+	if len(out) == 0 {
+		return nil
+	}
+	return copyResults(out)
+}
+
+// AtLeastInto is AtLeast reusing the caller's scratch: the returned slice
+// is backed by sc and valid only until the next query through it.
+func (t *Tree) AtLeastInto(u geom.Vector, tau float64, sc *QueryScratch) []Result {
+	return t.AtLeastAtInto(u, tau, t.epoch, sc)
+}
+
+// AtLeastAtInto is AtLeastAt reusing the caller's scratch: the returned
+// slice is backed by sc and valid only until the next query through it.
+// A warmed-up scratch makes the query allocation-free.
+func (t *Tree) AtLeastAtInto(u geom.Vector, tau float64, e uint64, sc *QueryScratch) []Result {
+	prevOut := len(sc.out)
+	out := sc.out[:0]
+	if t.root == nilNode {
+		clear(out[:prevOut])
+		sc.out = out
+		return out
+	}
+	stack := sc.stack[:0]
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[idx]
+		if n.emptyAt(e) || t.boxScoreUB(u, idx) < tau {
+			continue
 		}
 		if n.visibleAt(e) {
-			if s := geom.Score(u, n.point); s >= tau {
-				out = append(out, Result{n.point, s})
+			if s := t.scoreOf(u, idx); s >= tau {
+				out = append(out, Result{t.pts[idx], s})
 			}
 		}
-		walk(n.left)
-		walk(n.right)
+		// Push right first so the left subtree is visited first (pre-order,
+		// matching the historical recursive walk).
+		if n.right != nilNode {
+			stack = append(stack, n.right)
+		}
+		if n.left != nilNode {
+			stack = append(stack, n.left)
+		}
 	}
-	walk(t.root)
+	// Zero the shrink gap so the scratch does not pin coordinate arrays of
+	// tuples a previous, larger sweep returned (same-backing check as in
+	// searchTopK).
+	if n := len(out); n < prevOut && cap(out) == cap(sc.out) {
+		clear(out[n:prevOut])
+	}
+	sc.out = out
+	sc.stack = stack
 	return out
 }
 
 // ApproxTopK returns Φ_{k,ε}(u, P): all live points whose score is at least
 // (1-ε)·ω_k(u, P). The slice is sorted by decreasing score.
 func (t *Tree) ApproxTopK(u geom.Vector, k int, eps float64) []Result {
-	kth, ok := t.KthScore(u, k)
+	var sc QueryScratch
+	kth, ok := t.KthScoreAtInto(u, k, t.epoch, &sc)
 	if !ok {
 		return nil
 	}
-	out := t.AtLeast(u, (1-eps)*kth)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Point.ID < out[j].Point.ID
-	})
+	out := copyResults(t.AtLeastAtInto(u, (1-eps)*kth, t.epoch, &sc))
+	sortResults(out)
 	return out
 }

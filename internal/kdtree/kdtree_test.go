@@ -342,16 +342,17 @@ func TestLiveCountInvariantQuick(t *testing.T) {
 				}
 			}
 		}
-		var count func(n *node) int
-		count = func(n *node) int {
-			if n == nil {
+		var count func(idx int32) int
+		count = func(idx int32) int {
+			if idx == nilNode {
 				return 0
 			}
+			n := &tr.nodes[idx]
 			c := count(n.left) + count(n.right)
 			if !n.deleted {
 				c++
 			}
-			if n.liveCount != c {
+			if n.liveCount != int32(c) {
 				return -1 << 30
 			}
 			return c

@@ -1,9 +1,7 @@
 package kdtree
 
 import (
-	"container/heap"
 	"math"
-	"sort"
 
 	"fdrms/internal/geom"
 )
@@ -23,15 +21,18 @@ import (
 // cross-validate TopK.
 
 // boxDistLB returns a lower bound on the Euclidean distance from q to any
-// point inside the bounding box of n.
-func boxDistLB(q geom.Vector, n *node) float64 {
+// point inside the bounding box of slot idx.
+func (t *Tree) boxDistLB(q geom.Vector, idx int32) float64 {
+	base := int(idx) * t.dim
+	bmin := t.boxMin[base:][:len(q)]
+	bmax := t.boxMax[base:][:len(q)]
 	var s float64
 	for i, x := range q {
-		if x < n.boxMin[i] {
-			d := n.boxMin[i] - x
+		if x < bmin[i] {
+			d := bmin[i] - x
 			s += d * d
-		} else if x > n.boxMax[i] {
-			d := x - n.boxMax[i]
+		} else if x > bmax[i] {
+			d := x - bmax[i]
 			s += d * d
 		}
 	}
@@ -41,37 +42,40 @@ func boxDistLB(q geom.Vector, n *node) float64 {
 // NearestK returns the k live points closest to q in Euclidean distance,
 // ordered by increasing distance (ties by smaller ID).
 func (t *Tree) NearestK(q geom.Vector, k int) []Result {
-	if t.root == nil || k <= 0 {
+	if t.root == nilNode || k <= 0 {
 		return nil
 	}
-	var frontier nodePQ // reuse: store negative distance so max-heap pops nearest box first
-	heap.Push(&frontier, nodeEntry{t.root, -boxDistLB(q, t.root)})
+	// Frontier reuse: store negative distance so the max-heap pops the
+	// nearest box first.
+	var frontier []frontierEntry
+	frontier = pushFrontier(frontier, frontierEntry{-t.boxDistLB(q, t.root), t.root})
 	// Max-heap on distance keeps the k closest seen so far. Like TopK, boxes
 	// and points tying the kth distance are still considered so the ID
 	// tie-break is honored regardless of the tree's shape.
-	var best resultHeap // Score holds negative distance, so best[0] is the farthest kept
-	for frontier.Len() > 0 {
-		e := heap.Pop(&frontier).(nodeEntry)
-		if len(best) == k && -e.ub > -best[0].Score {
+	var best []Result // Score holds negative distance, so best[0] is the farthest kept
+	for len(frontier) > 0 {
+		var ent frontierEntry
+		ent, frontier = popFrontier(frontier)
+		if len(best) == k && -ent.ub > -best[0].Score {
 			break
 		}
-		n := e.n
+		n := &t.nodes[ent.idx]
 		if !n.deleted {
-			d := geom.Dist(q, n.point.Coords)
+			d := geom.Dist(q, t.pts[ent.idx].Coords)
 			if len(best) < k {
-				heap.Push(&best, Result{n.point, -d})
-			} else if -d > best[0].Score || (-d == best[0].Score && n.point.ID < best[0].Point.ID) {
-				best[0] = Result{n.point, -d}
-				heap.Fix(&best, 0)
+				best = pushResult(best, Result{t.pts[ent.idx], -d})
+			} else if -d > best[0].Score || (-d == best[0].Score && t.pts[ent.idx].ID < best[0].Point.ID) {
+				best[0] = Result{t.pts[ent.idx], -d}
+				fixResultRoot(best)
 			}
 		}
-		for _, c := range []*node{n.left, n.right} {
-			if c == nil || c.liveCount == 0 {
+		for _, c := range [2]int32{n.left, n.right} {
+			if c == nilNode || t.nodes[c].liveCount == 0 {
 				continue
 			}
-			lb := boxDistLB(q, c)
+			lb := t.boxDistLB(q, c)
 			if len(best) < k || -lb >= best[0].Score {
-				heap.Push(&frontier, nodeEntry{c, -lb})
+				frontier = pushFrontier(frontier, frontierEntry{-lb, c})
 			}
 		}
 	}
@@ -80,12 +84,8 @@ func (t *Tree) NearestK(q geom.Vector, k int) []Result {
 	for i := range out {
 		out[i].Score = -out[i].Score // back to distances
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
-		}
-		return out[i].Point.ID < out[j].Point.ID
-	})
+	// Ascending by distance, ties by smaller ID.
+	sortResultsAsc(out)
 	return out
 }
 
@@ -133,11 +133,6 @@ func (tr *Transformed) TopK(u geom.Vector, k int, original *Tree) []Result {
 		}
 		out = append(out, Result{p, geom.Score(u, p)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Point.ID < out[j].Point.ID
-	})
+	sortResults(out)
 	return out
 }

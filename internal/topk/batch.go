@@ -31,11 +31,20 @@
 // are deferred to the end of each phase and applied once per touched
 // utility, which both keeps the workers lock-free and collapses up to |run|
 // path repairs into one.
+//
+// Steady-state allocation discipline: run segmentation, task lists, worker
+// change buffers, replay heaps, and tuple-index query scratch all live in
+// the engine (or its shards) and are reused across batches; each shard
+// worker owns a persistent kdtree.QueryScratch, so requeries are
+// allocation-free once warmed up. The only per-run allocation is the
+// emitted change groups — they are handed to the caller, who may retain
+// them indefinitely, so each run carves its groups out of one fresh backing
+// slice — plus genuine Φ/buffer growth.
 package topk
 
 import (
-	"container/heap"
-	"sort"
+	"cmp"
+	"slices"
 	"sync"
 
 	"fdrms/internal/geom"
@@ -93,59 +102,74 @@ func (e *Engine) ApplyBatch(ops []Op) []Change {
 // skipped and produce no emit call, mirroring Delete's no-op contract.
 // An insertion that replaces a live id emits the changes of the implicit
 // deletion followed by those of the insertion, as a single group.
+// Emitted change groups are caller-owned and stay valid indefinitely.
 func (e *Engine) ApplyBatchFunc(ops []Op, emit func(op Op, changes []Change)) {
-	insRun := make([]insOp, 0, len(ops))
-	var delRun []Op
-	pendingIns := make(map[int]bool) // ids inserted by the current insert run
-	pendingDel := make(map[int]bool) // ids deleted by the current delete run
-	flushIns := func() {
-		if len(insRun) == 0 {
-			return
-		}
-		e.flushInsertRun(insRun, emit)
-		insRun = insRun[:0]
-		clear(pendingIns)
+	sc := &e.scratch
+	if sc.pendingIns == nil {
+		sc.pendingIns = make(map[int]bool)
+		sc.pendingDel = make(map[int]bool)
 	}
-	flushDel := func() {
-		if len(delRun) == 0 {
-			return
-		}
-		e.flushDeleteRun(delRun, emit)
-		delRun = delRun[:0]
-		clear(pendingDel)
-	}
+	sc.insRun = sc.insRun[:0]
+	sc.delRun = sc.delRun[:0]
+	clear(sc.pendingIns)
+	clear(sc.pendingDel)
 	// At most one run is open at any moment: a delete op flushes the insert
 	// run before queueing and vice versa, so liveness checks against the
 	// tuple index only need to account for the run of their own kind.
 	for _, op := range ops {
 		if op.Delete {
-			flushIns()
-			if e.tree.Contains(op.ID) && !pendingDel[op.ID] {
-				delRun = append(delRun, op)
-				pendingDel[op.ID] = true
+			e.flushIns(emit)
+			if e.tree.Contains(op.ID) && !sc.pendingDel[op.ID] {
+				sc.delRun = append(sc.delRun, op)
+				sc.pendingDel[op.ID] = true
 			}
 			continue
 		}
-		flushDel()
+		e.flushDel(emit)
 		id := op.Point.ID
-		if pendingIns[id] {
+		if sc.pendingIns[id] {
 			// The run already inserts this id; the new op must observe it
 			// live and replace it.
-			flushIns()
+			e.flushIns(emit)
 		}
 		if e.tree.Contains(id) {
-			flushIns()
+			e.flushIns(emit)
 			pre := e.deleteLive(id)
-			e.flushInsertRun([]insOp{{op: op}}, func(o Op, ch []Change) {
+			sc.repl[0] = insOp{op: op}
+			e.flushInsertRun(sc.repl[:1], func(o Op, ch []Change) {
 				emit(o, append(pre, ch...))
 			})
+			sc.repl[0] = insOp{} // don't pin the tuple past the run
 			continue
 		}
-		insRun = append(insRun, insOp{op: op})
-		pendingIns[id] = true
+		sc.insRun = append(sc.insRun, insOp{op: op})
+		sc.pendingIns[id] = true
 	}
-	flushIns()
-	flushDel()
+	e.flushIns(emit)
+	e.flushDel(emit)
+}
+
+// flushIns closes the open insert run, if any.
+func (e *Engine) flushIns(emit func(op Op, changes []Change)) {
+	sc := &e.scratch
+	if len(sc.insRun) == 0 {
+		return
+	}
+	e.flushInsertRun(sc.insRun, emit)
+	clear(sc.insRun) // drop Point references so deleted tuples can be collected
+	sc.insRun = sc.insRun[:0]
+	clear(sc.pendingIns)
+}
+
+// flushDel closes the open delete run, if any.
+func (e *Engine) flushDel(emit func(op Op, changes []Change)) {
+	sc := &e.scratch
+	if len(sc.delRun) == 0 {
+		return
+	}
+	e.flushDeleteRun(sc.delRun, emit)
+	sc.delRun = sc.delRun[:0]
+	clear(sc.pendingDel)
 }
 
 // insOp is one queued insertion of the current run.
@@ -169,19 +193,48 @@ type delTask struct {
 	poss []int // ascending
 }
 
-// posHeap is a min-heap of run positions pending for one utility.
+// posHeap is a min-heap of run positions pending for one utility, stored in
+// a plain slice with inline sift operations (no boxing).
 type posHeap []int
 
-func (h posHeap) Len() int            { return len(h) }
-func (h posHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
-func (h *posHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// pushPos adds x to the min-heap.
+func pushPos(h posHeap, x int) posHeap {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// popPos removes and returns the smallest position.
+func popPos(h posHeap) (int, posHeap) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h[l] < h[m] {
+			m = l
+		}
+		if r < n && h[r] < h[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top, h
 }
 
 // phaseScratch returns the engine's reusable per-phase buffers, emptied.
@@ -206,11 +259,17 @@ func (e *Engine) phaseScratch() (tasks [][]insTask, results []shardResult) {
 // flushInsertRun applies a run of insertions of distinct, previously
 // not-live ids and emits each operation's changes in order.
 func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change)) {
+	sc := &e.scratch
 	// Probe the utility index before mutating any state: with insertions
 	// only, thresholds are non-decreasing, so candidates computed at run
 	// start are a superset of the exact affected set of every operation.
+	// Candidate lists live in per-position buffers reused across runs.
+	for len(sc.affected) < len(run) {
+		sc.affected = append(sc.affected, nil)
+	}
 	for i := range run {
-		run[i].affected = e.ui.Affected(run[i].op.Point)
+		sc.affected[i] = e.ui.AffectedInto(run[i].op.Point, sc.affected[i][:0])
+		run[i].affected = sc.affected[i]
 	}
 	for i := range run {
 		e.tree.Insert(run[i].op.Point)
@@ -226,11 +285,9 @@ func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change))
 			total++
 		}
 	}
-	e.runShards(total, func(s int) bool { return len(tasks[s]) > 0 }, func(s int) {
-		e.insertWorker(&e.shards[s], run, tasks[s], &results[s])
-	})
+	e.runPhase(false, run, nil, 0, nil, total)
 	e.mergePhase(results)
-	e.emitRunGroups(len(run), results, func(i int) Op { return run[i].op }, emit)
+	e.emitRunGroups(len(run), run, nil, results, emit)
 }
 
 // flushDeleteRun applies a run of deletions of distinct live ids and emits
@@ -261,6 +318,9 @@ func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
 	// order so each task's position list is ascending. Task order (first
 	// appearance over run order × sorted inverted-index entries) is
 	// deterministic.
+	if sc.didx == nil {
+		sc.didx = make([]map[int]int, len(e.shards))
+	}
 	total := 0
 	for s := range e.shards {
 		sh := &e.shards[s]
@@ -275,10 +335,21 @@ func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
 				}
 				if i < 0 {
 					i = len(tasks[s])
-					tasks[s] = append(tasks[s], delTask{uid: uid})
+					// Grow within capacity where possible so recycled slots
+					// keep their poss backing arrays across runs.
+					if i < cap(tasks[s]) {
+						tasks[s] = tasks[s][:i+1]
+						tasks[s][i].uid = uid
+						tasks[s][i].poss = tasks[s][i].poss[:0]
+					} else {
+						tasks[s] = append(tasks[s], delTask{uid: uid})
+					}
 					if len(run) > 1 {
 						if idx == nil {
-							idx = make(map[int]int)
+							if sc.didx[s] == nil {
+								sc.didx[s] = make(map[int]int)
+							}
+							idx = sc.didx[s]
 						}
 						idx[uid] = i
 					}
@@ -286,6 +357,9 @@ func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
 				tasks[s][i].poss = append(tasks[s][i].poss, pos)
 				total++
 			}
+		}
+		if idx != nil {
+			clear(idx)
 		}
 	}
 
@@ -295,20 +369,75 @@ func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
 	}
 	e.DeleteOps += len(run)
 
-	e.runShards(total, func(s int) bool { return len(tasks[s]) > 0 }, func(s int) {
-		e.deleteWorker(&e.shards[s], run, base, runPos, tasks[s], &results[s])
-	})
+	e.runPhase(true, nil, run, base, runPos, total)
 	e.tree.EndRetain()
 	e.mergePhase(results)
-	e.emitRunGroups(len(run), results, func(i int) Op { return run[i] }, emit)
+	e.emitRunGroups(len(run), nil, run, results, emit)
 }
 
 // deleteLive removes a live tuple as a single-operation delete run and
 // returns the changes sorted by utility then point id.
 func (e *Engine) deleteLive(id int) []Change {
 	var out []Change
-	e.flushDeleteRun([]Op{DeleteOp(id)}, func(_ Op, ch []Change) { out = ch })
+	sc := &e.scratch
+	sc.delRun = append(sc.delRun[:0], DeleteOp(id))
+	e.flushDeleteRun(sc.delRun, func(_ Op, ch []Change) { out = ch })
+	sc.delRun = sc.delRun[:0]
 	return out
+}
+
+// runPhase executes one run's workers over every shard with a nonempty
+// task list — concurrently when the engine is sharded and the phase is
+// large enough to amortize the fan-out, inline otherwise. Output is
+// identical either way: workers only touch their own shard and result
+// slot. Exactly one of insRun/delRun carries the run; the flag-based
+// dispatch (rather than callbacks) keeps the inline single-op path free of
+// closure allocations.
+func (e *Engine) runPhase(del bool, insRun []insOp, delRun []Op, base uint64, runPos map[int]int, total int) {
+	active := 0
+	for s := range e.shards {
+		if e.phaseTasks(del, s) > 0 {
+			active++
+		}
+	}
+	if active <= 1 || total < parallelMinTasks {
+		for s := range e.shards {
+			if e.phaseTasks(del, s) > 0 {
+				e.phaseWork(del, s, insRun, delRun, base, runPos)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := range e.shards {
+		if e.phaseTasks(del, s) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.phaseWork(del, s, insRun, delRun, base, runPos)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// phaseTasks returns the task count of shard s for the phase kind.
+func (e *Engine) phaseTasks(del bool, s int) int {
+	if del {
+		return len(e.scratch.dtasks[s])
+	}
+	return len(e.scratch.tasks[s])
+}
+
+// phaseWork runs shard s's worker for the phase kind.
+func (e *Engine) phaseWork(del bool, s int, insRun []insOp, delRun []Op, base uint64, runPos map[int]int) {
+	sc := &e.scratch
+	if del {
+		e.deleteWorker(&e.shards[s], delRun, base, runPos, sc.dtasks[s], &sc.results[s])
+	} else {
+		e.insertWorker(&e.shards[s], insRun, sc.tasks[s], &sc.results[s])
+	}
 }
 
 // insertWorker replays the run's insertions for the utilities of one shard,
@@ -368,7 +497,7 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 // replaying each owned utility's relevant operations in op order. The
 // tuple index is only queried — at each operation's epoch — never mutated,
 // so workers may run concurrently while later tombstones are already
-// recorded.
+// recorded. All requeries reuse the shard's persistent query scratch.
 //
 // The positions pending for one utility start as the task's list (members
 // at run start) and grow when a requery admits a tuple that a later run
@@ -377,13 +506,14 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 // cannot see tuples already tombstoned. A min-heap keeps the replay in op
 // order without scanning the whole run per utility.
 func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]int, tasks []delTask, res *shardResult) {
-	var pending posHeap
+	pending := sh.pending
 	for _, t := range tasks {
 		st := sh.state(t.uid)
 		// An ascending slice already satisfies the min-heap invariant.
 		pending = append(pending[:0], t.poss...)
 		for len(pending) > 0 {
-			pos := heap.Pop(&pending).(int)
+			var pos int
+			pos, pending = popPos(pending)
 			op := run[pos]
 			if _, in := st.phi[op.ID]; !in {
 				continue // defensive: queued candidates are always members
@@ -414,20 +544,21 @@ func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]i
 						st.topk = e.topKFromPhi(st, asOf, st.topk[:0])
 					} else {
 						res.requeries++
-						st.topk = e.tree.TopKAt(st.u, e.maxTopK(), asOf)
+						fresh := e.tree.TopKAtInto(st.u, e.maxTopK(), asOf, &sh.qs)
+						st.topk = append(st.topk[:0], fresh...)
 					}
 				}
 				newThresh := e.threshold(st)
 				if newThresh < oldThresh {
 					// ω_k dropped: admit every tuple now clearing the
 					// threshold.
-					for _, r := range e.tree.AtLeastAt(st.u, newThresh, asOf) {
+					for _, r := range e.tree.AtLeastAtInto(st.u, newThresh, asOf, &sh.qs) {
 						if _, in := st.phi[r.Point.ID]; !in {
 							st.phi[r.Point.ID] = r.Score
 							sh.addToSet(r.Point.ID, t.uid)
 							res.changes = append(res.changes, taggedChange{pos, Change{UtilityID: t.uid, PointID: r.Point.ID, Added: true}})
 							if dp, ok := runPos[r.Point.ID]; ok && dp > pos {
-								heap.Push(&pending, dp)
+								pending = pushPos(pending, dp)
 							}
 						}
 					}
@@ -440,75 +571,62 @@ func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]i
 			}
 		}
 	}
+	sh.pending = pending[:0]
 	// Replay order is utility-major; the per-operation group merge needs
 	// the changes op-major. Order within one operation is irrelevant (each
 	// group is re-sorted), so a plain sort by position suffices.
-	sort.Slice(res.changes, func(i, j int) bool { return res.changes[i].pos < res.changes[j].pos })
+	slices.SortFunc(res.changes, func(a, b taggedChange) int { return cmp.Compare(a.pos, b.pos) })
 }
 
 // emitRunGroups groups the workers' tagged changes per operation and emits
-// them in run order. Each shard's changes arrive sorted by position, so one
-// cursor per shard suffices. All groups are materialized before the first
-// emit call so callbacks see the scratch buffers released (groups copy the
-// Change values out).
-func (e *Engine) emitRunGroups(n int, results []shardResult, opAt func(int) Op, emit func(op Op, changes []Change)) {
-	cursors := e.scratch.cursors
-	var groups [][]Change
-	if n > 1 {
-		groups = make([][]Change, 0, n)
+// them in run order. Exactly one of insRun/delRun carries the run's
+// operations. Each shard's changes arrive sorted by position, so one cursor
+// per shard suffices. All groups are carved out of ONE freshly allocated
+// backing slice — emitted groups are caller-owned and may be retained
+// indefinitely, so they cannot live in engine scratch — and materialized
+// before the first emit call so callbacks see the scratch buffers released.
+func (e *Engine) emitRunGroups(n int, insRun []insOp, delRun []Op, results []shardResult, emit func(op Op, changes []Change)) {
+	sc := &e.scratch
+	cursors := sc.cursors
+	total := 0
+	for s := range results {
+		total += len(results[s].changes)
 	}
+	var backing []Change
+	if total > 0 {
+		backing = make([]Change, 0, total)
+	}
+	offs := sc.groupOffs[:0]
+	start := 0
 	for pos := 0; pos < n; pos++ {
-		var group []Change
 		for s := range results {
 			chs := results[s].changes
 			for cursors[s] < len(chs) && chs[cursors[s]].pos == pos {
-				group = append(group, chs[cursors[s]].ch)
+				backing = append(backing, chs[cursors[s]].ch)
 				cursors[s]++
 			}
 		}
-		sortChanges(group)
-		if n == 1 {
-			emit(opAt(0), group)
-			return
-		}
-		groups = append(groups, group)
+		sortChanges(backing[start:])
+		offs = append(offs, len(backing))
+		start = len(backing)
 	}
+	sc.groupOffs = offs
+	prev := 0
 	for pos := 0; pos < n; pos++ {
-		emit(opAt(pos), groups[pos])
-	}
-}
-
-// runShards executes work(s) for every shard s with a nonempty task list —
-// concurrently when the engine is sharded and the phase is large enough to
-// amortize the fan-out, inline otherwise. Output is identical either way:
-// workers only touch their own shard and result slot.
-func (e *Engine) runShards(total int, hasWork func(s int) bool, work func(s int)) {
-	active := 0
-	for s := range e.shards {
-		if hasWork(s) {
-			active++
+		end := offs[pos]
+		var group []Change
+		if end > prev {
+			group = backing[prev:end:end]
 		}
-	}
-	if active <= 1 || total < parallelMinTasks {
-		for s := range e.shards {
-			if hasWork(s) {
-				work(s)
-			}
+		op := Op{}
+		if insRun != nil {
+			op = insRun[pos].op
+		} else {
+			op = delRun[pos]
 		}
-		return
+		emit(op, group)
+		prev = end
 	}
-	var wg sync.WaitGroup
-	for s := range e.shards {
-		if !hasWork(s) {
-			continue
-		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			work(s)
-		}(s)
-	}
-	wg.Wait()
 }
 
 // mergePhase folds the workers' counters into the engine and repairs the
@@ -529,12 +647,13 @@ func (e *Engine) mergePhase(results []shardResult) {
 
 // sortChanges orders a change list by utility id, then point id. A single
 // operation never produces two changes for the same (utility, point) pair,
-// so the order is total.
+// so the order is total. cmp.Compare, not subtraction: point ids are
+// caller-supplied and may differ by more than MaxInt.
 func sortChanges(chs []Change) {
-	sort.Slice(chs, func(i, j int) bool {
-		if chs[i].UtilityID != chs[j].UtilityID {
-			return chs[i].UtilityID < chs[j].UtilityID
+	slices.SortFunc(chs, func(a, b Change) int {
+		if c := cmp.Compare(a.UtilityID, b.UtilityID); c != 0 {
+			return c
 		}
-		return chs[i].PointID < chs[j].PointID
+		return cmp.Compare(a.PointID, b.PointID)
 	})
 }

@@ -83,12 +83,17 @@ type uState struct {
 
 // shard owns the state of a contiguous-block partition of the utility IDs.
 // During the parallel phase of a batch, each worker touches exactly one
-// shard, so no field here needs locking.
+// shard, so no field here needs locking — including the worker scratch,
+// which persists across batches so steady-state maintenance does not
+// allocate.
 type shard struct {
 	states []uState      // slice-backed storage, indexed by slot
 	slots  map[int]int   // utility id -> slot in states
 	free   []int         // recycled slots
 	sets   map[int][]int // pid -> sorted uids (this shard's part of S(p))
+
+	qs      kdtree.QueryScratch // per-shard tuple-index query scratch
+	pending posHeap             // delete-worker replay heap
 }
 
 func (sh *shard) state(uid int) *uState {
@@ -164,14 +169,25 @@ type Engine struct {
 	shardBlock int // utilities per contiguous id block
 	numUtils   int
 
-	// Per-phase scratch, reused across operations so the single-op wrappers
-	// stay allocation-light. Guarded by the engine's single-writer contract.
+	// Per-phase scratch, reused across operations so steady-state batches
+	// (and the single-op wrappers, which are one-element batches) allocate
+	// only for genuine state growth and the emitted change groups. Guarded
+	// by the engine's single-writer contract.
 	scratch struct {
-		tasks   [][]insTask
-		dtasks  [][]delTask
-		runPos  map[int]int
-		results []shardResult
-		cursors []int
+		insRun     []insOp      // current insert run
+		delRun     []Op         // current delete run
+		pendingIns map[int]bool // ids inserted by the current insert run
+		pendingDel map[int]bool // ids deleted by the current delete run
+		affected   [][]int      // per-position cone-tree candidate buffers
+		repl       [1]insOp     // single-op run of a replacing insert
+		tasks      [][]insTask
+		dtasks     [][]delTask
+		didx       []map[int]int // per-shard uid->task-slot of the current delete run
+		runPos     map[int]int
+		results    []shardResult
+		cursors    []int
+		groupOffs  []int               // per-position change-group boundaries
+		qs         kdtree.QueryScratch // sequential-path query scratch
 	}
 
 	// Counters for the ablation experiments.
@@ -266,9 +282,11 @@ func (e *Engine) maxTopK() int { return 2*e.k + 8 }
 // freshState queries the tuple index from scratch for one utility.
 func (e *Engine) freshState(u geom.Vector) uState {
 	st := uState{u: u, phi: make(map[int]float64)}
-	st.topk = e.tree.TopK(u, e.maxTopK())
+	qs := &e.scratch.qs
+	res := e.tree.TopKInto(u, e.maxTopK(), qs)
+	st.topk = append(make([]kdtree.Result, 0, len(res)), res...)
 	tau := e.thresholdOf(st.topk)
-	for _, r := range e.tree.AtLeast(u, tau) {
+	for _, r := range e.tree.AtLeastInto(u, tau, qs) {
 		st.phi[r.Point.ID] = r.Score
 	}
 	st.topk = clampTail(st.topk, e.k, tau) // buffer ⊆ Φ
@@ -333,13 +351,33 @@ func (e *Engine) Members(uid int) map[int]float64 {
 }
 
 // SetOf returns S(p), the ids of utilities whose approximate top-k contains
-// the tuple, in ascending order. The slice is freshly allocated.
+// the tuple, in ascending order. The slice is freshly allocated at exactly
+// the set size; each shard's fragment is already sorted, so the final sort
+// runs only when the concatenation actually interleaves (with one shard —
+// or id blocks that happen to stack in order — it never does).
 func (e *Engine) SetOf(pid int) []int {
-	var out []int
+	total := 0
 	for i := range e.shards {
-		out = append(out, e.shards[i].sets[pid]...)
+		total += len(e.shards[i].sets[pid])
 	}
-	sort.Ints(out)
+	if total == 0 {
+		return nil
+	}
+	out := make([]int, 0, total)
+	sorted := true
+	for i := range e.shards {
+		frag := e.shards[i].sets[pid]
+		if len(frag) == 0 {
+			continue
+		}
+		if len(out) > 0 && frag[0] < out[len(out)-1] {
+			sorted = false
+		}
+		out = append(out, frag...)
+	}
+	if !sorted {
+		sort.Ints(out)
+	}
 	return out
 }
 

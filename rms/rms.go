@@ -36,7 +36,8 @@
 //	})
 //
 // Servers that interleave reads with writes should wrap the structure in a
-// Store, which adds an RWMutex and copy-on-read results:
+// Store, which adds an RWMutex and cached read-only result snapshots
+// (rebuilt at most once per write, shared by all readers in between):
 //
 //	store := rms.NewStoreFrom(db)
 //	go store.ApplyBatch(batch)         // writer

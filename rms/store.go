@@ -8,14 +8,21 @@ import (
 
 // Store is a concurrency-safe wrapper around a Dynamic instance: writers
 // (Insert, Delete, ApplyBatch) take an exclusive lock, readers (Result,
-// Len, Contains, Stats) share one, and every result is deep-copied before
-// the lock is released, so callers may hold, mutate, or hand off returned
-// values freely while updates continue. A server typically runs one
-// ingestion goroutine applying batches and any number of query goroutines
-// reading the current answer.
+// Len, Contains, Stats) share one. Result returns a cached immutable
+// snapshot that is rebuilt at most once per write, so read-mostly servers
+// pay O(r·d) only after an update, not on every read. A server typically
+// runs one ingestion goroutine applying batches and any number of query
+// goroutines reading the current answer.
 type Store struct {
 	mu sync.RWMutex
 	d  *Dynamic
+
+	// cache is the current answer, deep-copied out of the engine once per
+	// write generation and shared by every reader until the next write
+	// invalidates it. Guarded by cacheMu (readers holding only mu.RLock may
+	// race to fill it); writers invalidate under the exclusive mu.
+	cacheMu sync.Mutex
+	cache   []Point
 }
 
 // NewStore builds the maintenance structure over the initial database and
@@ -32,36 +39,67 @@ func NewStore(dim int, initial []Point, opts Options) (*Store, error) {
 // the instance directly afterwards.
 func NewStoreFrom(d *Dynamic) *Store { return &Store{d: d} }
 
+// invalidate drops the cached result; called with mu held exclusively.
+func (s *Store) invalidate() {
+	s.cacheMu.Lock()
+	s.cache = nil
+	s.cacheMu.Unlock()
+}
+
 // Insert adds a tuple (replacing any live tuple with the same ID) and
-// updates the answer.
+// updates the answer. A rejected tuple leaves the cached snapshot intact.
 func (s *Store) Insert(p Point) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.d.Insert(p)
+	err := s.d.Insert(p)
+	if err == nil {
+		s.invalidate()
+	}
+	return err
 }
 
 // Delete removes the tuple with the given ID and updates the answer.
-// Deleting an unknown ID is a no-op.
+// Deleting an unknown ID is a no-op and keeps the cached snapshot.
 func (s *Store) Delete(id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.d.Contains(id) {
+		return
+	}
 	s.d.Delete(id)
+	s.invalidate()
 }
 
 // ApplyBatch applies the updates in order under one exclusive lock — the
 // preferred write path for heavy ingestion, since readers wait for at most
-// one batch rather than contending on every tuple.
+// one batch rather than contending on every tuple. A rejected batch (it is
+// validated up front and applied all-or-nothing) keeps the cached snapshot.
 func (s *Store) ApplyBatch(batch []Update) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.d.ApplyBatch(batch)
+	err := s.d.ApplyBatch(batch)
+	if err == nil && len(batch) > 0 {
+		s.invalidate()
+	}
+	return err
 }
 
-// Result returns the current k-RMS answer. The returned points are deep
-// copies: they stay valid and immutable after further updates.
+// Result returns the current k-RMS answer as a shared immutable snapshot:
+// the slice stays valid (and unchanged) after further updates, and
+// consecutive reads between writes return the same cached copy without
+// re-copying the points. Callers must treat the returned points as
+// read-only; a caller that needs private mutable tuples should copy them.
 func (s *Store) Result() []Point {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.cacheMu.Lock()
+	if c := s.cache; c != nil {
+		s.cacheMu.Unlock()
+		return c
+	}
+	s.cacheMu.Unlock()
+	// Deep-copy outside cacheMu: only readers reach here (writers hold mu
+	// exclusively), and racing readers build identical snapshots.
 	res := s.d.Result()
 	out := make([]Point, len(res))
 	for i, p := range res {
@@ -69,6 +107,13 @@ func (s *Store) Result() []Point {
 		copy(vals, p.Values)
 		out[i] = Point{ID: p.ID, Values: vals}
 	}
+	s.cacheMu.Lock()
+	if s.cache == nil {
+		s.cache = out
+	} else {
+		out = s.cache // another reader won the fill race; share its copy
+	}
+	s.cacheMu.Unlock()
 	return out
 }
 

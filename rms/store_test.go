@@ -150,9 +150,10 @@ func TestStoreConcurrentReadersAndWriter(t *testing.T) {
 	}
 }
 
-// Results handed out by Store are deep copies: mutating them must not
-// corrupt the engine's state.
-func TestStoreResultIsDeepCopy(t *testing.T) {
+// Results handed out by Store are cached immutable snapshots: reads between
+// writes share one copy, a write invalidates it, and snapshots taken before
+// a write keep their contents while fresh reads see the new answer.
+func TestStoreResultSnapshotCache(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	store, err := rms.NewStore(2, randomTuples(rng, 50, 2, 0), rms.Options{K: 1, R: 4, Epsilon: 0.05, MaxUtilities: 32})
 	if err != nil {
@@ -162,12 +163,38 @@ func TestStoreResultIsDeepCopy(t *testing.T) {
 	if len(res) == 0 {
 		t.Fatal("empty result")
 	}
-	want := append([]float64(nil), res[0].Values...)
-	for i := range res[0].Values {
-		res[0].Values[i] = -1
+	// Reads between writes return the same cached snapshot, not a fresh copy.
+	if again := store.Result(); &again[0] != &res[0] {
+		t.Fatal("consecutive reads did not share the cached snapshot")
 	}
-	again := store.Result()
-	if !reflect.DeepEqual(again[0].Values, want) {
-		t.Fatalf("mutating a returned result leaked into the store: %v != %v", again[0].Values, want)
+
+	// A write invalidates the cache, and the old snapshot stays frozen.
+	before := make([]rms.Point, len(res))
+	for i, p := range res {
+		before[i] = rms.Point{ID: p.ID, Values: append([]float64(nil), p.Values...)}
+	}
+	if err := store.Insert(rms.Point{ID: 999, Values: []float64{0.99, 0.99}}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, before) {
+		t.Fatal("snapshot taken before the write changed")
+	}
+	after := store.Result()
+	if len(after) > 0 && &after[0] == &res[0] {
+		t.Fatal("cache not invalidated by a write")
+	}
+
+	// Mutating a handed-out snapshot must not corrupt the maintained answer:
+	// the next write rebuilds the result from engine state, not the cache.
+	for i := range after[0].Values {
+		after[0].Values[i] = -1
+	}
+	store.Delete(999)
+	for _, p := range store.Result() {
+		for _, v := range p.Values {
+			if v < 0 {
+				t.Fatal("snapshot mutation leaked into a rebuilt result")
+			}
+		}
 	}
 }
