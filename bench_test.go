@@ -128,3 +128,20 @@ func BenchmarkSlidingWindow(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRecovery runs the durability experiment end to end at smoke
+// scale: WAL ingest under both sync policies, checkpoint, simulated crash,
+// and bit-exact recovery (the table itself fails the state==live check by
+// reporting false, which CI greps for).
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Recovery(bench.QuickOptions())
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+		last := t.Rows[len(t.Rows)-1]
+		if last[len(last)-1] != "true" {
+			b.Fatalf("recovered state diverged: %v", last)
+		}
+	}
+}

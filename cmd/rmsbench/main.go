@@ -14,11 +14,14 @@
 //	rmsbench -exp ablation-topk          # top-k fast-path requery rate
 //	rmsbench -exp batch                  # batched vs sequential update throughput
 //	rmsbench -exp window                 # sliding-window / delete-heavy throughput
+//	rmsbench -exp recover                # WAL ingest, checkpoint, crash recovery
 //	rmsbench -exp all                    # everything above
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json — the
 // same tables with rows keyed by column name (ops/s, speedup, allocs/op,
-// result==seq, ...), so the performance trajectory is machine-readable.
+// result==seq, ...), plus run metadata (git rev, Go version, GOMAXPROCS,
+// scale, timestamp), so the performance trajectory is machine-readable and
+// comparable across commits and runners.
 //
 // Flags -scale, -samples, -m, -recomputes, -budget and -seed control the
 // reproduction scale; see EXPERIMENTS.md for the settings used to produce
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | all")
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | all")
 		batches    = flag.String("batches", "1,16,256", "comma-separated batch sizes for -exp batch and -exp window")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
 		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
@@ -124,6 +127,8 @@ func main() {
 			} else {
 				emit(bench.SlidingWindow(opt, sizes...))
 			}
+		case "recover":
+			emit(bench.Recovery(opt))
 		default:
 			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
 			flag.Usage()
@@ -131,7 +136,7 @@ func main() {
 		}
 		if *jsonOut {
 			path := fmt.Sprintf("BENCH_%s.json", e)
-			if err := bench.WriteJSON(path, e, collected); err != nil {
+			if err := bench.WriteJSON(path, e, bench.CollectMeta(opt), collected); err != nil {
 				fmt.Fprintf(os.Stderr, "rmsbench: writing %s: %v\n", path, err)
 				os.Exit(1)
 			}
@@ -142,7 +147,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window"} {
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover"} {
 			run(e)
 		}
 		return

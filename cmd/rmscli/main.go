@@ -14,6 +14,15 @@
 // Print the skyline instead of a regret set:
 //
 //	rmscli -input hotels.csv -skyline
+//
+// Run a DURABLE store: with -wal-dir, FD-RMS state lives in a write-ahead
+// log + checkpoint directory and survives restarts. A fresh directory is
+// initialized from the input CSV; an existing one is recovered first and the
+// CSV (if any) is ingested as logged updates on top:
+//
+//	rmscli -input hotels.csv -wal-dir ./state        # init or ingest
+//	rmscli -wal-dir ./state -restore                 # recover, print result
+//	rmscli checkpoint -wal-dir ./state               # snapshot + prune log
 package main
 
 import (
@@ -28,6 +37,13 @@ import (
 )
 
 func main() {
+	// Verb-style invocation: "rmscli checkpoint -wal-dir DIR".
+	args := os.Args[1:]
+	verb := ""
+	if len(args) > 0 && args[0] == "checkpoint" {
+		verb = args[0]
+		args = args[1:]
+	}
 	var (
 		input    = flag.String("input", "", "input CSV file (id,attr1,...,attrD; larger = better)")
 		algo     = flag.String("algo", "FD-RMS", "algorithm: FD-RMS | "+strings.Join(rms.Algorithms(), " | "))
@@ -40,8 +56,45 @@ func main() {
 		generate = flag.String("generate", "", "emit a synthetic dataset instead: indep | anticor")
 		n        = flag.Int("n", 10000, "tuples for -generate")
 		d        = flag.Int("d", 6, "attributes for -generate")
+		walDir   = flag.String("wal-dir", "", "durability directory: log updates to a WAL and recover state across runs (FD-RMS only)")
+		restore  = flag.Bool("restore", false, "with -wal-dir: recover the persisted state and print its result (no -input needed)")
+		sync     = flag.Bool("sync", true, "with -wal-dir: fsync the log after every batch")
 	)
-	flag.Parse()
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if verb == "checkpoint" || *restore {
+		if *walDir == "" {
+			fatalf("checkpoint / -restore require -wal-dir")
+		}
+		if ok, err := rms.HasDurableState(*walDir); err != nil {
+			fatalf("%v", err)
+		} else if !ok {
+			fatalf("%s holds no durable store (initialize one with -input ... -wal-dir %s)", *walDir, *walDir)
+		}
+		ds, err := rms.OpenDurable(*walDir, 0, nil, rms.Options{}, rms.DurableOptions{SyncEveryBatch: *sync})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ds.Close()
+		if verb == "checkpoint" {
+			start := time.Now()
+			seq, err := ds.Checkpoint()
+			if err != nil {
+				fatalf("checkpoint: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "rmscli: checkpointed %d tuples at seq %d in %v (%s)\n",
+				ds.Len(), seq, time.Since(start).Round(time.Millisecond), *walDir)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "rmscli: recovered %d tuples (last seq %d) from %s\n",
+			ds.Len(), ds.LastSeq(), *walDir)
+		for _, p := range ds.Result() {
+			printPoint(p)
+		}
+		return
+	}
 
 	if *generate != "" {
 		var ds *dataset.Dataset
@@ -73,7 +126,23 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	ds.Normalize()
+	// Ingesting into an EXISTING durable store must not re-normalize: the
+	// per-file min/max scaling would put this file's tuples on a different
+	// scale than the tuples already in the store (normalization bounds are
+	// not part of the durable state). The caller provides consistently
+	// scaled data across incremental loads; everywhere else the usual
+	// normalize-to-unit-box applies.
+	ingestExisting := false
+	if *algo == "FD-RMS" && *walDir != "" && !*sky {
+		if ingestExisting, err = rms.HasDurableState(*walDir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if ingestExisting {
+		fmt.Fprintf(os.Stderr, "rmscli: ingesting %s into existing store %s without re-normalizing (scale your data consistently across loads)\n", *input, *walDir)
+	} else {
+		ds.Normalize()
+	}
 	pts := make([]rms.Point, ds.N())
 	for i, p := range ds.Points {
 		pts[i] = rms.Point{ID: p.ID, Values: p.Coords}
@@ -88,7 +157,40 @@ func main() {
 
 	start := time.Now()
 	var result []rms.Point
-	if *algo == "FD-RMS" {
+	if *algo == "FD-RMS" && *walDir != "" {
+		var store *rms.DurableStore
+		if ingestExisting {
+			// Recover first, then ingest the CSV as durable updates.
+			store, err = rms.OpenDurable(*walDir, 0, nil, rms.Options{}, rms.DurableOptions{SyncEveryBatch: *sync})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			// Chunked so arbitrarily large CSVs never exceed the WAL's
+			// per-record size limit (one batch = one log record).
+			const chunk = 4096
+			for i := 0; i < len(pts); i += chunk {
+				j := i + chunk
+				if j > len(pts) {
+					j = len(pts)
+				}
+				batch := make([]rms.Update, j-i)
+				for k, p := range pts[i:j] {
+					batch[k] = rms.Ins(p)
+				}
+				if err := store.ApplyBatch(batch); err != nil {
+					fatalf("%v", err)
+				}
+			}
+		} else {
+			store, err = rms.OpenDurable(*walDir, ds.Dim, pts, rms.Options{K: *k, R: *r, Seed: *seed},
+				rms.DurableOptions{SyncEveryBatch: *sync})
+			if err != nil {
+				fatalf("%v", err)
+			}
+		}
+		defer store.Close()
+		result = store.Result()
+	} else if *algo == "FD-RMS" {
 		dyn, err := rms.NewDynamic(ds.Dim, pts, rms.Options{K: *k, R: *r, Seed: *seed})
 		if err != nil {
 			fatalf("%v", err)

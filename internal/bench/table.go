@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -93,13 +95,52 @@ type jsonTable struct {
 // jsonReport is the top-level document WriteJSON produces.
 type jsonReport struct {
 	Experiment string      `json:"experiment"`
+	Meta       RunMeta     `json:"meta"`
 	Tables     []jsonTable `json:"tables"`
+}
+
+// RunMeta identifies the code and machine state behind one BENCH_*.json, so
+// reports from different commits and runners are comparable: a number
+// without its git rev, GOMAXPROCS, and scale is noise.
+type RunMeta struct {
+	GitRev     string  `json:"git_rev,omitempty"` // short HEAD rev, "-dirty" suffixed
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Scale      float64 `json:"scale"`
+	M          int     `json:"m"`
+	Seed       int64   `json:"seed"`
+	Timestamp  string  `json:"timestamp"` // RFC3339, UTC
+}
+
+// CollectMeta gathers the run metadata for o. The git revision is
+// best-effort: absent git or a checkout, the field is simply omitted.
+func CollectMeta(o Options) RunMeta {
+	o = o.withDefaults()
+	m := RunMeta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      o.Scale,
+		M:          o.M,
+		Seed:       o.Seed,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.GitRev = strings.TrimSpace(string(out))
+		// Porcelain, not 'diff --quiet': untracked source files also make the
+		// build differ from the named rev.
+		if st, err := exec.Command("git", "status", "--porcelain").Output(); err != nil || len(st) > 0 {
+			m.GitRev += "-dirty"
+		}
+	}
+	return m
 }
 
 // WriteJSON writes the tables of one experiment as an indented JSON
 // document (see jsonTable for the shape) to path.
-func WriteJSON(path, experiment string, tables []*Table) error {
-	rep := jsonReport{Experiment: experiment, Tables: make([]jsonTable, 0, len(tables))}
+func WriteJSON(path, experiment string, meta RunMeta, tables []*Table) error {
+	rep := jsonReport{Experiment: experiment, Meta: meta, Tables: make([]jsonTable, 0, len(tables))}
 	for _, t := range tables {
 		jt := jsonTable{Title: t.Title, Header: t.Header, Notes: t.Notes,
 			Rows: make([]map[string]string, 0, len(t.Rows))}

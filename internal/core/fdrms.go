@@ -348,10 +348,17 @@ func (f *FDRMS) CheckInvariants() error {
 		return fmt.Errorf("core: |C| = %d exceeds r = %d with m = %d", f.cover.Size(), f.cfg.R, f.m)
 	}
 	for _, p := range f.engine.Points() {
-		for _, uid := range f.engine.SetOf(p.ID) {
+		set := f.engine.SetOf(p.ID)
+		for _, uid := range set {
 			if uid < f.m && !f.cover.HasSet(p.ID) {
 				return fmt.Errorf("core: tuple %d in Φ(u_%d) but unregistered in the cover", p.ID, uid)
 			}
+		}
+		// The solver's set S(p) must mirror the engine's membership exactly —
+		// a drifted set system (e.g. a replace group applied out of order)
+		// corrupts every later covering decision.
+		if got := f.cover.SetSize(p.ID); got != len(set) {
+			return fmt.Errorf("core: set system drift: solver S(%d) has %d members, engine Φ-transpose has %d", p.ID, got, len(set))
 		}
 	}
 	return nil

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/topk"
+)
+
+// snapshotTestInstance builds a structure over a random initial database and
+// churns it with a mixed stream, so the captured state carries nontrivial
+// path-dependence (takeovers, evictions, runner-up buffer wear).
+func snapshotTestInstance(t *testing.T, seed int64, shards int) (*FDRMS, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := 4
+	pts := make([]geom.Point, 150)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	cfg := Config{K: 2, R: 6, Eps: 0.1, M: 64, Seed: 7, Shards: shards}
+	f, err := New(d, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range randomCoreOps(rng, pts, 300, d, 1000) {
+		f.ApplyBatch([]topk.Op{op})
+	}
+	return f, rng
+}
+
+// restoreRoundTrip pushes a structure through Snapshot → Encode → Decode →
+// Restore and fails on any loss.
+func restoreRoundTrip(t *testing.T, f *FDRMS, shards int) *FDRMS {
+	t.Helper()
+	snap := f.Snapshot()
+	payload := EncodeSnapshot(nil, snap)
+	decoded, err := DecodeSnapshot(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, snap) {
+		t.Fatal("snapshot does not survive the binary round trip")
+	}
+	g, err := Restore(decoded, shards)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return g
+}
+
+// The restored structure must be bit-identical in every observable: result
+// ids, stats counters, the cover assignment, and the full re-captured
+// snapshot (which covers Φ, scores, and runner-up buffers byte for byte).
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	f, _ := snapshotTestInstance(t, 11, 2)
+	g := restoreRoundTrip(t, f, 2)
+
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("restored invariants: %v", err)
+	}
+	if !reflect.DeepEqual(g.ResultIDs(), f.ResultIDs()) {
+		t.Fatalf("result ids: %v != %v", g.ResultIDs(), f.ResultIDs())
+	}
+	if g.Stats() != f.Stats() {
+		t.Fatalf("stats: %+v != %+v", g.Stats(), f.Stats())
+	}
+	if !reflect.DeepEqual(g.Snapshot(), f.Snapshot()) {
+		t.Fatal("re-captured snapshot differs from the original capture")
+	}
+	eng, orig := g.Engine(), f.Engine()
+	if eng.InsertOps != orig.InsertOps || eng.DeleteOps != orig.DeleteOps ||
+		eng.AffectedTotal != orig.AffectedTotal || eng.Requeries != orig.Requeries {
+		t.Fatal("engine counters not restored")
+	}
+}
+
+// A restored structure must CONTINUE identically: the same update stream
+// applied to the original and the restored instance yields the same emitted
+// state at every step — including the engine's requery/affected counters,
+// which are sensitive to the runner-up buffer lengths the snapshot carries.
+// This is the property crash recovery leans on when it replays the WAL tail
+// on top of a checkpoint: checkpoint + replay ≡ uninterrupted run.
+func TestSnapshotRestoreContinuesIdentically(t *testing.T) {
+	for _, restoreShards := range []int{1, 3} {
+		f, rng := snapshotTestInstance(t, 23, 2)
+		g := restoreRoundTrip(t, f, restoreShards)
+
+		ops := randomCoreOps(rng, nil, 400, 4, 5000)
+		for i := 0; i < len(ops); {
+			n := 1 + rng.Intn(5)
+			if i+n > len(ops) {
+				n = len(ops) - i
+			}
+			batch := ops[i : i+n]
+			f.ApplyBatch(batch)
+			g.ApplyBatch(batch)
+			i += n
+			if !reflect.DeepEqual(g.ResultIDs(), f.ResultIDs()) {
+				t.Fatalf("shards=%d: results diverged after %d ops: %v != %v",
+					restoreShards, i, g.ResultIDs(), f.ResultIDs())
+			}
+			if g.Stats() != f.Stats() {
+				t.Fatalf("shards=%d: stats diverged after %d ops: %+v != %+v",
+					restoreShards, i, g.Stats(), f.Stats())
+			}
+		}
+		if !reflect.DeepEqual(g.Snapshot(), f.Snapshot()) {
+			t.Fatalf("shards=%d: final snapshots diverged", restoreShards)
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("shards=%d: final invariants: %v", restoreShards, err)
+		}
+	}
+}
+
+// Decoding must reject damaged payloads rather than panic, and Restore must
+// reject semantically broken snapshots.
+func TestSnapshotDecodeRejectsDamage(t *testing.T) {
+	f, _ := snapshotTestInstance(t, 31, 1)
+	payload := EncodeSnapshot(nil, f.Snapshot())
+	for _, cut := range []int{0, 1, 3, 16, len(payload) / 2, len(payload) - 1} {
+		if _, err := DecodeSnapshot(payload[:cut]); err == nil {
+			t.Errorf("decode accepted payload truncated to %d bytes", cut)
+		}
+	}
+	if _, err := DecodeSnapshot(append(append([]byte{}, payload...), 0)); err == nil {
+		t.Error("decode accepted trailing garbage")
+	}
+
+	// A buffered tuple outside Φ breaks the buffer-⊆-Φ invariant.
+	snap := f.Snapshot()
+	snap.Engine.Utilities[0].TopK = append(snap.Engine.Utilities[0].TopK, 1<<40)
+	if _, err := Restore(snap, 1); err == nil {
+		t.Error("restore accepted a buffered tuple outside Φ")
+	}
+
+	// An assignment to a set that does not contain the element is unstable.
+	snap = f.Snapshot()
+	if len(snap.Assign) > 0 {
+		snap.Assign[0].Set = 1 << 40
+		if _, err := Restore(snap, 1); err == nil {
+			t.Error("restore accepted an assignment to a non-containing set")
+		}
+	}
+}
+
+// BenchmarkRestore measures checkpoint load (decode + rebuild) — the fixed
+// cost of crash recovery that the WAL tail replay sits on top of.
+func BenchmarkRestore(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := 6
+	n := 20000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	cfg := Config{K: 1, R: 50, Eps: 0.01, M: 512, Seed: 1}
+	f, err := New(d, pts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := EncodeSnapshot(nil, f.Snapshot())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap, err := DecodeSnapshot(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Restore(snap, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Replacing a live tuple emits the implicit deletion's and the insertion's
+// changes as ONE group; the merge must cancel opposite-sign entries for the
+// same (utility, point) pair or the additions-first replay strips
+// memberships the engine still has (regression: a full-database replace
+// drove the cover to empty). The invariant check cross-checks the solver's
+// set sizes against the engine's Φ transpose, so drift fails loudly here.
+func TestReplaceKeepsSetSystemConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	d := 3
+	pts := make([]geom.Point, 120)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	cfg := Config{K: 1, R: 5, Eps: 0.1, M: 48, Seed: 9, Shards: 2}
+	f, err := New(d, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace EVERY live tuple (same ids, shifted coordinates), one by one.
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		f.Insert(geom.Point{ID: i, Coords: v})
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("after replacing tuple %d: %v", i, err)
+		}
+	}
+	if got := f.ResultIDs(); len(got) == 0 {
+		t.Fatal("cover emptied by a full-database replace")
+	}
+	// Identical replaces as one big batch must land on the identical state.
+	g, err := New(d, pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(71))
+	for range pts {
+		for j := 0; j < d; j++ {
+			rng2.Float64() // consume the initial-points draws
+		}
+	}
+	ops := make([]topk.Op, len(pts))
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng2.Float64()
+		}
+		ops[i] = topk.InsertOp(geom.Point{ID: i, Coords: v})
+	}
+	g.ApplyBatch(ops)
+	if !reflect.DeepEqual(g.ResultIDs(), f.ResultIDs()) || g.Stats() != f.Stats() {
+		t.Fatalf("batched replace diverged: %v/%+v vs %v/%+v", g.ResultIDs(), g.Stats(), f.ResultIDs(), f.Stats())
+	}
+	if !reflect.DeepEqual(g.Snapshot(), f.Snapshot()) {
+		t.Fatal("batched replace snapshot diverged from sequential")
+	}
+}

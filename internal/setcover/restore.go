@@ -1,0 +1,127 @@
+// Snapshot capture and restore of the solution state.
+//
+// The set SYSTEM (memberships) is derivable from the top-k engine, but the
+// stable SOLUTION is path-dependent: two solvers fed the same system can
+// settle on different (equally valid) covers depending on the operation
+// order that built them. Durability therefore persists the assignment φ and
+// the stats counters verbatim; everything else about the solution — covers,
+// levels, buckets, orphans — is a deterministic function of φ and the set
+// system, rebuilt here on restore. Recovery that must be bit-identical to
+// the uninterrupted run depends on this exactness (see core.Snapshot).
+package setcover
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LoadSet registers set s with exactly the given members in one step — the
+// bulk equivalent of RegisterSet followed by AddSetMember per member, valid
+// only while the universe (and hence the solution) is empty, i.e. during a
+// restore. It sizes the member map exactly and skips the per-membership
+// stability machinery, which has nothing to check on an empty universe;
+// restoring a checkpoint at bench scale reloads ~10^5 sets, so the per-call
+// overhead is what time-to-recover is made of.
+func (sv *Solver) LoadSet(s int, members []int) {
+	if len(sv.universe) != 0 {
+		panic("setcover: LoadSet with a non-empty universe")
+	}
+	m := sv.sets[s]
+	if m == nil {
+		m = make(map[int]bool, len(members))
+		sv.sets[s] = m
+	}
+	for _, e := range members {
+		m[e] = true
+		c := sv.contains[e]
+		if c == nil {
+			c = make(map[int]bool)
+			sv.contains[e] = c
+		}
+		c[s] = true
+	}
+}
+
+// Assignment returns a copy of φ as a map from universe element to its
+// chosen set. Orphans (and only orphans) are absent.
+func (sv *Solver) Assignment() map[int]int {
+	out := make(map[int]int, len(sv.assign))
+	for e, s := range sv.assign {
+		out[e] = s
+	}
+	return out
+}
+
+// RestoreSolution installs a previously captured solution: the universe
+// becomes elems and every element is assigned per assign (elements absent
+// from assign must be orphans — contained in no registered set). The set
+// system must already be loaded (RegisterSet/AddSetMember with an empty
+// universe records pure membership without touching any solution state).
+//
+// The rebuilt covers, levels, and buckets are the unique ones matching a
+// stable φ, so a solver restored from a stable snapshot is indistinguishable
+// from the one that wrote it. A φ that is not a stable solution of the
+// loaded system — an element assigned to a set that does not contain it, a
+// non-orphan left unassigned, or a level takeover left pending — is
+// rejected, leaving the solver in an undefined state fit only for disposal.
+func (sv *Solver) RestoreSolution(elems []int, assign map[int]int) error {
+	if len(sv.universe) != 0 || len(sv.assign) != 0 || len(sv.cov) != 0 {
+		return fmt.Errorf("setcover: RestoreSolution on a non-pristine solver")
+	}
+	sv.universe = make(map[int]bool, len(elems))
+	for _, e := range elems {
+		sv.universe[e] = true
+	}
+	if len(sv.universe) != len(elems) {
+		return fmt.Errorf("setcover: duplicate universe elements in snapshot")
+	}
+
+	// Covers and levels first: bucketAdd needs every chosen set's level.
+	for e, s := range assign {
+		if !sv.universe[e] {
+			return fmt.Errorf("setcover: assignment of %d outside the universe", e)
+		}
+		if sv.sets[s] == nil || !sv.sets[s][e] {
+			return fmt.Errorf("setcover: element %d assigned to set %d that does not contain it", e, s)
+		}
+		sv.assign[e] = s
+		if sv.cov[s] == nil {
+			sv.cov[s] = make(map[int]bool)
+		}
+		sv.cov[s][e] = true
+	}
+	for s, c := range sv.cov {
+		j := levelOf(len(c))
+		sv.level[s] = j
+		if sv.levels[j] == nil {
+			sv.levels[j] = make(map[int]bool)
+		}
+		sv.levels[j][s] = true
+	}
+	// Buckets in deterministic element order (bucket maps are rebuilt from
+	// scratch, so order only matters for reproducible failure modes).
+	ordered := make([]int, 0, len(assign))
+	for e := range assign {
+		ordered = append(ordered, e)
+	}
+	sort.Ints(ordered)
+	for _, e := range ordered {
+		sv.bucketAdd(e, sv.level[sv.assign[e]])
+	}
+	for _, e := range elems {
+		if _, ok := sv.assign[e]; ok {
+			continue
+		}
+		if len(sv.contains[e]) != 0 {
+			return fmt.Errorf("setcover: unassigned element %d is coverable (snapshot not stable)", e)
+		}
+		sv.orphans[e] = true
+	}
+	// A stable solution never has a pending takeover; bucketAdd queueing one
+	// means the snapshot was not stable.
+	if len(sv.dirty) > 0 {
+		sv.dirty = nil
+		return fmt.Errorf("setcover: restored solution violates stability")
+	}
+	return nil
+}

@@ -137,7 +137,7 @@ func (e *Engine) ApplyBatchFunc(ops []Op, emit func(op Op, changes []Change)) {
 			pre := e.deleteLive(id)
 			sc.repl[0] = insOp{op: op}
 			e.flushInsertRun(sc.repl[:1], func(o Op, ch []Change) {
-				emit(o, append(pre, ch...))
+				emit(o, mergeReplaceChanges(pre, ch))
 			})
 			sc.repl[0] = insOp{} // don't pin the tuple past the run
 			continue
@@ -147,6 +147,52 @@ func (e *Engine) ApplyBatchFunc(ops []Op, emit func(op Op, changes []Change)) {
 	}
 	e.flushIns(emit)
 	e.flushDel(emit)
+}
+
+// mergeReplaceChanges merges the implicit deletion's change group (pre) with
+// the insertion's (ch) into one replace group, cancelling entries for any
+// (utility, point) pair present in both: the old tuple's removal against the
+// new tuple's addition under the same id (net: still a member), and a
+// transiently admitted tuple's addition against its eviction (net: never a
+// member). Without the cancellation a consumer that replays additions before
+// removals — as FD-RMS Algorithm 3 requires for groups whose pairs are
+// distinct — would apply the Added as a no-op and then strip the membership
+// with the Removed, leaving its set system disagreeing with Φ. A pair in
+// both groups always carries opposite signs (removals in pre all name the
+// replaced id, additions in ch all name the inserted id), so presence in
+// both IS the cancellation condition, and since each group arrives sorted by
+// (utility, point) a two-pointer merge needs no maps and no re-sort. The
+// output is a fresh slice, as every emitted group must be (caller-owned).
+func mergeReplaceChanges(pre, ch []Change) []Change {
+	if len(pre) == 0 {
+		return ch
+	}
+	if len(ch) == 0 {
+		return pre
+	}
+	less := func(a, b Change) bool {
+		if a.UtilityID != b.UtilityID {
+			return a.UtilityID < b.UtilityID
+		}
+		return a.PointID < b.PointID
+	}
+	out := make([]Change, 0, len(pre)+len(ch))
+	i, j := 0, 0
+	for i < len(pre) && j < len(ch) {
+		switch {
+		case pre[i].UtilityID == ch[j].UtilityID && pre[i].PointID == ch[j].PointID:
+			i++ // same pair in both groups: opposite signs cancel
+			j++
+		case less(pre[i], ch[j]):
+			out = append(out, pre[i])
+			i++
+		default:
+			out = append(out, ch[j])
+			j++
+		}
+	}
+	out = append(out, pre[i:]...)
+	return append(out, ch[j:]...)
 }
 
 // flushIns closes the open insert run, if any.

@@ -1,0 +1,202 @@
+// Binary encoding of WAL record payloads and the shared little-endian
+// primitives the checkpoint snapshot encoding reuses (package core).
+//
+// A record payload is one durable update batch:
+//
+//	u64  seq        batch sequence number (1-based, strictly increasing)
+//	u32  nops       operations in the batch
+//	nops × op:
+//	  u8   kind     0 = insert, 1 = delete
+//	  i64  id       tuple id
+//	  insert only:
+//	    u32  dim
+//	    dim × f64 coordinates (IEEE-754 bits, so replay is bit-exact)
+//
+// Everything is fixed-width little-endian: trivially seekable, cheap to
+// decode, and easy to fuzz. Framing (length prefix + CRC) lives one layer
+// up, in the segment format (wal.go); the decoder here still validates
+// every count against the remaining byte budget so that a corrupted payload
+// that slipped past the CRC — or a fuzzer-made one — is rejected instead of
+// causing huge allocations or panics.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/topk"
+)
+
+const (
+	opInsert = 0
+	opDelete = 1
+
+	// maxDim bounds the per-point dimensionality a decoder accepts. Real
+	// databases are low-dimensional (the paper evaluates d <= 10); the bound
+	// only rejects corrupt records before they allocate.
+	maxDim = 1 << 16
+)
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendI64 appends an int64 as its two's-complement little-endian bits.
+func AppendI64(b []byte, v int64) []byte { return AppendU64(b, uint64(v)) }
+
+// AppendF64 appends the IEEE-754 bits of a float64.
+func AppendF64(b []byte, v float64) []byte { return AppendU64(b, math.Float64bits(v)) }
+
+// Dec is a bounds-checked little-endian reader over one payload. The first
+// out-of-bounds read latches the error; subsequent reads return zero values,
+// so decoders can be written straight-line and check Err once.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over b (which is not copied).
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the first decoding error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }
+
+// fail latches the first error.
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail("wal: payload truncated: need %d bytes at offset %d, have %d", n, d.off, d.Remaining())
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	if s := d.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	if s := d.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	if s := d.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Count reads a u32 element count and validates it against the remaining
+// byte budget assuming each element occupies at least elemBytes, so corrupt
+// counts are rejected before they size an allocation.
+func (d *Dec) Count(elemBytes int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	if int64(n)*int64(elemBytes) > int64(d.Remaining()) {
+		d.fail("wal: payload truncated: count %d × %d bytes exceeds remaining %d", n, elemBytes, d.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// AppendOps encodes one update batch as a record payload, appending to buf.
+func AppendOps(buf []byte, seq uint64, ops []topk.Op) []byte {
+	buf = AppendU64(buf, seq)
+	buf = AppendU32(buf, uint32(len(ops)))
+	for _, op := range ops {
+		if op.Delete {
+			buf = append(buf, opDelete)
+			buf = AppendI64(buf, int64(op.ID))
+			continue
+		}
+		buf = append(buf, opInsert)
+		buf = AppendI64(buf, int64(op.Point.ID))
+		buf = AppendU32(buf, uint32(len(op.Point.Coords)))
+		for _, c := range op.Point.Coords {
+			buf = AppendF64(buf, c)
+		}
+	}
+	return buf
+}
+
+// DecodeOps decodes a record payload produced by AppendOps. It rejects
+// trailing garbage, unknown op kinds, and any count that exceeds the payload
+// size, and never panics on arbitrary input.
+func DecodeOps(payload []byte) (seq uint64, ops []topk.Op, err error) {
+	d := NewDec(payload)
+	seq = d.U64()
+	n := d.Count(9) // 1 kind byte + 8 id bytes minimum per op
+	if d.Err() != nil {
+		return 0, nil, d.Err()
+	}
+	ops = make([]topk.Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch kind := d.U8(); kind {
+		case opDelete:
+			ops = append(ops, topk.DeleteOp(int(d.I64())))
+		case opInsert:
+			id := int(d.I64())
+			dim := d.Count(8)
+			if d.Err() == nil && dim > maxDim {
+				d.fail("wal: op %d: dimension %d exceeds limit %d", i, dim, maxDim)
+			}
+			if d.Err() != nil {
+				return 0, nil, d.Err()
+			}
+			coords := make(geom.Vector, dim)
+			for j := range coords {
+				coords[j] = d.F64()
+			}
+			ops = append(ops, topk.InsertOp(geom.Point{ID: id, Coords: coords}))
+		default:
+			if d.Err() == nil {
+				d.fail("wal: op %d: unknown kind %d", i, kind)
+			}
+		}
+		if d.Err() != nil {
+			return 0, nil, d.Err()
+		}
+	}
+	if d.Remaining() != 0 {
+		return 0, nil, fmt.Errorf("wal: payload has %d trailing bytes", d.Remaining())
+	}
+	return seq, ops, nil
+}

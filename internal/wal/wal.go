@@ -1,0 +1,528 @@
+// Package wal is the durability layer of the dynamic k-RMS store: a
+// write-ahead log of update batches plus checkpoint snapshot files.
+//
+// The log is a directory of segment files, each
+//
+//	wal-<16-hex-digit first seq>.seg
+//
+// holding an 8-byte magic header followed by length-prefixed records:
+//
+//	u32  payload length
+//	u32  CRC-32C (Castagnoli) of the payload
+//	payload (see codec.go: one update batch, carrying its own seq)
+//
+// Records never span segments; a segment whose size exceeds the rotation
+// threshold is closed and a new one started. Sequence numbers are assigned
+// by the log, start at 1, and increase by exactly 1 per appended batch —
+// a gap or repeat found during recovery is corruption, not a torn tail.
+//
+// Recovery semantics (Open): every segment is scanned front to back. A
+// record that fails its length or CRC check in the NEWEST segment is a torn
+// tail — the bytes a crash cut short — and the segment is truncated to the
+// last valid record, which is exactly the durable prefix. The same damage
+// in an older segment cannot be a torn write (older segments are only ever
+// closed after a clean final record) and aborts recovery with an error.
+//
+// Checkpoint snapshot files (checkpoint.go) live in the same directory;
+// Prune removes the segments a checkpoint has made redundant.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"fdrms/internal/topk"
+)
+
+const (
+	segMagic    = "FDRMSWL1"
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	recHdrBytes = 8 // u32 length + u32 crc
+
+	// maxRecordBytes bounds a single record's payload: a length prefix above
+	// it is treated as corruption (or a torn tail) rather than allocated.
+	maxRecordBytes = 64 << 20
+
+	// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+	// is zero.
+	DefaultSegmentBytes = 8 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the size a segment may reach before the next append
+	// rotates to a fresh file. Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+
+	// SyncEveryAppend fsyncs after every appended batch: nothing acknowledged
+	// is ever lost, at the cost of one fsync per batch.
+	SyncEveryAppend bool
+
+	// SyncInterval, when SyncEveryAppend is false, bounds how stale the
+	// durable prefix may grow: an append fsyncs when this much time has
+	// passed since the last sync. Zero defers syncing to rotation and Close.
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Log is an append-only, CRC-checked, segmented record log. It is not safe
+// for concurrent use; the durable store serializes writers.
+type Log struct {
+	dir string
+	opt Options
+
+	f        *os.File      // active segment (nil until the first append)
+	w        *bufio.Writer // buffered writer over f
+	size     int64         // bytes in the active segment, header included
+	next     uint64        // seq of the next appended batch
+	dirty    bool          // unsynced appends pending
+	lastSync time.Time
+
+	enc []byte // payload scratch, reused across appends
+}
+
+// segName returns the file name of a segment whose first record is seq.
+func segName(seq uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix) }
+
+// segments lists the segment file names in dir, in seq order (the fixed-width
+// hex name makes lexicographic order the seq order).
+func segments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open scans (and, for the newest segment, repairs) the log in dir, creating
+// the directory if needed, and returns a log positioned to append after the
+// last durable record. LastSeq reports what survived.
+func Open(dir string, opt Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt.withDefaults(), next: 1, lastSync: time.Now()}
+	names, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	expect := uint64(0) // last seq seen; 0 = none yet
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		last := i == len(names)-1
+		_, lastSeq, valid, n, err := scanSegment(path, expect)
+		if err != nil && !(last && isTorn(err)) {
+			// Tail damage is only repairable on the newest segment; anywhere
+			// else — and for seq gaps everywhere — it is corruption.
+			return nil, fmt.Errorf("wal: segment %s: %w", name, err)
+		}
+		if n > 0 {
+			expect = lastSeq
+		}
+		if last {
+			if valid < int64(len(segMagic)) {
+				// The crash tore even the header write: the segment holds
+				// nothing durable. Drop it; the next append starts a fresh one.
+				if err := os.Remove(path); err != nil {
+					return nil, err
+				}
+				if err := syncDir(dir); err != nil {
+					return nil, err
+				}
+				break
+			}
+			// Truncate the torn tail (a no-op when the segment ended cleanly)
+			// and reopen for appending.
+			f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if st.Size() > valid {
+				if err := f.Truncate(valid); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			if _, err := f.Seek(valid, io.SeekStart); err != nil {
+				f.Close()
+				return nil, err
+			}
+			l.f = f
+			l.w = bufio.NewWriter(f)
+			l.size = valid
+		}
+	}
+	if expect > 0 {
+		l.next = expect + 1
+	}
+	return l, nil
+}
+
+// scanSegment walks one segment, verifying the header, every record's length
+// prefix and CRC, and seq continuity (prevSeq is the last seq of the previous
+// segment; 0 means this is the first). It returns the first and last record
+// seqs, the byte offset just past the last valid record, and the record
+// count. A corrupt or short tail is NOT an error — the caller decides whether
+// truncating at valid is legitimate (newest segment) or fatal (older
+// segment); for older segments any valid < file size is fatal, which the
+// caller detects by err == errTornTail.
+func scanSegment(path string, prevSeq uint64) (first, last uint64, valid int64, n int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		// A crash can tear even the header write of a fresh segment; an older
+		// segment with a bad header is real corruption. Callers treat a
+		// zero-valid result on a non-newest segment as fatal via tornError.
+		return 0, 0, 0, 0, tornError(path, len(data), 0, "missing or short segment header")
+	}
+	off := int64(len(segMagic))
+	size := int64(len(data))
+	expect := prevSeq
+	for off < size {
+		if size-off < recHdrBytes {
+			return first, expect, off, n, tornError(path, int(size), off, "short record header")
+		}
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen == 0 || plen > maxRecordBytes || off+recHdrBytes+plen > size {
+			return first, expect, off, n, tornError(path, int(size), off, "record length out of bounds")
+		}
+		payload := data[off+recHdrBytes : off+recHdrBytes+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return first, expect, off, n, tornError(path, int(size), off, "payload CRC mismatch")
+		}
+		seq, _, derr := DecodeOps(payload)
+		if derr != nil {
+			return first, expect, off, n, tornError(path, int(size), off, derr.Error())
+		}
+		if expect != 0 && seq != expect+1 {
+			// A torn write cannot fabricate a valid CRC around the wrong seq;
+			// a gap means records were lost or reordered. Always fatal.
+			return first, expect, off, n, fmt.Errorf("sequence gap: record %d follows %d", seq, expect)
+		}
+		if n == 0 {
+			first = seq
+		}
+		expect = seq
+		n++
+		off += recHdrBytes + plen
+	}
+	return first, expect, off, n, nil
+}
+
+// tornTailError marks damage that is legitimate at the end of the newest
+// segment (and fatal anywhere else).
+type tornTailError struct {
+	path   string
+	size   int
+	offset int64
+	reason string
+}
+
+func (e *tornTailError) Error() string {
+	return fmt.Sprintf("torn record at offset %d of %d (%s)", e.offset, e.size, e.reason)
+}
+
+func tornError(path string, size int, off int64, reason string) error {
+	return &tornTailError{path: path, size: size, offset: off, reason: reason}
+}
+
+// isTorn reports whether err marks tail damage (repairable on the newest
+// segment) rather than structural corruption.
+func isTorn(err error) bool {
+	_, ok := err.(*tornTailError)
+	return ok
+}
+
+// LastSeq returns the seq of the last appended (or recovered) batch; 0 when
+// the log is empty.
+func (l *Log) LastSeq() uint64 { return l.next - 1 }
+
+// EnsureNextSeq raises the next assigned seq to at least min. The durable
+// store calls this after loading a checkpoint newer than every surviving
+// segment (all were pruned), so new appends continue the numbering the
+// checkpoint recorded instead of reusing it.
+func (l *Log) EnsureNextSeq(min uint64) {
+	if l.next < min {
+		l.next = min
+	}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append encodes one update batch as a record, writes it to the active
+// segment (rotating first when the segment is full), applies the sync
+// policy, and returns the batch's seq.
+func (l *Log) Append(ops []topk.Op) (uint64, error) {
+	if l.f == nil || l.size >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	seq := l.next
+	l.enc = AppendOps(l.enc[:0], seq, ops)
+	if len(l.enc) > maxRecordBytes {
+		// Never write a record recovery would refuse to read: scanSegment
+		// treats an oversized length prefix as a torn tail, so an oversized
+		// record, once acknowledged, would be silently truncated away (or
+		// strand every record after it). Reject before any byte is written;
+		// callers split pathological batches.
+		return 0, fmt.Errorf("wal: batch encodes to %d bytes, exceeding the %d-byte record limit; split the batch", len(l.enc), maxRecordBytes)
+	}
+	var hdr [recHdrBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(l.enc)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(l.enc, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.w.Write(l.enc); err != nil {
+		return 0, err
+	}
+	l.size += int64(recHdrBytes + len(l.enc))
+	l.next = seq + 1
+	l.dirty = true
+	if l.opt.SyncEveryAppend ||
+		(l.opt.SyncInterval > 0 && time.Since(l.lastSync) >= l.opt.SyncInterval) {
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment, making every
+// appended batch durable.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.dirty {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.dirty = false
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// rotate closes the active segment (after a final sync) and starts a fresh
+// one named after the next seq.
+func (l *Log) rotate() error {
+	if l.f != nil {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(l.next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = int64(len(segMagic))
+	l.dirty = false
+	return nil
+}
+
+// Close syncs and closes the active segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Replay invokes fn for every durable batch with seq > after, in order.
+// It reads the segment files from disk (flushing the active writer first),
+// so it observes exactly what recovery after a crash would.
+func (l *Log) Replay(after uint64, fn func(seq uint64, ops []topk.Op) error) error {
+	if l.f != nil {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+	}
+	names, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(l.dir, name))
+		if err != nil {
+			return err
+		}
+		off := int64(len(segMagic))
+		size := int64(len(data))
+		for off+recHdrBytes <= size {
+			plen := int64(binary.LittleEndian.Uint32(data[off:]))
+			if plen == 0 || plen > maxRecordBytes || off+recHdrBytes+plen > size {
+				break // torn tail already handled by Open; stop cleanly
+			}
+			seq, ops, err := DecodeOps(data[off+recHdrBytes : off+recHdrBytes+plen])
+			if err != nil {
+				return fmt.Errorf("wal: segment %s: %w", name, err)
+			}
+			if seq > after {
+				if err := fn(seq, ops); err != nil {
+					return err
+				}
+			}
+			off += recHdrBytes + plen
+		}
+	}
+	return nil
+}
+
+// ReplayBatched replays every durable batch with seq > after, coalescing
+// consecutive records into batches of up to maxOps operations before handing
+// them to apply — recovery's fast path, since the engine's ApplyBatch is
+// bit-identical across batch sizes and ingests long runs fastest. It also
+// enforces seq continuity: the first replayed record must be after+1 and
+// each next one consecutive, so a recovery whose base checkpoint predates
+// the surviving segments (pruned or lost batches in between) fails loudly
+// instead of silently skipping acknowledged updates.
+func (l *Log) ReplayBatched(after uint64, maxOps int, apply func(ops []topk.Op) error) error {
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	buf := make([]topk.Op, 0, maxOps)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := apply(buf)
+		buf = buf[:0]
+		return err
+	}
+	expect := after + 1
+	err := l.Replay(after, func(seq uint64, ops []topk.Op) error {
+		if seq != expect {
+			return fmt.Errorf("wal: log gap: expected batch %d after the base at %d, found %d — batches in between were pruned or lost", expect, after, seq)
+		}
+		expect++
+		buf = append(buf, ops...)
+		if len(buf) >= maxOps {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// firstSeqOf reads the seq of a segment's first record; ok is false for an
+// empty (header-only) segment.
+func firstSeqOf(path string) (seq uint64, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	var buf [len(segMagic) + recHdrBytes + 8]byte
+	if _, err := io.ReadFull(f, buf[:]); err != nil {
+		return 0, false, nil // header-only or torn: no first record
+	}
+	return binary.LittleEndian.Uint64(buf[len(segMagic)+recHdrBytes:]), true, nil
+}
+
+// Prune removes segments made redundant by a checkpoint covering every batch
+// with seq <= upTo: a segment can go once the NEXT segment starts at or
+// before upTo+1 (so the next segment already holds the first record a
+// recovery could need). The active segment is never removed.
+func (l *Log) Prune(upTo uint64) error {
+	names, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(names); i++ {
+		next, ok, err := firstSeqOf(filepath.Join(l.dir, names[i+1]))
+		if err != nil {
+			return err
+		}
+		if !ok || next > upTo+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, names[i])); err != nil {
+			return err
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+// Some platforms reject fsync on directories, so the sync itself is
+// best-effort; only failing to open the directory is reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

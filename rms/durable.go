@@ -1,0 +1,324 @@
+package rms
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fdrms/internal/core"
+	"fdrms/internal/topk"
+	"fdrms/internal/wal"
+)
+
+// DurableOptions configures the durability subsystem of a DurableStore.
+type DurableOptions struct {
+	// SyncEveryBatch fsyncs the log after every write, so an acknowledged
+	// update is never lost. Off, the durable prefix trails by up to
+	// SyncInterval (plus the OS flush), which multiplies ingest throughput —
+	// the classic WAL trade-off; the recovery bench quantifies both sides.
+	SyncEveryBatch bool
+	// SyncInterval bounds the staleness of the durable prefix when
+	// SyncEveryBatch is off; zero syncs only on rotation, Checkpoint, Sync,
+	// and Close.
+	SyncInterval time.Duration
+	// SegmentBytes is the log segment rotation threshold
+	// (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// KeepCheckpoints is how many checkpoint files survive pruning after a
+	// new one is written (default 2: the newest plus one fallback should the
+	// newest turn out corrupt on recovery).
+	KeepCheckpoints int
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.KeepCheckpoints == 0 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// DurableStore is a Store whose updates survive a crash: every batch is
+// appended to a write-ahead log BEFORE it is applied (log-before-apply), and
+// Checkpoint persists a full snapshot so recovery replays only the log tail.
+//
+// Durability is exact, not approximate: recovery rebuilds the engine state
+// bit for bit — the same result set, the same covers, the same maintenance
+// counters as the uninterrupted run — because the checkpoint captures the
+// path-dependent state (Φ sets, runner-up buffers, cover assignment)
+// verbatim and WAL replay is the same deterministic ApplyBatch path that
+// produced the state in the first place.
+//
+// Reads (Result, Len, Contains, Stats) are served by the embedded Store and
+// never touch the log. Writers serialize on the store's write lock plus the
+// log; a Checkpoint captures its snapshot under that lock (a pure in-memory
+// copy) and performs the encoding and disk writes after releasing it, so
+// ingestion stalls only for the capture, and readers not at all.
+type DurableStore struct {
+	store *Store
+	dir   string
+	opt   DurableOptions
+
+	// wmu serializes writers across the log append and the in-memory apply,
+	// keeping the log order identical to the apply order. It nests OUTSIDE
+	// store.mu.
+	wmu    sync.Mutex
+	log    *wal.Log
+	closed bool
+
+	ops []topk.Op // reusable batch-conversion scratch; guarded by wmu
+}
+
+// OpenDurable opens (or creates) a durable store rooted at dir.
+//
+// A fresh directory initializes the structure from initial (exactly like
+// NewStore) and writes a genesis checkpoint before accepting writes, so the
+// initial database is always recoverable. A directory holding state ignores
+// dim, initial, and every opts field except Shards — the configuration that
+// built the store is part of its durable state, while the shard count is a
+// per-host parallelism knob (opts.Shards > 0 overrides the persisted value;
+// it never affects any answer) — and recovers: the newest valid checkpoint is
+// loaded (falling back to an older one if the newest is damaged) and every
+// logged batch after it is replayed. A torn record at the log tail — the
+// write a crash interrupted — is truncated away; recovery lands on exactly
+// the durable prefix.
+func OpenDurable(dir string, dim int, initial []Point, opts Options, dopts DurableOptions) (*DurableStore, error) {
+	dopts = dopts.withDefaults()
+	hasState, err := wal.HasState(dir)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DurableStore{dir: dir, opt: dopts}
+	logOpts := wal.Options{
+		SegmentBytes:    dopts.SegmentBytes,
+		SyncEveryAppend: dopts.SyncEveryBatch,
+		SyncInterval:    dopts.SyncInterval,
+	}
+
+	if !hasState {
+		d, err := NewDynamic(dim, initial, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Genesis checkpoint first, then the log: a crash between the two
+		// leaves a checkpoint with no log, which recovers to the initial
+		// state — correct, since nothing was acknowledged yet.
+		if err := wal.WriteCheckpoint(dir, 0, core.EncodeSnapshot(nil, d.f.Snapshot())); err != nil {
+			return nil, err
+		}
+		ds.log, err = wal.Open(dir, logOpts)
+		if err != nil {
+			return nil, err
+		}
+		ds.store = NewStoreFrom(d)
+		return ds, nil
+	}
+
+	seq, payload, ok, err := wal.NewestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("rms: %s holds log segments but no readable checkpoint; cannot recover a base state", dir)
+	}
+	snap, err := core.DecodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("rms: decoding checkpoint %d: %w", seq, err)
+	}
+	f, err := core.Restore(snap, opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("rms: restoring checkpoint %d: %w", seq, err)
+	}
+	ds.log, err = wal.Open(dir, logOpts)
+	if err != nil {
+		return nil, err
+	}
+	// Coalesced replay with the built-in continuity guard: batching is
+	// answer-neutral (the engine's batch≡sequential contract, which the
+	// crash-recovery tests re-verify end to end), and a gap between the
+	// checkpoint and the surviving segments — possible when recovery falls
+	// back past a damaged newer checkpoint after manual file surgery, since
+	// Checkpoint itself prunes only up to the OLDEST retained checkpoint —
+	// must fail loudly rather than silently skip acknowledged updates.
+	replayErr := ds.log.ReplayBatched(seq, replayBatchOps, func(ops []topk.Op) error {
+		f.ApplyBatch(ops)
+		return nil
+	})
+	if replayErr != nil {
+		ds.log.Close()
+		return nil, fmt.Errorf("rms: replaying log after checkpoint %d: %w", seq, replayErr)
+	}
+	// All segments before the checkpoint may have been pruned; keep the seq
+	// numbering monotonic regardless.
+	ds.log.EnsureNextSeq(seq + 1)
+	ds.store = NewStoreFrom(&Dynamic{f: f, dim: snap.Dim})
+	return ds, nil
+}
+
+// replayBatchOps is the coalescing threshold of WAL replay: decoded records
+// accumulate until this many operations are pending, then apply as one
+// engine batch. The answer does not depend on it.
+const replayBatchOps = 4096
+
+// HasDurableState reports whether dir already holds a recoverable store
+// (checkpoints or log segments). A missing directory is simply false.
+// Callers use it to decide between initializing and recovering before
+// calling OpenDurable.
+func HasDurableState(dir string) (bool, error) { return wal.HasState(dir) }
+
+// errClosed is returned by writes against a closed store.
+var errClosed = fmt.Errorf("rms: durable store is closed")
+
+// Insert durably adds a tuple (replacing any live tuple with the same ID):
+// the update is logged, synced per the configured policy, and then applied.
+func (ds *DurableStore) Insert(p Point) error {
+	return ds.ApplyBatch([]Update{Ins(p)})
+}
+
+// Delete durably removes the tuple with the given ID. Deleting an unknown ID
+// is a no-op and is not logged.
+func (ds *DurableStore) Delete(id int) error {
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if ds.closed {
+		return errClosed
+	}
+	if !ds.store.Contains(id) {
+		return nil
+	}
+	return ds.applyLocked([]Update{Del(id)})
+}
+
+// ApplyBatch durably applies the updates in order: the whole batch becomes
+// one log record (and one fsync under the per-batch policy) and is then
+// applied through the store's batched path. The batch is validated before
+// anything is logged, so a rejected batch leaves no trace.
+func (ds *DurableStore) ApplyBatch(batch []Update) error {
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if ds.closed {
+		return errClosed
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	return ds.applyLocked(batch)
+}
+
+// applyLocked logs then applies one batch; wmu must be held. The batch is
+// validated and converted exactly once, and the very ops that were logged
+// are the ops applied — the log-before-apply hinge cannot drift between two
+// validation copies.
+func (ds *DurableStore) applyLocked(batch []Update) error {
+	dim := ds.store.d.dim
+	ds.ops = ds.ops[:0]
+	for i, u := range batch {
+		if u.Delete {
+			ds.ops = append(ds.ops, topk.DeleteOp(u.ID))
+			continue
+		}
+		if len(u.Point.Values) != dim {
+			return fmt.Errorf("rms: batch[%d]: tuple has %d values, database has %d attributes", i, len(u.Point.Values), dim)
+		}
+		ds.ops = append(ds.ops, topk.InsertOp(toGeom(u.Point)))
+	}
+	if _, err := ds.log.Append(ds.ops); err != nil {
+		return err
+	}
+	ds.store.applyOps(ds.ops)
+	return nil
+}
+
+// Checkpoint persists a full snapshot of the current state and prunes the
+// log segments and older checkpoint files it makes redundant. The snapshot
+// is captured in memory under the write lock (no I/O); encoding, the
+// temp-file write, the fsync, and the pruning all run after the lock is
+// released, so concurrent ingestion resumes immediately and readers are
+// never blocked. Returns the WAL seq the checkpoint covers.
+func (ds *DurableStore) Checkpoint() (uint64, error) {
+	ds.wmu.Lock()
+	if ds.closed {
+		ds.wmu.Unlock()
+		return 0, errClosed
+	}
+	// The log is synced BEFORE the capture: the checkpoint claims to cover
+	// seq, so every batch up to seq must be at least as durable as the
+	// checkpoint that supersedes it.
+	if err := ds.log.Sync(); err != nil {
+		ds.wmu.Unlock()
+		return 0, err
+	}
+	seq := ds.log.LastSeq()
+	ds.store.mu.RLock() // exclude any non-wmu writer path; readers still flow
+	snap := ds.store.d.f.Snapshot()
+	ds.store.mu.RUnlock()
+	ds.wmu.Unlock()
+
+	// A fresh buffer per call: concurrent Checkpoints are pointless but
+	// legal, and a shared encode buffer here would race once wmu is dropped.
+	if err := wal.WriteCheckpoint(ds.dir, seq, core.EncodeSnapshot(nil, snap)); err != nil {
+		return 0, err
+	}
+	if err := wal.PruneCheckpoints(ds.dir, ds.opt.KeepCheckpoints); err != nil {
+		return 0, err
+	}
+	// The log is pruned only up to the OLDEST checkpoint that survived
+	// pruning: recovery may fall back to it if the newest turns out corrupt,
+	// and must then find every subsequent batch still on disk.
+	pruneTo, ok, err := wal.OldestCheckpointSeq(ds.dir)
+	if err != nil || !ok {
+		return seq, err
+	}
+	// Pruning the log needs the writer's segment bookkeeping stable.
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if ds.closed {
+		return seq, nil
+	}
+	return seq, ds.log.Prune(pruneTo)
+}
+
+// Sync flushes and fsyncs the log, making every applied batch durable
+// regardless of the sync policy.
+func (ds *DurableStore) Sync() error {
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if ds.closed {
+		return errClosed
+	}
+	return ds.log.Sync()
+}
+
+// Close syncs and closes the log. Further writes fail; reads keep working
+// against the in-memory state.
+func (ds *DurableStore) Close() error {
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if ds.closed {
+		return nil
+	}
+	ds.closed = true
+	return ds.log.Close()
+}
+
+// LastSeq returns the seq of the last logged batch (0 before the first).
+func (ds *DurableStore) LastSeq() uint64 {
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	return ds.log.LastSeq()
+}
+
+// Dir returns the durability directory.
+func (ds *DurableStore) Dir() string { return ds.dir }
+
+// Result returns the current k-RMS answer (see Store.Result for the
+// snapshot-sharing contract).
+func (ds *DurableStore) Result() []Point { return ds.store.Result() }
+
+// Len returns the current database size.
+func (ds *DurableStore) Len() int { return ds.store.Len() }
+
+// Contains reports whether a tuple with the given ID is live.
+func (ds *DurableStore) Contains(id int) bool { return ds.store.Contains(id) }
+
+// Stats reports maintenance internals (see Dynamic.Stats).
+func (ds *DurableStore) Stats() core.Stats { return ds.store.Stats() }

@@ -42,6 +42,15 @@
 //	store := rms.NewStoreFrom(db)
 //	go store.ApplyBatch(batch)         // writer
 //	top := store.Result()              // safe from any goroutine
+//
+// Stores that must survive a crash or restart wrap the same machinery in a
+// DurableStore: every batch is written to a CRC-checked write-ahead log
+// before it is applied, Checkpoint persists full snapshots, and OpenDurable
+// recovers the exact pre-crash state — bit for bit — from the newest valid
+// checkpoint plus the logged tail:
+//
+//	store, _ := rms.OpenDurable("./state", 2, hotels, rms.Options{K: 1, R: 5},
+//		rms.DurableOptions{SyncEveryBatch: true})
 package rms
 
 import (

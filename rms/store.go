@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fdrms/internal/core"
+	"fdrms/internal/topk"
 )
 
 // Store is a concurrency-safe wrapper around a Dynamic instance: writers
@@ -59,8 +60,18 @@ func (s *Store) Insert(p Point) error {
 }
 
 // Delete removes the tuple with the given ID and updates the answer.
-// Deleting an unknown ID is a no-op and keeps the cached snapshot.
+// Deleting an unknown ID is a no-op and keeps the cached snapshot. Unknown
+// IDs are screened under the shared lock first, so no-op deletes (common
+// when upstream retries or mirrors a feed) never stall concurrent readers
+// behind an exclusive acquisition; the check is repeated under the exclusive
+// lock in case a racing writer removed the tuple in between.
 func (s *Store) Delete(id int) {
+	s.mu.RLock()
+	known := s.d.Contains(id)
+	s.mu.RUnlock()
+	if !known {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.d.Contains(id) {
@@ -129,6 +140,19 @@ func (s *Store) Contains(id int) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.d.Contains(id)
+}
+
+// applyOps applies already-validated engine operations under the exclusive
+// lock — the durable store's apply path, which validates and converts a
+// batch exactly once (when encoding it for the log) and must then apply the
+// very ops it logged.
+func (s *Store) applyOps(ops []topk.Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.f.ApplyBatch(ops)
+	if len(ops) > 0 {
+		s.invalidate()
+	}
 }
 
 // Stats reports maintenance internals (see Dynamic.Stats).
