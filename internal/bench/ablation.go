@@ -53,6 +53,7 @@ func runRegreedy(w *workload.Workload, cfg core.Config) (*workload.RunStats, err
 	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
 	stats := &workload.RunStats{Algorithm: "FD-RMS-regreedy", TotalOps: len(w.Ops)}
 	var total time.Duration
 	cps := w.Checkpoints()
@@ -116,6 +117,7 @@ func AblationCone(o Options, names ...string) *Table {
 			fmt.Sprintf("%.1f", avgVisited),
 			fmt.Sprintf("%.1f", avgAffected),
 			fmt.Sprintf("%.3f", avgVisited/float64(o.M)))
+		f.Close()
 	}
 	return t
 }
@@ -156,6 +158,7 @@ func AblationTopK(o Options, names ...string) *Table {
 		}
 		t.AddRow(name, fmt.Sprint(ops), fmt.Sprint(eng.AffectedTotal),
 			fmt.Sprint(eng.Requeries), fmt.Sprintf("%.4f", rate))
+		f.Close()
 	}
 	return t
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"slices"
 	"time"
 
 	"fdrms/internal/core"
@@ -15,32 +16,73 @@ import (
 // DefaultBatchSizes is the batch-size grid of the throughput experiments.
 var DefaultBatchSizes = []int{1, 16, 256}
 
+// latSummary is the per-op latency distribution of one run: each timed call
+// (one operation at batch size 1, one ApplyBatch call otherwise, amortized
+// over the operations THAT call covered) contributes one sample.
+type latSummary struct {
+	p50, p99, max time.Duration
+}
+
+// summarize computes the percentiles over already-per-op latency samples,
+// sorting in place (the samples slice is per-run scratch, reset before the
+// next run and never read again afterwards).
+func summarize(samples []time.Duration) latSummary {
+	if len(samples) == 0 {
+		return latSummary{}
+	}
+	slices.Sort(samples)
+	at := func(q float64) time.Duration {
+		return samples[int(q*float64(len(samples)-1))]
+	}
+	return latSummary{p50: at(0.50), p99: at(0.99), max: samples[len(samples)-1]}
+}
+
+func fmtMicros(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
 // runStreams times each named operation stream over a fresh FD-RMS instance
 // per (stream, batch size) cell. Batch size 1 is the sequential path (one
 // Insert/Delete per operation) and the baseline of the speedup column;
 // larger sizes go through ApplyBatch. Every run's final cover is compared
 // against the sequential one, so the table doubles as an end-to-end
-// equivalence check at bench scale.
+// equivalence check at bench scale. Alongside throughput, every timed call
+// feeds the per-op latency percentiles (p50/p99/max), which is where
+// tail-latency work — bounded cone-tree re-splits, the persistent worker
+// pool — shows up when the mean moves little.
 func runStreams(t *Table, o Options, initial []geom.Point, cfg core.Config,
 	order []string, streams map[string][]topk.Op, sizes []int) {
+	var samples []time.Duration
 	for _, name := range order {
 		ops := streams[name]
-		run := func(size int) (time.Duration, float64, []int) {
+		run := func(size int) (time.Duration, float64, latSummary, []int) {
 			f, err := core.New(o.SynthD, initial, cfg)
 			if err != nil {
 				panic(err)
 			}
+			defer f.Close()
+			samples = samples[:0]
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			mallocs := ms.Mallocs
-			start := time.Now()
+			// elapsed sums the per-call windows rather than bracketing the
+			// whole loop, so the sampling clock reads between calls are
+			// excluded SYMMETRICALLY at every batch size — otherwise the
+			// sequential baseline would absorb two clock reads per op while
+			// batch=256 pays them once per 256 ops, skewing the speedup
+			// column by the difference.
+			var elapsed time.Duration
 			if size <= 1 {
 				for _, op := range ops {
+					opStart := time.Now()
 					if op.Delete {
 						f.Delete(op.ID)
 					} else {
 						f.Insert(op.Point)
 					}
+					d := time.Since(opStart)
+					elapsed += d
+					samples = append(samples, d)
 				}
 			} else {
 				for i := 0; i < len(ops); i += size {
@@ -48,29 +90,37 @@ func runStreams(t *Table, o Options, initial []geom.Point, cfg core.Config,
 					if j > len(ops) {
 						j = len(ops)
 					}
+					opStart := time.Now()
 					f.ApplyBatch(ops[i:j])
+					d := time.Since(opStart)
+					elapsed += d
+					// Amortize over the ops THIS call covered — the final
+					// call of a stream can be a partial batch.
+					samples = append(samples, d/time.Duration(j-i))
 				}
 			}
-			elapsed := time.Since(start)
 			runtime.ReadMemStats(&ms)
 			allocsPerOp := float64(ms.Mallocs-mallocs) / float64(len(ops))
-			return elapsed, allocsPerOp, f.ResultIDs()
+			return elapsed, allocsPerOp, summarize(samples), f.ResultIDs()
 		}
 		// The reference is always the sequential path, regardless of which
 		// batch sizes were requested: both the speedup column and the
 		// result==seq equivalence column compare against it.
-		seqElapsed, seqAllocs, seqResult := run(1)
+		seqElapsed, seqAllocs, seqLat, seqResult := run(1)
 		baseline := float64(len(ops)) / seqElapsed.Seconds()
 		for _, size := range sizes {
-			elapsed, allocs, result := seqElapsed, seqAllocs, seqResult
+			elapsed, allocs, lat, result := seqElapsed, seqAllocs, seqLat, seqResult
 			if size > 1 {
-				elapsed, allocs, result = run(size)
+				elapsed, allocs, lat, result = run(size)
 			}
 			opsPerSec := float64(len(ops)) / elapsed.Seconds()
 			t.AddRow(name, fmt.Sprint(len(ops)), fmt.Sprintf("%d", size), fmtDur(elapsed),
 				fmt.Sprintf("%.0f", opsPerSec),
 				fmt.Sprintf("%.2fx", opsPerSec/baseline),
 				fmt.Sprintf("%.1f", allocs),
+				fmtMicros(lat.p50),
+				fmtMicros(lat.p99),
+				fmtMicros(lat.max),
 				fmt.Sprintf("%v", reflect.DeepEqual(result, seqResult)))
 		}
 	}
@@ -107,12 +157,13 @@ func BatchThroughput(o Options, sizes ...int) *Table {
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Batched update throughput (AntiCor, n=%d, d=%d, M=%d, r=%d)", len(initial), o.SynthD, o.M, cfg.R),
-		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "allocs/op", "result==seq"},
+		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "allocs/op", "p50(µs)", "p99(µs)", "max(µs)", "result==seq"},
 	}
 	runStreams(t, o, initial, cfg, []string{"insert", "mixed"}, streams, sizes)
 	t.Notes = append(t.Notes,
 		"batch=1 is the sequential Insert/Delete path; larger batches use ApplyBatch",
-		"the shard-parallel fan-out needs multiple CPUs to show its full speedup")
+		"the shard-parallel fan-out needs multiple CPUs to show its full speedup",
+		"p50/p99/max are per-op latencies; at batch>1 each ApplyBatch call is one sample amortized over its ops")
 	return t
 }
 
@@ -134,13 +185,14 @@ func SlidingWindow(o Options, sizes ...int) *Table {
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Sliding-window / delete-heavy throughput (AntiCor, n=%d, d=%d, M=%d, r=%d)", len(initial), o.SynthD, o.M, cfg.R),
-		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "allocs/op", "result==seq"},
+		Header: []string{"workload", "ops", "batch", "elapsed", "ops/s", "speedup", "allocs/op", "p50(µs)", "p99(µs)", "max(µs)", "result==seq"},
 	}
 	runStreams(t, o, initial, cfg, []string{"sliding", "bursty", "delete"}, streams, sizes)
 	t.Notes = append(t.Notes,
 		"sliding: insert+evict pairs (50% deletes); bursty: alternating 16-op insert/delete runs; delete: one long drain",
 		"batch=1 is the sequential Insert/Delete path; larger batches use ApplyBatch",
-		"the shard-parallel fan-out needs multiple CPUs to show its full speedup")
+		"the shard-parallel fan-out needs multiple CPUs to show its full speedup",
+		"p50/p99/max are per-op latencies; at batch>1 each ApplyBatch call is one sample amortized over its ops")
 	return t
 }
 

@@ -148,10 +148,12 @@ func TuneEps(pts []geom.Point, dim, k, r, m int, seed int64) float64 {
 			continue
 		}
 		mrr := ev.MRR(f.Result())
+		exhausted := f.Stats().M >= probeM
+		f.Close()
 		if mrr < bestMRR-1e-9 {
 			bestEps, bestMRR = eps, mrr
 		}
-		if f.Stats().M >= probeM {
+		if exhausted {
 			break // sample budget exhausted; larger eps cannot help
 		}
 	}

@@ -142,14 +142,17 @@ func Recovery(o Options) *Table {
 	finalState := core.EncodeSnapshot(nil, f.Snapshot())
 	finalPts := f.Points()
 	start = time.Now()
-	if _, err := core.New(dim, finalPts, cfg); err != nil {
+	cold, err := core.New(dim, finalPts, cfg)
+	if err != nil {
 		panic(err)
 	}
 	reinitElapsed := time.Since(start)
+	cold.Close()
 	reinitRate := float64(len(finalPts)) / reinitElapsed.Seconds()
 	row("cold re-init", len(finalPts), -1, reinitElapsed, reinitRate, "1.00x", "-")
 
 	// Simulated crash: the in-memory structure is gone; recover from disk.
+	f.Close()
 	f = nil
 	start = time.Now()
 	seq, payload, ok, err := wal.NewestCheckpoint(dir)
@@ -201,6 +204,7 @@ func Recovery(o Options) *Table {
 	row("recover total", rec.Len(), replayed, total, float64(replayed)/total.Seconds(),
 		fmt.Sprintf("%.2fx", reinitElapsed.Seconds()/total.Seconds()),
 		fmt.Sprint(bytes.Equal(recovered, finalState)))
+	rec.Close()
 
 	t.Notes = append(t.Notes,
 		"vs cold re-init: rate rows compare tuples-or-ops/s against re-init's tuples/s; recover total compares wall time (re-init time / recover time)",

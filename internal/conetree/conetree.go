@@ -43,6 +43,14 @@ type Tree struct {
 	// Visited). The tree is single-writer/single-prober, matching the topk
 	// engine's batch pipeline, which probes only between parallel phases.
 	stack []*node
+
+	// Maintenance counters: Rebuilds counts whole-tree rebuilds (the
+	// delete-churn threshold path and structural fallbacks), Resplits the
+	// localized leaf re-splits that replaced the insert-overflow rebuild.
+	// Tests use them to pin the tail-latency contract: steady insertion
+	// churn must not trigger whole-tree O(M log M) rebuilds.
+	Rebuilds int
+	Resplits int
 }
 
 type entry struct {
@@ -257,7 +265,41 @@ func (t *Tree) Insert(it Item) {
 	}
 	n.count++
 	if len(n.ids) > 4*leafCapacity {
-		t.rebuild() // keep leaves from degenerating into linear scans
+		t.splitLeaf(n) // keep leaves from degenerating into linear scans
+	}
+}
+
+// splitLeaf re-splits a single overflowing leaf into a fresh subtree built
+// over its payload, splicing it in place and tightening the summaries along
+// the leaf-to-root path. This replaces the whole-tree rebuild the insert
+// path used to trigger on leaf overflow: the work is O(|leaf| log |leaf|)
+// instead of O(M log M), bounding insert tail latency, while Affected
+// results are unchanged — leaf checks are exact and the refreshed ancestor
+// bounds stay conservative (they only tighten). The delete-churn threshold
+// path keeps the full rebuild, which also re-balances the split hierarchy.
+//
+// A leaf whose members all share one direction cannot split (build falls
+// back to a single oversized leaf); the attempt costs O(|leaf|) per insert
+// past overflow — still strictly cheaper than the full rebuild this path
+// used to run, which hit the same degeneracy at O(M) — and the rebuilt
+// leaf is spliced in anyway, since build already repointed its members'
+// entry.leaf and the splice is the O(1) way to keep them consistent.
+// Resplits counts only attempts that actually split, so the tail-latency
+// regression tests stay meaningful.
+func (t *Tree) splitLeaf(leaf *node) {
+	sub := t.build(leaf.parent, leaf.ids)
+	if sub.ids == nil {
+		t.Resplits++
+	}
+	if leaf.parent == nil {
+		t.root = sub
+	} else if leaf.parent.left == leaf {
+		leaf.parent.left = sub
+	} else {
+		leaf.parent.right = sub
+	}
+	for n := sub.parent; n != nil; n = n.parent {
+		t.refreshInternal(n)
 	}
 }
 
@@ -323,6 +365,7 @@ func (t *Tree) Threshold(id int) (float64, bool) {
 }
 
 func (t *Tree) rebuild() {
+	t.Rebuilds++
 	ids := make([]int, 0, len(t.items))
 	for id := range t.items {
 		ids = append(ids, id)

@@ -372,3 +372,87 @@ func BenchmarkAffected(b *testing.B) {
 		tr.Affected(pts[i%len(pts)])
 	}
 }
+
+// Insert-driven leaf overflow must be repaired by a LOCAL re-split of the
+// overflowing leaf, never by a whole-tree rebuild — the O(M log M) rebuild
+// is what used to put utility-churn spikes in the update tail. Affected
+// results must be exactly what a freshly built tree reports throughout.
+func TestInsertOverflowResplitsLocally(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := 5
+	base := randomItems(rng, 64, d)
+	tr := New(d, base)
+	ref := make(map[int]Item, len(base))
+	for _, it := range base {
+		ref[it.ID] = it
+	}
+	if tr.Rebuilds != 0 {
+		t.Fatalf("New counted %d rebuilds", tr.Rebuilds)
+	}
+	// Insert enough churn to overflow many leaves many times over.
+	extra := randomItems(rng, 512, d)
+	for i, it := range extra {
+		it.ID = 1000 + i
+		tr.Insert(it)
+		ref[it.ID] = it
+	}
+	if tr.Rebuilds != 0 {
+		t.Fatalf("insert churn triggered %d whole-tree rebuilds; overflow must re-split locally", tr.Rebuilds)
+	}
+	if tr.Resplits == 0 {
+		t.Fatal("512 insertions never overflowed a leaf; the scenario lost its teeth")
+	}
+	for q := 0; q < 50; q++ {
+		p := randomPoint(rng, d)
+		if got, want := sortedCopy(tr.Affected(p)), bruteAffected(ref, p); !equalInts(got, want) {
+			t.Fatalf("Affected mismatch after re-splits\n got %v\nwant %v", got, want)
+		}
+	}
+	// The delete-churn threshold path must still rebuild the whole tree.
+	for id := range ref {
+		tr.Delete(id)
+		delete(ref, id)
+		if len(ref) < 64 {
+			break
+		}
+	}
+	if tr.Rebuilds == 0 {
+		t.Fatal("delete churn past the threshold should still trigger a full rebuild")
+	}
+	p := randomPoint(rng, d)
+	if got, want := sortedCopy(tr.Affected(p)), bruteAffected(ref, p); !equalInts(got, want) {
+		t.Fatalf("Affected mismatch after churn rebuild\n got %v\nwant %v", got, want)
+	}
+}
+
+// A degenerate leaf (identical directions) cannot split; the re-split
+// attempt must leave the tree correct and not loop into a rebuild.
+func TestInsertOverflowDegenerateLeaf(t *testing.T) {
+	d := 3
+	u := geom.Vector{1, 0, 0}
+	var items []Item
+	for i := 0; i < 4; i++ {
+		items = append(items, Item{ID: i, U: append(geom.Vector(nil), u...), Threshold: 0.5})
+	}
+	tr := New(d, items)
+	ref := make(map[int]Item)
+	for _, it := range items {
+		ref[it.ID] = it
+	}
+	for i := 4; i < 96; i++ {
+		it := Item{ID: i, U: append(geom.Vector(nil), u...), Threshold: 0.5}
+		tr.Insert(it)
+		ref[i] = it
+	}
+	if tr.Rebuilds != 0 {
+		t.Fatalf("degenerate overflow triggered %d whole-tree rebuilds", tr.Rebuilds)
+	}
+	p := geom.Point{ID: 0, Coords: geom.Vector{1, 1, 1}}
+	if got, want := sortedCopy(tr.Affected(p)), bruteAffected(ref, p); !equalInts(got, want) {
+		t.Fatalf("Affected mismatch on degenerate leaf\n got %v\nwant %v", got, want)
+	}
+	p = geom.Point{ID: 0, Coords: geom.Vector{0.1, 0.1, 0.1}}
+	if got, want := sortedCopy(tr.Affected(p)), bruteAffected(ref, p); !equalInts(got, want) {
+		t.Fatalf("Affected mismatch below threshold\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdrms/internal/geom"
+	"fdrms/internal/topk"
+)
+
+// End-to-end steady-state allocation budget: a warmed FD-RMS instance
+// cycling a delete+reinsert through BOTH layers — the top-k engine and the
+// slab-backed set-cover solver. The engine's own budget lives in
+// internal/topk; this pins the whole pipeline, which used to pay the
+// set-cover map churn on top (~25 allocs/op end to end before the slab
+// layout; the remainder now is the caller-owned change groups plus genuine
+// Φ/S(p) fragment churn).
+const maxEndToEndAllocsPerOp = 2.0
+
+func TestFDRMSSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	d := 4
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		v := make(geom.Vector, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		pts[i] = geom.Point{ID: i, Coords: v}
+	}
+	f, err := New(d, pts, Config{K: 2, R: 8, Eps: 0.1, M: 64, Seed: 3, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	churn := pts[:40]
+	delOps := make([]topk.Op, len(churn))
+	insOps := make([]topk.Op, len(churn))
+	for i, p := range churn {
+		delOps[i] = topk.DeleteOp(p.ID)
+		insOps[i] = topk.InsertOp(p)
+	}
+	cycle := func() {
+		f.ApplyBatch(delOps)
+		f.ApplyBatch(insOps)
+	}
+	for i := 0; i < 4; i++ {
+		cycle() // warm every scratch, slab class, and buffer
+	}
+	allocs := testing.AllocsPerRun(10, cycle)
+	perOp := allocs / float64(len(delOps)+len(insOps))
+	t.Logf("steady-state end-to-end ApplyBatch: %.1f allocs per cycle, %.2f per op", allocs, perOp)
+	if perOp > maxEndToEndAllocsPerOp {
+		t.Fatalf("steady-state end-to-end ApplyBatch allocates %.2f per op, budget %.1f", perOp, maxEndToEndAllocsPerOp)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -334,6 +334,12 @@ func (f *FDRMS) RebuildCover() {
 // instrumentation (ablation experiments read its counters).
 func (f *FDRMS) Engine() *topk.Engine { return f.engine }
 
+// Close releases the engine's persistent shard worker pool. The structure
+// remains fully usable afterwards (parallel phases run inline); Close is
+// idempotent and should be called when the instance is retired so long-lived
+// processes that build many instances do not accumulate parked goroutines.
+func (f *FDRMS) Close() { f.engine.Close() }
+
 // CheckInvariants verifies the internal consistency of the structure: the
 // stable-cover invariants (Definition 2) and the agreement between the
 // set system and the maintained top-k memberships. Intended for tests.

@@ -1,0 +1,97 @@
+package setcover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allocScenario builds a moderately dense warmed solver: sets over a few
+// hundred elements with overlap, the universe covering half of them.
+func allocScenario(tb testing.TB) *Solver {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	sv := NewSolver()
+	nSets, nElems := 120, 256
+	for s := 0; s < nSets; s++ {
+		sv.RegisterSet(s)
+	}
+	for e := 0; e < nElems; e++ {
+		sv.AddSetMember(rng.Intn(nSets), e)
+		for i := 0; i < 4; i++ {
+			sv.AddSetMember(rng.Intn(nSets), e)
+		}
+	}
+	elems := make([]int, nElems/2)
+	for i := range elems {
+		elems[i] = i
+	}
+	sv.ResetUniverse(elems)
+	if err := sv.CheckStable(); err != nil {
+		tb.Fatal(err)
+	}
+	return sv
+}
+
+// The slab-backed hot path — element moves (universe churn) and cover
+// handoffs (membership churn forcing reassignment) on a warmed solver —
+// must allocate NOTHING: fragments recycle through the slab freelists, the
+// dirty heap and takeover scratch reuse their storage, and no map beyond
+// the boundary id lookups is touched.
+func TestSetCoverHotPathZeroAllocs(t *testing.T) {
+	sv := allocScenario(t)
+	const e = 40 // a covered universe element with several containing sets
+	if sv.containsN(e) < 2 {
+		t.Fatalf("element %d has %d containing sets; scenario needs >= 2", e, sv.containsN(e))
+	}
+	move := func() { // element move: leave and rejoin the universe
+		sv.RemoveElement(e)
+		sv.AddElement(e)
+	}
+	handoff := func() { // cover handoff: drop the assigned membership, reassign, restore
+		s, ok := sv.AssignedSet(e)
+		if !ok {
+			t.Fatal("element lost coverage")
+		}
+		sv.RemoveSetMember(s, e)
+		sv.AddSetMember(s, e)
+	}
+	for i := 0; i < 50; i++ { // warm every fragment class and scratch buffer
+		move()
+		handoff()
+	}
+	if allocs := testing.AllocsPerRun(100, move); allocs != 0 {
+		t.Fatalf("element move allocates %.1f per cycle, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, handoff); allocs != 0 {
+		t.Fatalf("cover handoff allocates %.1f per cycle, want 0", allocs)
+	}
+	if err := sv.CheckStable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkCoverMaintenance is the CI allocation gate of the slab layout:
+// a warmed element-move + cover-handoff cycle must report literally
+// "0 allocs/op" (the workflow greps for it, like BenchmarkTopKInto).
+func BenchmarkCoverMaintenance(b *testing.B) {
+	sv := allocScenario(b)
+	const e = 40
+	for i := 0; i < 50; i++ {
+		sv.RemoveElement(e)
+		sv.AddElement(e)
+		if s, ok := sv.AssignedSet(e); ok {
+			sv.RemoveSetMember(s, e)
+			sv.AddSetMember(s, e)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv.RemoveElement(e)
+		sv.AddElement(e)
+		if s, ok := sv.AssignedSet(e); ok {
+			sv.RemoveSetMember(s, e)
+			sv.AddSetMember(s, e)
+		}
+	}
+}

@@ -11,43 +11,57 @@
 package setcover
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // LoadSet registers set s with exactly the given members in one step — the
 // bulk equivalent of RegisterSet followed by AddSetMember per member, valid
 // only while the universe (and hence the solution) is empty, i.e. during a
-// restore. It sizes the member map exactly and skips the per-membership
-// stability machinery, which has nothing to check on an empty universe;
-// restoring a checkpoint at bench scale reloads ~10^5 sets, so the per-call
-// overhead is what time-to-recover is made of.
+// restore. The member list is written unsorted into one exactly-classed
+// slab fragment and sorted in place, skipping both the per-membership
+// sorted-insert memmoves and the stability machinery (which has nothing to
+// check on an empty universe); restoring a checkpoint at bench scale
+// reloads ~10^5 sets, so the per-call overhead is what time-to-recover is
+// made of.
 func (sv *Solver) LoadSet(s int, members []int) {
-	if len(sv.universe) != 0 {
+	if sv.nUniverse != 0 {
 		panic("setcover: LoadSet with a non-empty universe")
 	}
-	m := sv.sets[s]
-	if m == nil {
-		m = make(map[int]bool, len(members))
-		sv.sets[s] = m
+	si := sv.ensureSet(s)
+	if sv.sets[si].members.n == 0 && len(members) > 0 {
+		sp := sv.arena.allocN(len(members))
+		n := int32(0)
+		for _, e := range members {
+			ei := sv.ensureElem(e)
+			sv.arena.data[sp.off+n] = ei
+			n++
+			sv.arena.insert(&sv.elems[ei].contains, si)
+		}
+		sp.n = n
+		v := sv.arena.view(sp)
+		slices.Sort(v)
+		sp.n = int32(len(slices.Compact(v))) // tolerate duplicate members
+		sv.sets[si].members = sp
+		return
 	}
 	for _, e := range members {
-		m[e] = true
-		c := sv.contains[e]
-		if c == nil {
-			c = make(map[int]bool)
-			sv.contains[e] = c
+		ei := sv.ensureElem(e)
+		if sv.arena.insert(&sv.sets[si].members, ei) {
+			sv.arena.insert(&sv.elems[ei].contains, si)
 		}
-		c[s] = true
 	}
 }
 
 // Assignment returns a copy of φ as a map from universe element to its
 // chosen set. Orphans (and only orphans) are absent.
 func (sv *Solver) Assignment() map[int]int {
-	out := make(map[int]int, len(sv.assign))
-	for e, s := range sv.assign {
-		out[e] = s
+	out := make(map[int]int, sv.nUniverse-sv.nOrphans)
+	for i := range sv.elems {
+		if si := sv.elems[i].assign; si >= 0 {
+			out[sv.elems[i].id] = sv.sets[si].id
+		}
 	}
 	return out
 }
@@ -55,8 +69,9 @@ func (sv *Solver) Assignment() map[int]int {
 // RestoreSolution installs a previously captured solution: the universe
 // becomes elems and every element is assigned per assign (elements absent
 // from assign must be orphans — contained in no registered set). The set
-// system must already be loaded (RegisterSet/AddSetMember with an empty
-// universe records pure membership without touching any solution state).
+// system must already be loaded (LoadSet, or RegisterSet/AddSetMember with
+// an empty universe, records pure membership without touching any solution
+// state).
 //
 // The rebuilt covers, levels, and buckets are the unique ones matching a
 // stable φ, so a solver restored from a stable snapshot is indistinguishable
@@ -65,62 +80,73 @@ func (sv *Solver) Assignment() map[int]int {
 // non-orphan left unassigned, or a level takeover left pending — is
 // rejected, leaving the solver in an undefined state fit only for disposal.
 func (sv *Solver) RestoreSolution(elems []int, assign map[int]int) error {
-	if len(sv.universe) != 0 || len(sv.assign) != 0 || len(sv.cov) != 0 {
+	if sv.nUniverse != 0 || sv.nChosen != 0 {
 		return fmt.Errorf("setcover: RestoreSolution on a non-pristine solver")
 	}
-	sv.universe = make(map[int]bool, len(elems))
 	for _, e := range elems {
-		sv.universe[e] = true
-	}
-	if len(sv.universe) != len(elems) {
-		return fmt.Errorf("setcover: duplicate universe elements in snapshot")
+		ei := sv.ensureElem(e)
+		if sv.elems[ei].inU {
+			return fmt.Errorf("setcover: duplicate universe elements in snapshot")
+		}
+		sv.elems[ei].inU = true
+		sv.nUniverse++
 	}
 
 	// Covers and levels first: bucketAdd needs every chosen set's level.
 	for e, s := range assign {
-		if !sv.universe[e] {
+		ei, ok := sv.elemIdx[e]
+		if !ok || !sv.elems[ei].inU {
 			return fmt.Errorf("setcover: assignment of %d outside the universe", e)
 		}
-		if sv.sets[s] == nil || !sv.sets[s][e] {
+		si, ok := sv.setIdx[s]
+		if !ok || !sv.arena.has(sv.sets[si].members, ei) {
 			return fmt.Errorf("setcover: element %d assigned to set %d that does not contain it", e, s)
 		}
-		sv.assign[e] = s
-		if sv.cov[s] == nil {
-			sv.cov[s] = make(map[int]bool)
+		sv.elems[ei].assign = si
+		t := &sv.sets[si]
+		if !t.chosen {
+			t.chosen = true
+			t.cover = span{}
+			sv.nChosen++
 		}
-		sv.cov[s][e] = true
+		sv.arena.insert(&t.cover, ei)
 	}
-	for s, c := range sv.cov {
-		j := levelOf(len(c))
-		sv.level[s] = j
-		if sv.levels[j] == nil {
-			sv.levels[j] = make(map[int]bool)
-		}
-		sv.levels[j][s] = true
-	}
-	// Buckets in deterministic element order (bucket maps are rebuilt from
-	// scratch, so order only matters for reproducible failure modes).
-	ordered := make([]int, 0, len(assign))
-	for e := range assign {
-		ordered = append(ordered, e)
-	}
-	sort.Ints(ordered)
-	for _, e := range ordered {
-		sv.bucketAdd(e, sv.level[sv.assign[e]])
-	}
-	for _, e := range elems {
-		if _, ok := sv.assign[e]; ok {
+	for i := range sv.sets {
+		t := &sv.sets[i]
+		if !t.live || !t.chosen {
 			continue
 		}
-		if len(sv.contains[e]) != 0 {
+		j := int32(levelOf(int(t.cover.n)))
+		t.level = j
+		sv.levelAdd(j, int32(i))
+	}
+	// Buckets in deterministic element order (buckets are rebuilt from
+	// scratch, so order only matters for reproducible failure modes).
+	ordered := sv.moved[:0]
+	for e := range assign {
+		ordered = append(ordered, sv.elemIdx[e])
+	}
+	slices.SortFunc(ordered, func(x, y int32) int {
+		return cmp.Compare(sv.elems[x].id, sv.elems[y].id)
+	})
+	for _, ei := range ordered {
+		sv.bucketAdd(ei, sv.sets[sv.elems[ei].assign].level)
+	}
+	sv.moved = ordered[:0]
+	for _, e := range elems {
+		ei := sv.elemIdx[e]
+		if sv.elems[ei].assign >= 0 {
+			continue
+		}
+		if sv.elems[ei].contains.n != 0 {
 			return fmt.Errorf("setcover: unassigned element %d is coverable (snapshot not stable)", e)
 		}
-		sv.orphans[e] = true
+		sv.nOrphans++
 	}
 	// A stable solution never has a pending takeover; bucketAdd queueing one
 	// means the snapshot was not stable.
 	if len(sv.dirty) > 0 {
-		sv.dirty = nil
+		sv.dirty = sv.dirty[:0]
 		return fmt.Errorf("setcover: restored solution violates stability")
 	}
 	return nil

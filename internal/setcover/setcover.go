@@ -18,87 +18,109 @@
 // RELEVEL on the affected sets and then STABILIZE, which repeatedly lets a
 // violating set take over an entire level's worth of its elements until
 // Definition 2 holds again (Lemma 2 bounds this by O(m log m) steps).
+//
+// Storage layout: external set and element ids are mapped once, at the API
+// boundary, to dense int32 indices into two flat record slices; every
+// collection a record owns (member list, cover, per-level bucket contents,
+// element→set transpose) is a sorted int32 fragment carved from one shared
+// slab with per-class freelists (see slab.go). A warmed solver therefore
+// runs element moves and cover handoffs with zero allocations — fragments
+// recycle through the freelists — and the inner loops stream contiguous
+// int32 runs instead of chasing map buckets.
+//
+// Determinism: the solver is a deterministic function of its operation
+// sequence. Every choice point orders candidates by EXTERNAL ids — the
+// dirty-queue pops by (level, set id), takeover processing by element id,
+// greedy and reassignment tie-breaks by set id — so no answer depends on
+// the dense index assignment or any iteration order. (Transient duplicate
+// dirty-queue entries can differ between storage layouts, but duplicates
+// only ever fail the staleness re-check; they change no state and no
+// counter.) The batched update path and its equivalence tests rely on this.
 package setcover
 
 import (
-	"container/heap"
+	"cmp"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 )
 
 // Solver maintains a set system Σ = (U, S) and a stable set-cover solution
 // over it. Element and set identifiers are arbitrary ints chosen by the
 // caller (utility ids and tuple ids in FD-RMS).
 type Solver struct {
-	// The set system. sets may contain elements outside the universe (the
-	// paper's UpdateM registers memberships of utilities beyond u_m); only
-	// universe elements participate in covering.
-	sets     map[int]map[int]bool // set id -> member elements
-	contains map[int]map[int]bool // element -> ids of sets containing it
-	universe map[int]bool
+	arena slab // shared storage behind every span below
 
-	// The solution: φ, cov, and the level hierarchy.
-	assign map[int]int          // φ: universe element -> chosen set
-	cov    map[int]map[int]bool // set in C -> cover set
-	level  map[int]int          // set in C -> level index
-	levels map[int]map[int]bool // level index -> sets at that level
+	setIdx  map[int]int32 // external set id -> slot in sets
+	elemIdx map[int]int32 // external element id -> slot in elems
+	sets    []setRec
+	elems   []elemRec
+	freeSet []int32 // recycled set slots (DropSetIfEmpty)
 
-	// buckets[s][j] is S ∩ A_j for every registered set s: the elements of
-	// s whose assigned set currently sits at level j. Bucket sizes give the
-	// stability condition in O(1); bucket contents feed takeovers.
-	buckets map[int]map[int]map[int]bool
+	// levels[j] holds the chosen set slots at level j (unordered; membership
+	// only — every ordered decision re-sorts by external id).
+	levels [][]int32
 
-	// orphans are universe elements contained in no set. They cannot be
-	// covered; FD-RMS never produces them in a settled state, but the solver
-	// tolerates them transiently during multi-step updates.
-	orphans map[int]bool
+	nUniverse int
+	nOrphans  int // universe elements contained in no set
+	nChosen   int // |C|
 
-	dirty dirtyQueue // candidate stability violations, min (level, set) first
+	// dirty is a min-heap of candidate stability violations ordered by
+	// (level, external set id), so STABILIZE processes them in a
+	// deterministic order. Duplicate entries are tolerated: a second pop of
+	// the same candidate fails the staleness check after the first takeover
+	// handled it.
+	dirty []dirtyEntry
+
+	// Scratch reused across operations (takeover element lists, greedy
+	// rounds), so steady-state stabilization allocates nothing.
+	moved   []int32
+	touched []int32
+	counts  []int32
 
 	// Stats counters for the ablation harness.
 	Takeovers     int // STABILIZE takeover steps executed
 	Reassignments int // element reassignments due to set-member removals
 }
 
-type dirtyEntry struct{ set, level int }
-
-// dirtyQueue is a min-heap of candidate violations ordered by (level, set),
-// so STABILIZE processes them in a deterministic order at O(log n) per
-// push/pop. Duplicate entries are tolerated: a second pop of the same
-// candidate fails the staleness check after the first takeover handled it.
-type dirtyQueue []dirtyEntry
-
-func (q dirtyQueue) Len() int { return len(q) }
-func (q dirtyQueue) Less(i, j int) bool {
-	if q[i].level != q[j].level {
-		return q[i].level < q[j].level
-	}
-	return q[i].set < q[j].set
+// setRec is the per-set state. cover and level are meaningful while chosen;
+// buckets[j] is S ∩ A_j — the members of this set whose assigned set
+// currently sits at level j — giving the stability condition in O(1) from
+// its length and the takeover contents without any search.
+type setRec struct {
+	id       int
+	members  span   // element slots, ascending
+	cover    span   // element slots, ascending (chosen only)
+	buckets  []span // level j -> S ∩ A_j element slots, ascending
+	level    int32
+	levelPos int32 // position inside levels[level] (chosen only)
+	chosen   bool
+	live     bool
 }
-func (q dirtyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *dirtyQueue) Push(x interface{}) { *q = append(*q, x.(dirtyEntry)) }
-func (q *dirtyQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+
+// elemRec is the per-element state. An element with inU set and assign < 0
+// is an orphan: contained in no set, tolerated transiently (FD-RMS never
+// produces one in a settled state).
+type elemRec struct {
+	id       int
+	contains span  // slots of sets containing the element, ascending
+	assign   int32 // chosen-set slot covering it, -1 when unassigned
+	inU      bool
+}
+
+type dirtyEntry struct {
+	level int32
+	set   int32 // dense set slot
 }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
-	return &Solver{
-		sets:     make(map[int]map[int]bool),
-		contains: make(map[int]map[int]bool),
-		universe: make(map[int]bool),
-		assign:   make(map[int]int),
-		cov:      make(map[int]map[int]bool),
-		level:    make(map[int]int),
-		levels:   make(map[int]map[int]bool),
-		buckets:  make(map[int]map[int]map[int]bool),
-		orphans:  make(map[int]bool),
+	sv := &Solver{
+		setIdx:  make(map[int]int32),
+		elemIdx: make(map[int]int32),
 	}
+	sv.arena.init()
+	return sv
 }
 
 // levelOf returns the level index j with 2^j <= n < 2^{j+1}.
@@ -109,195 +131,337 @@ func levelOf(n int) int {
 	return bits.Len(uint(n)) - 1
 }
 
+// --- dense index management --------------------------------------------------
+
+// ensureSet returns the slot of set s, registering it if needed.
+func (sv *Solver) ensureSet(s int) int32 {
+	if i, ok := sv.setIdx[s]; ok {
+		return i
+	}
+	var i int32
+	if n := len(sv.freeSet); n > 0 {
+		i = sv.freeSet[n-1]
+		sv.freeSet = sv.freeSet[:n-1]
+		buckets := sv.sets[i].buckets[:0] // keep the directory storage
+		sv.sets[i] = setRec{id: s, buckets: buckets, live: true}
+	} else {
+		i = int32(len(sv.sets))
+		sv.sets = append(sv.sets, setRec{id: s, live: true})
+	}
+	sv.setIdx[s] = i
+	return i
+}
+
+// ensureElem returns the slot of element e, creating its record if needed.
+// Element records are never recycled (FD-RMS element ids are the bounded
+// utility sample).
+func (sv *Solver) ensureElem(e int) int32 {
+	if i, ok := sv.elemIdx[e]; ok {
+		return i
+	}
+	i := int32(len(sv.elems))
+	sv.elems = append(sv.elems, elemRec{id: e, assign: -1})
+	sv.elemIdx[e] = i
+	return i
+}
+
+func (sv *Solver) orphan(ei int32) bool {
+	return sv.elems[ei].inU && sv.elems[ei].assign < 0
+}
+
 // --- set system bookkeeping -------------------------------------------------
 
 // RegisterSet ensures an (empty) set with the given id exists.
-func (sv *Solver) RegisterSet(s int) {
-	if sv.sets[s] == nil {
-		sv.sets[s] = make(map[int]bool)
-	}
-}
+func (sv *Solver) RegisterSet(s int) { sv.ensureSet(s) }
 
 // HasSet reports whether the set id is registered.
-func (sv *Solver) HasSet(s int) bool { return sv.sets[s] != nil }
+func (sv *Solver) HasSet(s int) bool {
+	_, ok := sv.setIdx[s]
+	return ok
+}
 
 // SetSize returns |S| (members inside and outside the universe).
-func (sv *Solver) SetSize(s int) int { return len(sv.sets[s]) }
+func (sv *Solver) SetSize(s int) int {
+	if i, ok := sv.setIdx[s]; ok {
+		return int(sv.sets[i].members.n)
+	}
+	return 0
+}
 
 // InUniverse reports whether the element is part of U.
-func (sv *Solver) InUniverse(e int) bool { return sv.universe[e] }
+func (sv *Solver) InUniverse(e int) bool {
+	if i, ok := sv.elemIdx[e]; ok {
+		return sv.elems[i].inU
+	}
+	return false
+}
 
 // UniverseSize returns |U|.
-func (sv *Solver) UniverseSize() int { return len(sv.universe) }
+func (sv *Solver) UniverseSize() int { return sv.nUniverse }
 
 // NumSets returns |S|, the number of registered sets.
-func (sv *Solver) NumSets() int { return len(sv.sets) }
+func (sv *Solver) NumSets() int { return len(sv.setIdx) }
 
 // --- solution accessors -----------------------------------------------------
 
 // Size returns |C|.
-func (sv *Solver) Size() int { return len(sv.cov) }
+func (sv *Solver) Size() int { return sv.nChosen }
 
-// Solution returns the chosen set ids in ascending order.
+// Solution returns the chosen set ids in ascending order. The levels table
+// holds exactly the chosen slots, so this is O(|C| log |C|), not a scan of
+// every registered set.
 func (sv *Solver) Solution() []int {
-	out := make([]int, 0, len(sv.cov))
-	for s := range sv.cov {
-		out = append(out, s)
+	out := make([]int, 0, sv.nChosen)
+	for _, l := range sv.levels {
+		for _, si := range l {
+			out = append(out, sv.sets[si].id)
+		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
 // InSolution reports whether set s is chosen.
-func (sv *Solver) InSolution(s int) bool { return sv.cov[s] != nil }
+func (sv *Solver) InSolution(s int) bool {
+	if i, ok := sv.setIdx[s]; ok {
+		return sv.sets[i].chosen
+	}
+	return false
+}
 
 // CoverSize returns |cov(S)| for a chosen set (0 otherwise).
-func (sv *Solver) CoverSize(s int) int { return len(sv.cov[s]) }
+func (sv *Solver) CoverSize(s int) int {
+	if i, ok := sv.setIdx[s]; ok && sv.sets[i].chosen {
+		return int(sv.sets[i].cover.n)
+	}
+	return 0
+}
 
 // AssignedSet returns φ(e) for a covered universe element.
 func (sv *Solver) AssignedSet(e int) (int, bool) {
-	s, ok := sv.assign[e]
-	return s, ok
+	if i, ok := sv.elemIdx[e]; ok && sv.elems[i].assign >= 0 {
+		return sv.sets[sv.elems[i].assign].id, true
+	}
+	return 0, false
 }
 
 // Orphans returns the universe elements currently contained in no set.
 func (sv *Solver) Orphans() []int {
-	out := make([]int, 0, len(sv.orphans))
-	for e := range sv.orphans {
-		out = append(out, e)
+	out := make([]int, 0, sv.nOrphans)
+	for i := range sv.elems {
+		if sv.orphan(int32(i)) {
+			out = append(out, sv.elems[i].id)
+		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
+}
+
+// --- the dirty queue --------------------------------------------------------
+
+func (sv *Solver) dirtyLess(a, b dirtyEntry) bool {
+	if a.level != b.level {
+		return a.level < b.level
+	}
+	return sv.sets[a.set].id < sv.sets[b.set].id
+}
+
+func (sv *Solver) pushDirty(d dirtyEntry) {
+	h := append(sv.dirty, d)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !sv.dirtyLess(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	sv.dirty = h
+}
+
+func (sv *Solver) popDirty() dirtyEntry {
+	h := sv.dirty
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && sv.dirtyLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && sv.dirtyLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	sv.dirty = h
+	return top
 }
 
 // --- primitive mutations ----------------------------------------------------
 
-// bucketAdd places element e (assigned at level j) into the (t, j) bucket of
-// every set t containing e, queueing stability checks as sizes grow.
-func (sv *Solver) bucketAdd(e, j int) {
-	for t := range sv.contains[e] {
-		bs := sv.buckets[t]
-		if bs == nil {
-			bs = make(map[int]map[int]bool)
-			sv.buckets[t] = bs
-		}
-		b := bs[j]
-		if b == nil {
-			b = make(map[int]bool)
-			bs[j] = b
-		}
-		b[e] = true
-		if len(b) >= 1<<(j+1) {
-			heap.Push(&sv.dirty, dirtyEntry{t, j})
+// bucketAddOne places element ei into the (ti, j) bucket, queueing a
+// stability check when the bucket crosses the takeover threshold.
+func (sv *Solver) bucketAddOne(ti, ei, j int32) {
+	t := &sv.sets[ti]
+	for int(j) >= len(t.buckets) {
+		t.buckets = append(t.buckets, span{})
+	}
+	b := &t.buckets[j]
+	sv.arena.insert(b, ei)
+	if int(b.n) >= 1<<(j+1) {
+		sv.pushDirty(dirtyEntry{level: j, set: ti})
+	}
+}
+
+// bucketAdd places element ei (assigned at level j) into the (t, j) bucket
+// of every set t containing it, queueing stability checks as sizes grow.
+func (sv *Solver) bucketAdd(ei, j int32) {
+	for _, ti := range sv.arena.view(sv.elems[ei].contains) {
+		sv.bucketAddOne(ti, ei, j)
+	}
+}
+
+// bucketRemove removes element ei (assigned at level j) from the buckets of
+// every set containing it.
+func (sv *Solver) bucketRemove(ei, j int32) {
+	for _, ti := range sv.arena.view(sv.elems[ei].contains) {
+		t := &sv.sets[ti]
+		if int(j) < len(t.buckets) {
+			sv.arena.remove(&t.buckets[j], ei)
 		}
 	}
 }
 
-// bucketRemove removes element e (assigned at level j) from the buckets of
-// every set containing e.
-func (sv *Solver) bucketRemove(e, j int) {
-	for t := range sv.contains[e] {
-		if bs := sv.buckets[t]; bs != nil {
-			if b := bs[j]; b != nil {
-				delete(b, e)
-				if len(b) == 0 {
-					delete(bs, j)
-				}
-			}
-		}
-	}
-}
-
-// ensureChosen puts s into C with an empty cover at level 0.
-func (sv *Solver) ensureChosen(s int) {
-	if sv.cov[s] != nil {
+// ensureChosen puts the set into C with an empty cover at level 0.
+func (sv *Solver) ensureChosen(si int32) {
+	t := &sv.sets[si]
+	if t.chosen {
 		return
 	}
-	sv.cov[s] = make(map[int]bool)
-	sv.level[s] = 0
-	if sv.levels[0] == nil {
-		sv.levels[0] = make(map[int]bool)
+	t.chosen = true
+	t.cover = span{}
+	t.level = 0
+	sv.levelAdd(0, si)
+	sv.nChosen++
+}
+
+func (sv *Solver) levelAdd(j, si int32) {
+	for int(j) >= len(sv.levels) {
+		sv.levels = append(sv.levels, nil)
 	}
-	sv.levels[0][s] = true
+	sv.sets[si].levelPos = int32(len(sv.levels[j]))
+	sv.levels[j] = append(sv.levels[j], si)
+}
+
+// levelRemove swap-removes si from levels[j] in O(1) via the maintained
+// position index, repointing the displaced set.
+func (sv *Solver) levelRemove(j, si int32) {
+	l := sv.levels[j]
+	pos := sv.sets[si].levelPos
+	last := int32(len(l) - 1)
+	l[pos] = l[last]
+	sv.sets[l[pos]].levelPos = pos
+	sv.levels[j] = l[:last]
+}
+
+func (sv *Solver) levelHas(j, si int32) bool {
+	if int(j) >= len(sv.levels) {
+		return false
+	}
+	pos := sv.sets[si].levelPos
+	return int(pos) < len(sv.levels[j]) && sv.levels[j][pos] == si
 }
 
 // assignTo makes φ(e) = s (e must be unassigned), bucketing e at s's
 // current level. Callers must RELEVEL s afterwards.
-func (sv *Solver) assignTo(e, s int) {
-	sv.ensureChosen(s)
-	sv.assign[e] = s
-	sv.cov[s][e] = true
-	sv.bucketAdd(e, sv.level[s])
+func (sv *Solver) assignTo(ei, si int32) {
+	sv.ensureChosen(si)
+	sv.elems[ei].assign = si
+	sv.arena.insert(&sv.sets[si].cover, ei)
+	sv.bucketAdd(ei, sv.sets[si].level)
 }
 
 // unassign removes e from its chosen set's cover and from all buckets.
-// It returns the former set; callers must RELEVEL it afterwards.
-func (sv *Solver) unassign(e int) (int, bool) {
-	s, ok := sv.assign[e]
-	if !ok {
+// It returns the former set's slot; callers must RELEVEL it afterwards.
+func (sv *Solver) unassign(ei int32) (int32, bool) {
+	si := sv.elems[ei].assign
+	if si < 0 {
 		return 0, false
 	}
-	delete(sv.assign, e)
-	delete(sv.cov[s], e)
-	sv.bucketRemove(e, sv.level[s])
-	return s, true
+	sv.elems[ei].assign = -1
+	sv.arena.remove(&sv.sets[si].cover, ei)
+	sv.bucketRemove(ei, sv.sets[si].level)
+	return si, true
 }
 
 // relevel implements RELEVEL(S) of Algorithm 1: drop S from C when its
 // cover emptied, otherwise move it to the level matching |cov(S)| and
 // rebucket every covered element.
-func (sv *Solver) relevel(s int) {
-	c, chosen := sv.cov[s]
-	if !chosen {
+func (sv *Solver) relevel(si int32) {
+	t := &sv.sets[si]
+	if !t.chosen {
 		return
 	}
-	old := sv.level[s]
-	if len(c) == 0 {
-		delete(sv.cov, s)
-		delete(sv.level, s)
-		delete(sv.levels[old], s)
+	old := t.level
+	if t.cover.n == 0 {
+		t.chosen = false
+		t.level = 0
+		sv.levelRemove(old, si)
+		sv.nChosen--
 		return
 	}
-	j := levelOf(len(c))
+	j := int32(levelOf(int(t.cover.n)))
 	if j == old {
 		return
 	}
-	delete(sv.levels[old], s)
-	if sv.levels[j] == nil {
-		sv.levels[j] = make(map[int]bool)
-	}
-	sv.levels[j][s] = true
-	sv.level[s] = j
-	for e := range c {
-		sv.bucketRemove(e, old)
-		sv.bucketAdd(e, j)
+	sv.levelRemove(old, si)
+	sv.levelAdd(j, si)
+	t.level = j
+	for _, ei := range sv.arena.view(t.cover) {
+		sv.bucketRemove(ei, old)
+		sv.bucketAdd(ei, j)
 	}
 }
 
 // chooseSetFor picks the set a newly uncovered element should be assigned
 // to: a chosen set containing it with the largest cover (stays closest to
 // the existing hierarchy), falling back to any containing set. Ties break on
-// smaller id for determinism.
-func (sv *Solver) chooseSetFor(e int) (int, bool) {
-	best, bestCov, found := 0, -1, false
-	for t := range sv.contains[e] {
-		if c := sv.cov[t]; c != nil {
-			if len(c) > bestCov || (len(c) == bestCov && t < best) {
-				best, bestCov, found = t, len(c), true
-			}
+// smaller external id for determinism.
+func (sv *Solver) chooseSetFor(ei int32) (int32, bool) {
+	cont := sv.arena.view(sv.elems[ei].contains)
+	best := int32(-1)
+	bestCov := int32(-1)
+	bestID := 0
+	for _, ti := range cont {
+		t := &sv.sets[ti]
+		if !t.chosen {
+			continue
+		}
+		if best < 0 || t.cover.n > bestCov || (t.cover.n == bestCov && t.id < bestID) {
+			best, bestCov, bestID = ti, t.cover.n, t.id
 		}
 	}
-	if found {
+	if best >= 0 {
 		return best, true
 	}
 	// No chosen set contains e: open the largest containing set.
-	bestSize := -1
-	for t := range sv.contains[e] {
-		if n := len(sv.sets[t]); n > bestSize || (n == bestSize && t < best) {
-			best, bestSize, found = t, n, true
+	bestSize := int32(-1)
+	for _, ti := range cont {
+		t := &sv.sets[ti]
+		if best < 0 || t.members.n > bestSize || (t.members.n == bestSize && t.id < bestID) {
+			best, bestSize, bestID = ti, t.members.n, t.id
 		}
 	}
-	return best, found
+	return best, best >= 0
 }
 
 // --- the four σ operations ---------------------------------------------------
@@ -306,35 +470,22 @@ func (sv *Solver) chooseSetFor(e int) (int, bool) {
 // φ is unchanged, but the new membership can violate stability (s may now
 // overlap a level too much), so STABILIZE runs.
 func (sv *Solver) AddSetMember(s, e int) {
-	sv.RegisterSet(s)
-	if sv.sets[s][e] {
+	si := sv.ensureSet(s)
+	ei := sv.ensureElem(e)
+	if !sv.arena.insert(&sv.sets[si].members, ei) {
 		return
 	}
-	sv.sets[s][e] = true
-	if sv.contains[e] == nil {
-		sv.contains[e] = make(map[int]bool)
-	}
-	sv.contains[e][s] = true
-	if sv.universe[e] {
-		if sv.orphans[e] {
+	sv.arena.insert(&sv.elems[ei].contains, si)
+	if sv.elems[ei].inU {
+		if sv.elems[ei].assign < 0 {
 			// The element finally became coverable.
-			delete(sv.orphans, e)
-			sv.assignTo(e, s)
-			sv.relevel(s)
-		} else if as, ok := sv.assign[e]; ok {
-			j := sv.level[as]
-			bs := sv.buckets[s]
-			if bs == nil {
-				bs = make(map[int]map[int]bool)
-				sv.buckets[s] = bs
-			}
-			if bs[j] == nil {
-				bs[j] = make(map[int]bool)
-			}
-			bs[j][e] = true
-			if len(bs[j]) >= 1<<(j+1) {
-				heap.Push(&sv.dirty, dirtyEntry{s, j})
-			}
+			sv.nOrphans--
+			sv.assignTo(ei, si)
+			sv.relevel(si)
+		} else {
+			// Only s's bucket grows: the element is already bucketed at its
+			// assigned level in every other containing set.
+			sv.bucketAddOne(si, ei, sv.sets[sv.elems[ei].assign].level)
 		}
 	}
 	sv.stabilize()
@@ -344,42 +495,34 @@ func (sv *Solver) AddSetMember(s, e int) {
 // assigned to s it is reassigned to another containing set (Lines 2–5 of
 // Algorithm 1), then STABILIZE runs.
 func (sv *Solver) RemoveSetMember(s, e int) {
-	if sv.sets[s] == nil || !sv.sets[s][e] {
+	si, ok := sv.setIdx[s]
+	if !ok {
 		return
 	}
-	wasAssigned := sv.universe[e] && !sv.orphans[e]
-	var j int
-	if wasAssigned {
-		j = sv.level[sv.assign[e]]
-	}
-	delete(sv.sets[s], e)
-	delete(sv.contains[e], s)
-	if len(sv.contains[e]) == 0 {
-		delete(sv.contains, e)
-	}
-	if !sv.universe[e] {
+	ei, ok := sv.elemIdx[e]
+	if !ok {
 		return
 	}
-	if sv.orphans[e] {
+	if !sv.arena.remove(&sv.sets[si].members, ei) {
 		return
 	}
+	sv.arena.remove(&sv.elems[ei].contains, si)
+	if !sv.elems[ei].inU || sv.elems[ei].assign < 0 {
+		return
+	}
+	j := sv.sets[sv.elems[ei].assign].level
 	// Drop e from s's buckets (membership is gone).
-	if bs := sv.buckets[s]; bs != nil {
-		if b := bs[j]; b != nil {
-			delete(b, e)
-			if len(b) == 0 {
-				delete(bs, j)
-			}
-		}
+	if t := &sv.sets[si]; int(j) < len(t.buckets) {
+		sv.arena.remove(&t.buckets[j], ei)
 	}
-	if sv.assign[e] == s {
-		old, _ := sv.unassign(e)
-		if s2, ok := sv.chooseSetFor(e); ok {
-			sv.assignTo(e, s2)
+	if sv.elems[ei].assign == si {
+		old, _ := sv.unassign(ei)
+		if s2, ok := sv.chooseSetFor(ei); ok {
+			sv.assignTo(ei, s2)
 			sv.relevel(s2)
 			sv.Reassignments++
 		} else {
-			sv.orphans[e] = true
+			sv.nOrphans++
 		}
 		sv.relevel(old)
 	}
@@ -389,15 +532,17 @@ func (sv *Solver) RemoveSetMember(s, e int) {
 // AddElement applies σ = (e, U, +): e joins the universe and is assigned to
 // a containing set.
 func (sv *Solver) AddElement(e int) {
-	if sv.universe[e] {
+	ei := sv.ensureElem(e)
+	if sv.elems[ei].inU {
 		return
 	}
-	sv.universe[e] = true
-	if s, ok := sv.chooseSetFor(e); ok {
-		sv.assignTo(e, s)
-		sv.relevel(s)
+	sv.elems[ei].inU = true
+	sv.nUniverse++
+	if si, ok := sv.chooseSetFor(ei); ok {
+		sv.assignTo(ei, si)
+		sv.relevel(si)
 	} else {
-		sv.orphans[e] = true
+		sv.nOrphans++
 	}
 	sv.stabilize()
 }
@@ -405,37 +550,54 @@ func (sv *Solver) AddElement(e int) {
 // RemoveElement applies σ = (e, U, −): e leaves the universe; its former
 // chosen set shrinks (and leaves C when emptied).
 func (sv *Solver) RemoveElement(e int) {
-	if !sv.universe[e] {
+	ei, ok := sv.elemIdx[e]
+	if !ok || !sv.elems[ei].inU {
 		return
 	}
-	delete(sv.universe, e)
-	if sv.orphans[e] {
-		delete(sv.orphans, e)
+	sv.elems[ei].inU = false
+	sv.nUniverse--
+	if sv.elems[ei].assign < 0 {
+		sv.nOrphans--
 		return
 	}
-	old, _ := sv.unassign(e)
+	old, _ := sv.unassign(ei)
 	sv.relevel(old)
 	sv.stabilize()
 }
 
 // DropSetIfEmpty unregisters a set that no longer has members (used after a
-// tuple deletion finished removing every membership of S(p)).
+// tuple deletion finished removing every membership of S(p)). The slot and
+// its storage are recycled.
 func (sv *Solver) DropSetIfEmpty(s int) bool {
-	if m, ok := sv.sets[s]; ok && len(m) == 0 {
-		delete(sv.sets, s)
-		delete(sv.buckets, s)
-		return true
+	si, ok := sv.setIdx[s]
+	if !ok || sv.sets[si].members.n != 0 {
+		return false
 	}
-	return false
+	t := &sv.sets[si]
+	// No members ⇒ no cover (cov ⊆ S) and all buckets empty (bucket ⊆ S);
+	// empties released their storage already, so only the directory resets.
+	t.buckets = t.buckets[:0]
+	t.id = -1
+	t.live = false
+	delete(sv.setIdx, s)
+	sv.freeSet = append(sv.freeSet, si)
+	return true
 }
 
 // ResetUniverse replaces the universe wholesale and rebuilds the solution
 // with GREEDY. FD-RMS initialization uses this while binary-searching the
 // sample size m (Algorithm 2, Lines 3–14).
 func (sv *Solver) ResetUniverse(elems []int) {
-	sv.universe = make(map[int]bool, len(elems))
+	for i := range sv.elems {
+		sv.elems[i].inU = false
+	}
+	sv.nUniverse = 0
 	for _, e := range elems {
-		sv.universe[e] = true
+		ei := sv.ensureElem(e)
+		if !sv.elems[ei].inU {
+			sv.elems[ei].inU = true
+			sv.nUniverse++
+		}
 	}
 	sv.Greedy()
 }
@@ -448,39 +610,49 @@ func (sv *Solver) ResetUniverse(elems []int) {
 // touched set. Each takeover strictly raises the level of the moved
 // elements, so the loop terminates (Lemma 2).
 //
-// Candidates are queued by bucketAdd from map iteration, so when several
-// violations coexist the queue order is arbitrary — but takeover order
-// picks which of multiple valid stable solutions we land on. Selecting the
-// smallest (level, set) violation each round makes the whole solver a
+// Takeover order picks which of multiple valid stable solutions we land on;
+// selecting the smallest (level, set id) violation each round — and moving
+// its elements in ascending element id — makes the whole solver a
 // deterministic function of its operation sequence, which the batched
 // update path (and its equivalence tests) relies on.
 func (sv *Solver) stabilize() {
 	for len(sv.dirty) > 0 {
-		d := heap.Pop(&sv.dirty).(dirtyEntry)
-		b := sv.buckets[d.set][d.level]
-		if len(b) < 1<<(d.level+1) {
+		d := sv.popDirty()
+		t := &sv.sets[d.set]
+		var b span
+		if int(d.level) < len(t.buckets) {
+			b = t.buckets[d.level]
+		}
+		if int(b.n) < 1<<(d.level+1) {
 			continue // stale entry
 		}
 		sv.Takeovers++
-		// Take over every element of S ∩ A_j.
-		moved := make([]int, 0, len(b))
-		for e := range b {
-			moved = append(moved, e)
-		}
-		sort.Ints(moved) // determinism
-		touched := make(map[int]bool)
-		for _, e := range moved {
-			if sv.assign[e] == d.set {
+		// Take over every element of S ∩ A_j, in ascending element id.
+		moved := append(sv.moved[:0], sv.arena.view(b)...)
+		slices.SortFunc(moved, func(x, y int32) int {
+			return cmp.Compare(sv.elems[x].id, sv.elems[y].id)
+		})
+		touched := sv.touched[:0]
+		for _, ei := range moved {
+			if sv.elems[ei].assign == d.set {
 				continue
 			}
-			old, _ := sv.unassign(e)
-			touched[old] = true
-			sv.assignTo(e, d.set)
+			old, _ := sv.unassign(ei)
+			touched = append(touched, old)
+			sv.assignTo(ei, d.set)
 		}
+		sv.moved = moved[:0]
 		sv.relevel(d.set)
-		for s := range touched {
-			sv.relevel(s)
+		slices.Sort(touched)
+		prev := int32(-1)
+		for _, si := range touched {
+			if si == prev {
+				continue
+			}
+			prev = si
+			sv.relevel(si)
 		}
+		sv.touched = touched[:0]
 	}
 }
 
@@ -491,79 +663,118 @@ func (sv *Solver) stabilize() {
 // to the level matching its cover size. Lemma 1 guarantees the result is
 // stable. Orphan elements (contained in no set) are skipped.
 func (sv *Solver) Greedy() {
-	sv.assign = make(map[int]int)
-	sv.cov = make(map[int]map[int]bool)
-	sv.level = make(map[int]int)
-	sv.levels = make(map[int]map[int]bool)
-	sv.buckets = make(map[int]map[int]map[int]bool)
-	sv.orphans = make(map[int]bool)
-	sv.dirty = nil
-
-	// Uncovered-count per set, restricted to the universe.
-	counts := make(map[int]int)
-	for s, members := range sv.sets {
-		n := 0
-		for e := range members {
-			if sv.universe[e] {
-				n++
-			}
-		}
-		if n > 0 {
-			counts[s] = n
-		}
-	}
-	uncovered := make(map[int]bool, len(sv.universe))
-	for e := range sv.universe {
-		if len(sv.contains[e]) == 0 {
-			sv.orphans[e] = true
+	// Discard the current solution, releasing cover and bucket storage.
+	for i := range sv.sets {
+		t := &sv.sets[i]
+		if !t.live {
 			continue
 		}
-		uncovered[e] = true
+		sv.arena.freeSpan(&t.cover)
+		for j := range t.buckets {
+			sv.arena.freeSpan(&t.buckets[j])
+		}
+		t.buckets = t.buckets[:0]
+		t.chosen = false
+		t.level = 0
+	}
+	for i := range sv.elems {
+		sv.elems[i].assign = -1
+	}
+	for j := range sv.levels {
+		sv.levels[j] = sv.levels[j][:0]
+	}
+	sv.nChosen = 0
+	sv.nOrphans = 0
+	sv.dirty = sv.dirty[:0]
+
+	// Uncovered-count per set, restricted to the universe.
+	counts := sv.counts
+	if cap(counts) < len(sv.sets) {
+		counts = make([]int32, len(sv.sets))
+	}
+	counts = counts[:len(sv.sets)]
+	clear(counts)
+	// cand holds exactly the set slots with a nonzero uncovered count and
+	// shrinks as rounds zero them out, so each greedy round scans the live
+	// candidates rather than every registered slot (at bench scale one slot
+	// exists per tuple while only the Φ-transpose of the m-element universe
+	// can cover anything).
+	cand := sv.touched[:0]
+	remaining := 0
+	for i := range sv.elems {
+		el := &sv.elems[i]
+		if !el.inU {
+			continue
+		}
+		if el.contains.n == 0 {
+			sv.nOrphans++
+			continue
+		}
+		remaining++
+		for _, ti := range sv.arena.view(el.contains) {
+			if counts[ti] == 0 {
+				cand = append(cand, ti)
+			}
+			counts[ti]++
+		}
 	}
 
-	for len(uncovered) > 0 {
-		best, bestCount := 0, 0
-		for s, n := range counts {
-			if n > bestCount || (n == bestCount && n > 0 && s < best) {
-				best, bestCount = s, n
+	for remaining > 0 {
+		best := int32(-1)
+		bestCount := int32(0)
+		bestID := 0
+		w := 0
+		for _, i := range cand {
+			n := counts[i]
+			if n == 0 {
+				continue // exhausted in an earlier round; drop from cand
+			}
+			cand[w] = i
+			w++
+			if n > bestCount || (n == bestCount && sv.sets[i].id < bestID) {
+				best, bestCount, bestID = i, n, sv.sets[i].id
 			}
 		}
-		if bestCount == 0 {
+		cand = cand[:w]
+		if best < 0 {
 			break // only orphans remain (unreachable: orphans were excluded)
 		}
-		covered := make([]int, 0, bestCount)
-		for e := range sv.sets[best] {
-			if uncovered[e] {
-				covered = append(covered, e)
+		covered := sv.moved[:0]
+		for _, ei := range sv.arena.view(sv.sets[best].members) {
+			el := &sv.elems[ei]
+			if el.inU && el.assign < 0 && el.contains.n > 0 {
+				covered = append(covered, ei)
 			}
 		}
-		sort.Ints(covered)
-		c := make(map[int]bool, len(covered))
-		for _, e := range covered {
-			c[e] = true
-			sv.assign[e] = best
-			delete(uncovered, e)
-			for t := range sv.contains[e] {
-				if counts[t] > 0 {
-					counts[t]--
-					if counts[t] == 0 {
-						delete(counts, t)
-					}
+		slices.SortFunc(covered, func(x, y int32) int {
+			return cmp.Compare(sv.elems[x].id, sv.elems[y].id)
+		})
+		t := &sv.sets[best]
+		t.chosen = true
+		sv.nChosen++
+		for _, ei := range covered {
+			sv.elems[ei].assign = best
+			sv.arena.insert(&t.cover, ei)
+			remaining--
+			for _, ti := range sv.arena.view(sv.elems[ei].contains) {
+				if counts[ti] > 0 {
+					counts[ti]--
 				}
 			}
 		}
-		sv.cov[best] = c
-		j := levelOf(len(c))
-		sv.level[best] = j
-		if sv.levels[j] == nil {
-			sv.levels[j] = make(map[int]bool)
-		}
-		sv.levels[j][best] = true
+		j := int32(levelOf(int(t.cover.n)))
+		t.level = j
+		sv.levelAdd(j, best)
+		sv.moved = covered[:0]
 	}
+	sv.counts = counts[:0]
+	sv.touched = cand[:0]
 
 	// Rebuild buckets from the fresh assignment.
-	for e, s := range sv.assign {
-		sv.bucketAdd(e, sv.level[s])
+	for i := range sv.elems {
+		if si := sv.elems[i].assign; si >= 0 {
+			sv.bucketAdd(int32(i), sv.sets[si].level)
+		}
 	}
 	// Greedy solutions are stable (Lemma 1), but bucketAdd may have queued
 	// candidates; clear them through the standard check for safety.
@@ -577,71 +788,91 @@ func (sv *Solver) Greedy() {
 // for tests and debugging; it runs in O(total membership) time.
 func (sv *Solver) CheckStable() error {
 	// Every non-orphan universe element is assigned to a containing chosen set.
-	for e := range sv.universe {
-		if sv.orphans[e] {
-			if len(sv.contains[e]) != 0 {
-				return fmt.Errorf("orphan %d is contained in %d sets", e, len(sv.contains[e]))
+	orphans := 0
+	for i := range sv.elems {
+		el := &sv.elems[i]
+		if !el.inU {
+			if el.assign >= 0 {
+				return fmt.Errorf("element %d assigned but outside the universe", el.id)
 			}
 			continue
 		}
-		s, ok := sv.assign[e]
-		if !ok {
-			return fmt.Errorf("universe element %d unassigned", e)
+		if el.assign < 0 {
+			if el.contains.n != 0 {
+				return fmt.Errorf("universe element %d unassigned", el.id)
+			}
+			orphans++
+			continue
 		}
-		if !sv.sets[s][e] {
-			return fmt.Errorf("element %d assigned to set %d that does not contain it", e, s)
+		si := el.assign
+		if !sv.arena.has(sv.sets[si].members, int32(i)) {
+			return fmt.Errorf("element %d assigned to set %d that does not contain it", el.id, sv.sets[si].id)
 		}
-		if !sv.cov[s][e] {
-			return fmt.Errorf("element %d missing from cov(%d)", e, s)
+		if !sv.arena.has(sv.sets[si].cover, int32(i)) {
+			return fmt.Errorf("element %d missing from cov(%d)", el.id, sv.sets[si].id)
 		}
 	}
+	if orphans != sv.nOrphans {
+		return fmt.Errorf("orphan count drift: counted %d, maintained %d", orphans, sv.nOrphans)
+	}
 	// Covers partition the assigned elements.
-	seen := make(map[int]int)
-	for s, c := range sv.cov {
-		if len(c) == 0 {
-			return fmt.Errorf("chosen set %d has empty cover", s)
+	chosen := 0
+	for i := range sv.sets {
+		t := &sv.sets[i]
+		if !t.live || !t.chosen {
+			continue
 		}
-		for e := range c {
-			if prev, dup := seen[e]; dup {
-				return fmt.Errorf("element %d covered by both %d and %d", e, prev, s)
-			}
-			seen[e] = s
-			if sv.assign[e] != s {
-				return fmt.Errorf("cov(%d) holds %d but φ(%d) = %d", s, e, e, sv.assign[e])
+		chosen++
+		c := int(t.cover.n)
+		if c == 0 {
+			return fmt.Errorf("chosen set %d has empty cover", t.id)
+		}
+		for _, ei := range sv.arena.view(t.cover) {
+			if sv.elems[ei].assign != int32(i) {
+				return fmt.Errorf("cov(%d) holds %d but φ(%d) = %d", t.id, sv.elems[ei].id, sv.elems[ei].id, sv.elems[ei].assign)
 			}
 		}
 		// Condition (1): level matches cover size.
-		j := sv.level[s]
-		if len(c) < 1<<j || len(c) >= 1<<(j+1) {
-			return fmt.Errorf("set %d at level %d has |cov| = %d", s, j, len(c))
+		j := t.level
+		if c < 1<<j || c >= 1<<(j+1) {
+			return fmt.Errorf("set %d at level %d has |cov| = %d", t.id, j, c)
 		}
-		if !sv.levels[j][s] {
-			return fmt.Errorf("set %d missing from levels[%d]", s, j)
+		if !sv.levelHas(j, int32(i)) {
+			return fmt.Errorf("set %d missing from levels[%d]", t.id, j)
 		}
 	}
-	// Condition (2): no set can take over a level.
-	levelElems := make(map[int]map[int]bool)
-	for e, s := range sv.assign {
-		j := sv.level[s]
-		if levelElems[j] == nil {
-			levelElems[j] = make(map[int]bool)
-		}
-		levelElems[j][e] = true
+	if chosen != sv.nChosen {
+		return fmt.Errorf("chosen count drift: counted %d, maintained %d", chosen, sv.nChosen)
 	}
-	for s, members := range sv.sets {
-		perLevel := make(map[int]int)
-		for e := range members {
-			if as, ok := sv.assign[e]; ok {
-				perLevel[sv.level[as]]++
+	// Condition (2): no set can take over a level; cross-check the
+	// maintained buckets against a fresh per-level count of S ∩ A_j.
+	for i := range sv.sets {
+		t := &sv.sets[i]
+		if !t.live {
+			continue
+		}
+		var perLevel [64]int
+		maxJ := len(t.buckets) - 1 // also sweep maintained buckets beyond maxJ for stale entries
+		for _, ei := range sv.arena.view(t.members) {
+			if si := sv.elems[ei].assign; si >= 0 {
+				j := int(sv.sets[si].level)
+				perLevel[j]++
+				if j > maxJ {
+					maxJ = j
+				}
 			}
 		}
-		for j, n := range perLevel {
+		for j := 0; j <= maxJ; j++ {
+			n := perLevel[j]
 			if n >= 1<<(j+1) {
-				return fmt.Errorf("instability: |S_%d ∩ A_%d| = %d >= %d", s, j, n, 1<<(j+1))
+				return fmt.Errorf("instability: |S_%d ∩ A_%d| = %d >= %d", t.id, j, n, 1<<(j+1))
 			}
-			// Cross-check the maintained buckets.
-			if got := len(sv.buckets[s][j]); got != n {
-				return fmt.Errorf("bucket drift for set %d level %d: bucket %d, actual %d", s, j, got, n)
+			got := 0
+			if j < len(t.buckets) {
+				got = int(t.buckets[j].n)
+			}
+			if got != n {
+				return fmt.Errorf("bucket drift for set %d level %d: bucket %d, actual %d", t.id, j, got, n)
 			}
 		}
 	}

@@ -10,25 +10,58 @@ import (
 // buildSystem registers sets from a map of set id -> elements.
 func buildSystem(sv *Solver, sets map[int][]int, universe []int) {
 	for s, elems := range sets {
-		sv.RegisterSet(s)
+		si := sv.ensureSet(s)
 		for _, e := range elems {
 			// Membership registration without universe side effects first.
-			sv.sets[s][e] = true
-			if sv.contains[e] == nil {
-				sv.contains[e] = make(map[int]bool)
+			ei := sv.ensureElem(e)
+			if sv.arena.insert(&sv.sets[si].members, ei) {
+				sv.arena.insert(&sv.elems[ei].contains, si)
 			}
-			sv.contains[e][s] = true
 		}
 	}
 	for _, e := range universe {
-		sv.universe[e] = true
+		ei := sv.ensureElem(e)
+		if !sv.elems[ei].inU {
+			sv.elems[ei].inU = true
+			sv.nUniverse++
+		}
 	}
+}
+
+// universeIDs returns the external ids of the current universe (test helper).
+func (sv *Solver) universeIDs() []int {
+	out := make([]int, 0, sv.nUniverse)
+	for i := range sv.elems {
+		if sv.elems[i].inU {
+			out = append(out, sv.elems[i].id)
+		}
+	}
+	return out
+}
+
+// isOrphan reports whether external element e is an orphan (test helper).
+func (sv *Solver) isOrphan(e int) bool {
+	ei, ok := sv.elemIdx[e]
+	return ok && sv.orphan(ei)
+}
+
+// containsN returns |{S : e ∈ S}| for external element e (test helper).
+func (sv *Solver) containsN(e int) int {
+	if ei, ok := sv.elemIdx[e]; ok {
+		return int(sv.elems[ei].contains.n)
+	}
+	return 0
+}
+
+// levelOfSet returns the level of a chosen set (test helper).
+func (sv *Solver) levelOfSet(s int) int {
+	return int(sv.sets[sv.setIdx[s]].level)
 }
 
 func checkCovered(t *testing.T, sv *Solver) {
 	t.Helper()
-	for e := range sv.universe {
-		if sv.orphans[e] {
+	for _, e := range sv.universeIDs() {
+		if sv.isOrphan(e) {
 			continue
 		}
 		if _, ok := sv.AssignedSet(e); !ok {
@@ -66,8 +99,8 @@ func TestGreedySimple(t *testing.T) {
 		t.Fatalf("solution = %v, want [4]", sv.Solution())
 	}
 	checkCovered(t, sv)
-	if sv.level[4] != 2 { // |cov| = 5 -> level 2
-		t.Fatalf("level of set 4 = %d, want 2", sv.level[4])
+	if sv.levelOfSet(4) != 2 { // |cov| = 5 -> level 2
+		t.Fatalf("level of set 4 = %d, want 2", sv.levelOfSet(4))
 	}
 }
 
@@ -173,7 +206,7 @@ func TestStableApproximationBoundQuick(t *testing.T) {
 		}
 		coverable := make([]int, 0, m)
 		for _, e := range universe {
-			if len(sv.contains[e]) > 0 {
+			if sv.containsN(e) > 0 {
 				coverable = append(coverable, e)
 			}
 		}
@@ -422,8 +455,8 @@ func TestRandomOpsStableQuick(t *testing.T) {
 				return false
 			}
 			// Coverage of non-orphans.
-			for u := range sv.universe {
-				if !sv.orphans[u] {
+			for _, u := range sv.universeIDs() {
+				if !sv.isOrphan(u) {
 					if _, ok := sv.AssignedSet(u); !ok {
 						return false
 					}

@@ -17,11 +17,12 @@ func nopEmit(Op, []Change) {}
 // tuples whose membership set empties and refills, map bucket movements,
 // and occasional index rebuild growth. Empirically a delete+reinsert cycle
 // costs ~0.5 allocations per operation (measured on the seed workload
-// below; dominated by S(p) fragments of re-admitted tuples); the bound
-// leaves headroom for map-internal variance but fails loudly if per-op
-// allocation returns to the query path (which alone used to cost hundreds
-// per op).
-const maxApplyBatchAllocsPerOp = 4.0
+// below; dominated by S(p) fragments of re-admitted tuples). The budget was
+// 4.0 while the set-cover layer still allocated; with the whole pipeline on
+// reused storage it is pinned at 1.5 — loose enough for map-internal
+// variance, tight enough that any per-op allocation creeping back into the
+// maintenance path (which alone used to cost hundreds per op) fails loudly.
+const maxApplyBatchAllocsPerOp = 1.5
 
 func TestApplyBatchSteadyStateAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
@@ -75,10 +76,12 @@ func TestSequentialSteadyStateAllocs(t *testing.T) {
 	})
 	t.Logf("sequential delete+insert pair: %.1f allocs", allocs)
 	// Two ops per run, plus the caller-owned change groups the wrappers
-	// return; budget mirrors maxApplyBatchAllocsPerOp with the wrapper's
-	// closure and result copies on top.
-	if allocs > 4*maxApplyBatchAllocsPerOp {
-		t.Fatalf("sequential pair allocates %.1f, budget %.1f", allocs, 4*maxApplyBatchAllocsPerOp)
+	// return (one backing slice per run) and the wrapper closures; measured
+	// at 6.0 on the seed workload, budgeted with headroom for map-internal
+	// variance.
+	const maxSequentialPairAllocs = 9.0
+	if allocs > maxSequentialPairAllocs {
+		t.Fatalf("sequential pair allocates %.1f, budget %.1f", allocs, maxSequentialPairAllocs)
 	}
 }
 

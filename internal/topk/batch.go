@@ -45,7 +45,6 @@ package topk
 import (
 	"cmp"
 	"slices"
-	"sync"
 
 	"fdrms/internal/geom"
 	"fdrms/internal/kdtree"
@@ -438,7 +437,9 @@ func (e *Engine) deleteLive(id int) []Change {
 // identical either way: workers only touch their own shard and result
 // slot. Exactly one of insRun/delRun carries the run; the flag-based
 // dispatch (rather than callbacks) keeps the inline single-op path free of
-// closure allocations.
+// closure allocations. Parallel phases dispatch to the engine's persistent
+// per-shard worker pool (see pool.go), started lazily on the first phase
+// that goes parallel; after Close every phase runs inline.
 func (e *Engine) runPhase(del bool, insRun []insOp, delRun []Op, base uint64, runPos map[int]int, total int) {
 	active := 0
 	for s := range e.shards {
@@ -446,7 +447,7 @@ func (e *Engine) runPhase(del bool, insRun []insOp, delRun []Op, base uint64, ru
 			active++
 		}
 	}
-	if active <= 1 || total < parallelMinTasks {
+	if active <= 1 || total < parallelMinTasks || !e.ensurePool() {
 		for s := range e.shards {
 			if e.phaseTasks(del, s) > 0 {
 				e.phaseWork(del, s, insRun, delRun, base, runPos)
@@ -454,18 +455,15 @@ func (e *Engine) runPhase(del bool, insRun []insOp, delRun []Op, base uint64, ru
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	e.pool.wg.Add(active)
+	job := phaseJob{del: del, insRun: insRun, delRun: delRun, base: base, runPos: runPos}
 	for s := range e.shards {
 		if e.phaseTasks(del, s) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			e.phaseWork(del, s, insRun, delRun, base, runPos)
-		}(s)
+		e.pool.jobs[s] <- job
 	}
-	wg.Wait()
+	e.pool.wg.Wait()
 }
 
 // phaseTasks returns the task count of shard s for the phase kind.

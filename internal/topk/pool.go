@@ -1,0 +1,85 @@
+// Persistent per-shard worker pool for the batched update path.
+//
+// ApplyBatch used to spawn one goroutine per shard per parallel run, paying
+// goroutine creation and stack setup on every run — a fixed tax that the
+// fan-out only amortizes on large phases. The pool replaces that with one
+// LONG-LIVED goroutine per shard, created lazily the first time a run
+// actually goes parallel and parked on a per-shard job channel between
+// phases. Dispatching a phase is then one channel send per active shard and
+// one shared WaitGroup wait, with no allocation and no scheduler churn
+// beyond waking parked goroutines.
+//
+// Worker s only ever touches shard s and its result slot — exactly the
+// footprint of the goroutines it replaces — so the memory model of the
+// phase is unchanged: the channel send happens-before the worker's reads,
+// and the worker's writes happen-before wg.Wait returns.
+//
+// Close tears the pool down (idempotent, safe if the pool never started).
+// A closed engine falls back to inline phase execution rather than
+// panicking, so read paths and stray late batches keep working.
+package topk
+
+import "sync"
+
+// phaseJob describes one parallel phase dispatch to a shard worker.
+// Exactly one of insRun/delRun is non-nil, mirroring runPhase.
+type phaseJob struct {
+	del    bool
+	insRun []insOp
+	delRun []Op
+	base   uint64
+	runPos map[int]int
+}
+
+// pool is the engine's persistent worker pool. Fields are written by the
+// engine's single writer; the channels carry the cross-goroutine handoff.
+type pool struct {
+	jobs    []chan phaseJob // one per shard, buffered(1)
+	wg      sync.WaitGroup  // counts in-flight shard jobs of the current phase
+	started bool
+	closed  bool
+}
+
+// ensurePool lazily starts one worker per shard on first parallel use.
+func (e *Engine) ensurePool() bool {
+	if e.pool.closed {
+		return false
+	}
+	if !e.pool.started {
+		e.pool.jobs = make([]chan phaseJob, len(e.shards))
+		for s := range e.pool.jobs {
+			e.pool.jobs[s] = make(chan phaseJob, 1)
+			go e.shardWorker(s)
+		}
+		e.pool.started = true
+	}
+	return true
+}
+
+// shardWorker is the long-lived goroutine of shard s: it drains phase jobs
+// until the engine closes its channel.
+func (e *Engine) shardWorker(s int) {
+	for job := range e.pool.jobs[s] {
+		e.phaseWork(job.del, s, job.insRun, job.delRun, job.base, job.runPos)
+		e.pool.wg.Done()
+	}
+}
+
+// Close tears down the worker pool. It is idempotent, safe to call on an
+// engine whose pool never started, and must not race a concurrent
+// ApplyBatch (the engine is single-writer by contract). After Close the
+// engine remains fully usable; parallel phases simply run inline.
+func (e *Engine) Close() {
+	if e.pool.closed {
+		return
+	}
+	e.pool.closed = true
+	if !e.pool.started {
+		return
+	}
+	for _, ch := range e.pool.jobs {
+		close(ch)
+	}
+	e.pool.jobs = nil
+	e.pool.started = false
+}

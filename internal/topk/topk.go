@@ -169,6 +169,11 @@ type Engine struct {
 	shardBlock int // utilities per contiguous id block
 	numUtils   int
 
+	// pool is the persistent per-shard worker fleet of the batched update
+	// path (see pool.go): started lazily by the first parallel phase, torn
+	// down by Close.
+	pool pool
+
 	// Per-phase scratch, reused across operations so steady-state batches
 	// (and the single-op wrappers, which are one-element batches) allocate
 	// only for genuine state growth and the emitted change groups. Guarded

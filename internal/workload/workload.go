@@ -138,6 +138,7 @@ func RunFDRMS(w *Workload, cfg core.Config) (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
 	stats := &RunStats{Algorithm: "FD-RMS", TotalOps: len(w.Ops)}
 	var total time.Duration
 	next := 0

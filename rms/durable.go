@@ -1,8 +1,10 @@
 package rms
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fdrms/internal/core"
@@ -28,6 +30,23 @@ type DurableOptions struct {
 	// new one is written (default 2: the newest plus one fallback should the
 	// newest turn out corrupt on recovery).
 	KeepCheckpoints int
+
+	// CheckpointEveryOps runs an automatic Checkpoint once at least this
+	// many operations have been applied since the last checkpoint (manual
+	// or automatic). Zero disables the op-count trigger. The checkpoint runs
+	// synchronously in the goroutine of the write that crossed the
+	// threshold, after that write's batch is applied and outside the writer
+	// lock — concurrent writers keep flowing, and a checkpoint failure is
+	// returned by the triggering write wrapped in ErrAutoCheckpoint (the
+	// write itself is already durable and applied; do not retry it).
+	CheckpointEveryOps int
+
+	// CheckpointInterval runs an automatic Checkpoint when this much time
+	// has passed since the last one, checked as writes complete (the store
+	// runs no background timer: a quiescent store stays untouched, which
+	// also means a lone write after a long idle stretch is what triggers the
+	// catch-up checkpoint). Zero disables the time trigger.
+	CheckpointInterval time.Duration
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -66,6 +85,15 @@ type DurableStore struct {
 	closed bool
 
 	ops []topk.Op // reusable batch-conversion scratch; guarded by wmu
+
+	// Auto-checkpoint state (see DurableOptions.CheckpointEveryOps /
+	// CheckpointInterval). opsSinceCkpt and lastCkpt are guarded by wmu;
+	// ckptBusy keeps concurrent triggering writers from stacking redundant
+	// checkpoints (the loser simply skips — the winner's checkpoint covers
+	// its batch too, since Checkpoint captures after syncing the log).
+	opsSinceCkpt int
+	lastCkpt     time.Time
+	ckptBusy     atomic.Bool
 }
 
 // OpenDurable opens (or creates) a durable store rooted at dir.
@@ -87,7 +115,10 @@ func OpenDurable(dir string, dim int, initial []Point, opts Options, dopts Durab
 	if err != nil {
 		return nil, err
 	}
-	ds := &DurableStore{dir: dir, opt: dopts}
+	// The interval trigger counts from open: a fresh store just wrote (or is
+	// about to write) its genesis checkpoint, and a recovered one replays
+	// onto a checkpoint it only just loaded.
+	ds := &DurableStore{dir: dir, opt: dopts, lastCkpt: time.Now()}
 	logOpts := wal.Options{
 		SegmentBytes:    dopts.SegmentBytes,
 		SyncEveryAppend: dopts.SyncEveryBatch,
@@ -130,6 +161,7 @@ func OpenDurable(dir string, dim int, initial []Point, opts Options, dopts Durab
 	}
 	ds.log, err = wal.Open(dir, logOpts)
 	if err != nil {
+		f.Close()
 		return nil, err
 	}
 	// Coalesced replay with the built-in continuity guard: batching is
@@ -139,17 +171,28 @@ func OpenDurable(dir string, dim int, initial []Point, opts Options, dopts Durab
 	// back past a damaged newer checkpoint after manual file surgery, since
 	// Checkpoint itself prunes only up to the OLDEST retained checkpoint —
 	// must fail loudly rather than silently skip acknowledged updates.
+	replayed := 0
 	replayErr := ds.log.ReplayBatched(seq, replayBatchOps, func(ops []topk.Op) error {
 		f.ApplyBatch(ops)
+		replayed += len(ops)
 		return nil
 	})
 	if replayErr != nil {
+		// Replay may already have started the engine's shard worker pool;
+		// release it so a caller retrying OpenDurable does not accumulate
+		// parked goroutines pinning the discarded structure.
+		f.Close()
 		ds.log.Close()
 		return nil, fmt.Errorf("rms: replaying log after checkpoint %d: %w", seq, replayErr)
 	}
 	// All segments before the checkpoint may have been pruned; keep the seq
 	// numbering monotonic regardless.
 	ds.log.EnsureNextSeq(seq + 1)
+	// The replayed tail counts toward CheckpointEveryOps: those operations
+	// are applied but not yet covered by any checkpoint, so a store that
+	// keeps crashing short of the threshold still checkpoints on the first
+	// write after recovery instead of growing its replay window per run.
+	ds.opsSinceCkpt = replayed
 	ds.store = NewStoreFrom(&Dynamic{f: f, dim: snap.Dim})
 	return ds, nil
 }
@@ -168,6 +211,15 @@ func HasDurableState(dir string) (bool, error) { return wal.HasState(dir) }
 // errClosed is returned by writes against a closed store.
 var errClosed = fmt.Errorf("rms: durable store is closed")
 
+// ErrAutoCheckpoint wraps a checkpoint failure surfaced by the write that
+// triggered it. The write ITSELF succeeded — it is logged, synced per the
+// configured policy, and applied — so callers must NOT retry the batch on
+// this error (FD-RMS state is path-dependent; a double-applied batch
+// changes the answer). Detect it with errors.Is(err, rms.ErrAutoCheckpoint)
+// and handle the checkpoint failure out of band (retry Checkpoint, free
+// disk space, alert).
+var ErrAutoCheckpoint = errors.New("rms: auto-checkpoint failed (the triggering write was applied)")
+
 // Insert durably adds a tuple (replacing any live tuple with the same ID):
 // the update is logged, synced per the configured policy, and then applied.
 func (ds *DurableStore) Insert(p Point) error {
@@ -177,15 +229,12 @@ func (ds *DurableStore) Insert(p Point) error {
 // Delete durably removes the tuple with the given ID. Deleting an unknown ID
 // is a no-op and is not logged.
 func (ds *DurableStore) Delete(id int) error {
-	ds.wmu.Lock()
-	defer ds.wmu.Unlock()
-	if ds.closed {
-		return errClosed
-	}
-	if !ds.store.Contains(id) {
-		return nil
-	}
-	return ds.applyLocked([]Update{Del(id)})
+	return ds.durableWrite(func() (bool, error) {
+		if !ds.store.Contains(id) {
+			return false, nil
+		}
+		return true, ds.applyLocked([]Update{Del(id)})
+	})
 }
 
 // ApplyBatch durably applies the updates in order: the whole batch becomes
@@ -193,15 +242,86 @@ func (ds *DurableStore) Delete(id int) error {
 // applied through the store's batched path. The batch is validated before
 // anything is logged, so a rejected batch leaves no trace.
 func (ds *DurableStore) ApplyBatch(batch []Update) error {
-	ds.wmu.Lock()
-	defer ds.wmu.Unlock()
-	if ds.closed {
-		return errClosed
+	return ds.durableWrite(func() (bool, error) {
+		if len(batch) == 0 {
+			return false, nil
+		}
+		return true, ds.applyLocked(batch)
+	})
+}
+
+// durableWrite runs one write under wmu (with a deferred unlock, so a panic
+// in the apply path cannot wedge the store for a caller that recovers) and
+// then the auto-checkpoint protocol. locked screens its input and reports
+// whether anything was applied; screens that report false never trigger a
+// checkpoint.
+func (ds *DurableStore) durableWrite(locked func() (bool, error)) error {
+	err, trigger := func() (error, bool) {
+		ds.wmu.Lock()
+		defer ds.wmu.Unlock()
+		if ds.closed {
+			return errClosed, false
+		}
+		applied, err := locked()
+		return err, err == nil && applied && ds.autoCheckpointDueLocked()
+	}()
+	if !trigger {
+		return err
 	}
-	if len(batch) == 0 {
+	return ds.runAutoCheckpoint()
+}
+
+// autoCheckpointDueLocked reports whether a configured auto-checkpoint
+// trigger has fired; wmu must be held.
+func (ds *DurableStore) autoCheckpointDueLocked() bool {
+	return (ds.opt.CheckpointEveryOps > 0 && ds.opsSinceCkpt >= ds.opt.CheckpointEveryOps) ||
+		(ds.opt.CheckpointInterval > 0 && time.Since(ds.lastCkpt) >= ds.opt.CheckpointInterval)
+}
+
+// runAutoCheckpoint runs the triggered checkpoint synchronously in the
+// crossing writer's goroutine, outside wmu — concurrent writers keep
+// flowing, and at most one auto-checkpoint runs at a time (a losing racer
+// simply skips: the winner's checkpoint covers its batch too, since
+// Checkpoint syncs the log before capturing). The write itself is already
+// applied and durable per the sync policy; a checkpoint error is surfaced
+// to the triggering caller.
+func (ds *DurableStore) runAutoCheckpoint() error {
+	if !ds.ckptBusy.CompareAndSwap(false, true) {
 		return nil
 	}
-	return ds.applyLocked(batch)
+	defer ds.ckptBusy.Store(false)
+	for pass := 0; ; pass++ {
+		_, err := ds.Checkpoint()
+		if err == errClosed {
+			// A concurrent Close won the race; the write itself is applied
+			// and logged, so it still reports success.
+			return nil
+		}
+		if err != nil {
+			// Wrapped so callers can tell "write applied, checkpoint
+			// failed" from a failed write — retrying the batch would apply
+			// it twice.
+			return fmt.Errorf("%w: %w", ErrAutoCheckpoint, err)
+		}
+		// Writers that crossed the threshold while this checkpoint was on
+		// disk lost the ckptBusy race and skipped; their operations re-armed
+		// the trigger, so run ONE catch-up pass — otherwise a store that
+		// quiesces right after a concurrent burst would sit past its
+		// configured bound until the next write. The catch-up is bounded
+		// (and requires uncovered ops): under sustained concurrent load the
+		// trigger re-arms continuously, and an unbounded loop would pin the
+		// triggering writer in back-to-back checkpoints forever — later
+		// writes take over instead.
+		if pass >= 1 {
+			return nil
+		}
+		ds.wmu.Lock()
+		due := ds.opsSinceCkpt > 0 && ds.autoCheckpointDueLocked()
+		ds.wmu.Unlock()
+		if !due {
+			return nil
+		}
+	}
 }
 
 // applyLocked logs then applies one batch; wmu must be held. The batch is
@@ -225,6 +345,7 @@ func (ds *DurableStore) applyLocked(batch []Update) error {
 		return err
 	}
 	ds.store.applyOps(ds.ops)
+	ds.opsSinceCkpt += len(ds.ops)
 	return nil
 }
 
@@ -235,27 +356,67 @@ func (ds *DurableStore) applyLocked(batch []Update) error {
 // released, so concurrent ingestion resumes immediately and readers are
 // never blocked. Returns the WAL seq the checkpoint covers.
 func (ds *DurableStore) Checkpoint() (uint64, error) {
-	ds.wmu.Lock()
-	if ds.closed {
-		ds.wmu.Unlock()
-		return 0, errClosed
-	}
-	// The log is synced BEFORE the capture: the checkpoint claims to cover
-	// seq, so every batch up to seq must be at least as durable as the
-	// checkpoint that supersedes it.
-	if err := ds.log.Sync(); err != nil {
-		ds.wmu.Unlock()
+	var (
+		seq      uint64
+		snap     *core.Snapshot
+		prevOps  int
+		prevTime time.Time
+		myStamp  time.Time
+	)
+	// The locked capture runs under a deferred unlock so a panic anywhere in
+	// the capture (engine invariants, snapshot encoding growth) cannot wedge
+	// the store for a caller that recovers.
+	if err := func() error {
+		ds.wmu.Lock()
+		defer ds.wmu.Unlock()
+		if ds.closed {
+			return errClosed
+		}
+		// The log is synced BEFORE the capture: the checkpoint claims to
+		// cover seq, so every batch up to seq must be at least as durable as
+		// the checkpoint that supersedes it.
+		if err := ds.log.Sync(); err != nil {
+			return err
+		}
+		// Reset the auto-checkpoint triggers at capture time — operations
+		// applied while the snapshot is being written to disk are NOT
+		// covered by it and must count toward the next one. The pre-reset
+		// values are remembered so a failed write restores them: a
+		// checkpoint that never hit disk must not silence the triggers for
+		// a whole further cycle.
+		prevOps, prevTime = ds.opsSinceCkpt, ds.lastCkpt
+		ds.opsSinceCkpt = 0
+		myStamp = time.Now()
+		ds.lastCkpt = myStamp
+		seq = ds.log.LastSeq()
+		ds.store.mu.RLock() // exclude any non-wmu writer path; readers still flow
+		snap = ds.store.d.f.Snapshot()
+		ds.store.mu.RUnlock()
+		return nil
+	}(); err != nil {
 		return 0, err
 	}
-	seq := ds.log.LastSeq()
-	ds.store.mu.RLock() // exclude any non-wmu writer path; readers still flow
-	snap := ds.store.d.f.Snapshot()
-	ds.store.mu.RUnlock()
-	ds.wmu.Unlock()
 
 	// A fresh buffer per call: concurrent Checkpoints are pointless but
 	// legal, and a shared encode buffer here would race once wmu is dropped.
 	if err := wal.WriteCheckpoint(ds.dir, seq, core.EncodeSnapshot(nil, snap)); err != nil {
+		ds.wmu.Lock()
+		// The ops this capture covered reached no durable checkpoint, so
+		// they must count toward the op trigger again — unconditionally:
+		// captures partition the op stream, so concurrent failing
+		// Checkpoints each re-add their own share. If a concurrent
+		// SUCCESSFUL checkpoint superseded this capture, its snapshot does
+		// cover these ops and this overcounts — costing at most one
+		// redundant checkpoint on the next write, the safe direction (an
+		// undercount would silently extend the replay window past the
+		// configured bound). The time trigger rewinds only when
+		// un-superseded: rolling lastCkpt back past a successful
+		// checkpoint would re-arm the interval for nothing.
+		ds.opsSinceCkpt += prevOps
+		if ds.lastCkpt.Equal(myStamp) {
+			ds.lastCkpt = prevTime
+		}
+		ds.wmu.Unlock()
 		return 0, err
 	}
 	if err := wal.PruneCheckpoints(ds.dir, ds.opt.KeepCheckpoints); err != nil {
@@ -288,8 +449,9 @@ func (ds *DurableStore) Sync() error {
 	return ds.log.Sync()
 }
 
-// Close syncs and closes the log. Further writes fail; reads keep working
-// against the in-memory state.
+// Close syncs and closes the log and releases the engine's persistent shard
+// worker pool. Further writes fail; reads keep working against the
+// in-memory state.
 func (ds *DurableStore) Close() error {
 	ds.wmu.Lock()
 	defer ds.wmu.Unlock()
@@ -297,6 +459,7 @@ func (ds *DurableStore) Close() error {
 		return nil
 	}
 	ds.closed = true
+	ds.store.Close()
 	return ds.log.Close()
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fdrms/internal/core"
+	"fdrms/internal/wal"
 )
 
 // durableTestOptions keeps the engine small enough that the truncation sweep
@@ -504,5 +505,129 @@ func TestOpenDurableDetectsLogGap(t *testing.T) {
 		t.Fatal("recovery succeeded across a log gap")
 	} else if !strings.Contains(err.Error(), "gap") {
 		t.Fatalf("expected a gap error, got: %v", err)
+	}
+}
+
+// copyTree clones a durability directory so recovery can be exercised
+// against a frozen "crash image" while the original store keeps running.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Auto-checkpointing (CheckpointEveryOps) must behave exactly like a caller
+// scheduling Checkpoint by hand: checkpoints advance without any manual
+// call, and a crash after auto-checkpoints recovers to the same state as an
+// uninterrupted run — and as a manually checkpointed twin.
+func TestDurableStoreAutoCheckpointEveryOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	d := 3
+	initial := durableTestPoints(rng, 60, d, 0)
+	batches := durableTestBatches(rng, initial, 24, d)
+
+	autoDir, manualDir := t.TempDir(), t.TempDir()
+	auto, err := OpenDurable(autoDir, d, initial, durableTestOptions(),
+		DurableOptions{SyncEveryBatch: true, CheckpointEveryOps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	manual, err := OpenDurable(manualDir, d, initial, durableTestOptions(),
+		DurableOptions{SyncEveryBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer manual.Close()
+	ref, err := NewDynamic(d, initial, durableTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	sinceManual := 0
+	for i, b := range batches {
+		if err := auto.ApplyBatch(b); err != nil {
+			t.Fatalf("auto batch %d: %v", i, err)
+		}
+		if err := manual.ApplyBatch(b); err != nil {
+			t.Fatalf("manual batch %d: %v", i, err)
+		}
+		if err := ref.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if sinceManual += len(b); sinceManual >= 10 {
+			sinceManual = 0
+			if _, err := manual.Checkpoint(); err != nil {
+				t.Fatalf("manual checkpoint after batch %d: %v", i, err)
+			}
+		}
+	}
+
+	// Checkpoints advanced without any manual Checkpoint call on auto.
+	autoSeq, _, ok, err := wal.NewestCheckpoint(autoDir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint in auto dir: ok=%v err=%v", ok, err)
+	}
+	if autoSeq == 0 {
+		t.Fatal("auto store never checkpointed past genesis")
+	}
+
+	want := engineState(t, ref.f)
+	for name, dir := range map[string]string{"auto": autoDir, "manual": manualDir} {
+		crash := t.TempDir()
+		copyTree(t, dir, crash)
+		re, err := OpenDurable(crash, 0, nil, Options{}, DurableOptions{})
+		if err != nil {
+			t.Fatalf("%s: recovering crash image: %v", name, err)
+		}
+		if got := engineState(t, re.store.d.f); !bytes.Equal(got, want) {
+			t.Fatalf("%s: recovered state differs from the uninterrupted run", name)
+		}
+		// Recovery must keep accepting writes.
+		for _, b := range durableTestBatches(rand.New(rand.NewSource(99)), nil, 4, d) {
+			if err := re.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		re.Close()
+	}
+}
+
+// The time trigger: with a tiny CheckpointInterval every write checkpoints,
+// so the newest checkpoint always covers the last logged batch.
+func TestDurableStoreAutoCheckpointInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	d := 2
+	initial := durableTestPoints(rng, 30, d, 0)
+	dir := t.TempDir()
+	ds, err := OpenDurable(dir, d, initial, durableTestOptions(),
+		DurableOptions{SyncEveryBatch: true, CheckpointInterval: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for i := 0; i < 5; i++ {
+		if err := ds.Insert(durableTestPoints(rng, 1, d, 20000+i)[0]); err != nil {
+			t.Fatal(err)
+		}
+		seq, _, ok, err := wal.NewestCheckpoint(dir)
+		if err != nil || !ok {
+			t.Fatalf("write %d: no checkpoint: ok=%v err=%v", i, ok, err)
+		}
+		if want := ds.LastSeq(); seq != want {
+			t.Fatalf("write %d: newest checkpoint covers seq %d, log at %d", i, seq, want)
+		}
 	}
 }

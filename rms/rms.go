@@ -226,6 +226,13 @@ func (d *Dynamic) ApplyBatch(batch []Update) error {
 // ID).
 func (d *Dynamic) Result() []Point { return fromGeoms(d.f.Result()) }
 
+// Close releases the engine's persistent shard worker pool (started lazily
+// by the first batch whose fan-out goes parallel). The instance remains
+// usable afterwards — parallel phases simply run inline — so Close is a
+// retirement call, not a shutdown: long-lived processes that build many
+// instances should Close the ones they drop. Idempotent.
+func (d *Dynamic) Close() { d.f.Close() }
+
 // Len returns the current database size.
 func (d *Dynamic) Len() int { return d.f.Len() }
 

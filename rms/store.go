@@ -161,3 +161,12 @@ func (s *Store) Stats() core.Stats {
 	defer s.mu.RUnlock()
 	return s.d.Stats()
 }
+
+// Close releases the wrapped instance's persistent shard worker pool (see
+// Dynamic.Close). Reads and writes keep working afterwards; parallel phases
+// run inline. Idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.Close()
+}
