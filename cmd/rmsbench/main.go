@@ -15,6 +15,7 @@
 //	rmsbench -exp batch                  # batched vs sequential update throughput
 //	rmsbench -exp window                 # sliding-window / delete-heavy throughput
 //	rmsbench -exp recover                # WAL ingest, checkpoint, crash recovery
+//	rmsbench -exp serve                  # concurrent readers vs writer batches (MVCC)
 //	rmsbench -exp all                    # everything above
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json — the
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | all")
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | serve | all")
 		batches    = flag.String("batches", "1,16,256", "comma-separated batch sizes for -exp batch and -exp window")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
 		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
@@ -129,6 +130,8 @@ func main() {
 			}
 		case "recover":
 			emit(bench.Recovery(opt))
+		case "serve":
+			emit(bench.Serve(opt))
 		default:
 			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
 			flag.Usage()
@@ -147,7 +150,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover"} {
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover", "serve"} {
 			run(e)
 		}
 		return

@@ -1,0 +1,226 @@
+// Command rmsserve exposes a dynamic k-regret minimizing set over HTTP —
+// the serving half of the FD-RMS reproduction. It loads a synthetic
+// anti-correlated database, maintains its k-RMS under updates, and answers
+// every query lock-free from the newest committed generation (see
+// rms.Store): queries never wait on ingestion, and each response reports
+// the generation it was served from so clients can reason about versions.
+//
+// Endpoints:
+//
+//	GET  /result                  the current k-RMS answer
+//	GET  /topk?u=0.3,0.7&k=5      top-k tuples under a preference vector
+//	GET  /regret?u=0.3,0.7        k-regret ratio of the answer for one user
+//	GET  /stats                   database size, answer size, maintenance stats
+//	GET  /healthz                 liveness probe
+//	POST /update                  JSON batch: {"insert": [{"id":..,"values":[..]}], "delete": [ids]}
+//
+// Example:
+//
+//	rmsserve -addr :8080 -n 10000 -d 4 -r 20
+//	curl 'localhost:8080/topk?u=0.5,0.5,0.2,0.1&k=3'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"fdrms/internal/dataset"
+	"fdrms/rms"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		n    = flag.Int("n", 10000, "initial synthetic database size")
+		d    = flag.Int("d", 4, "attribute count")
+		k    = flag.Int("k", 1, "regret rank k")
+		r    = flag.Int("r", 20, "maximum answer size r")
+		m    = flag.Int("m", 2048, "utility sample upper bound M")
+		eps  = flag.Float64("eps", 0, "top-k slack epsilon (0 = auto-tune)")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ds := dataset.AntiCor(*n, *d, *seed)
+	initial := make([]rms.Point, len(ds.Points))
+	for i, p := range ds.Points {
+		initial[i] = rms.Point{ID: p.ID, Values: p.Coords}
+	}
+	store, err := rms.NewStore(*d, initial, rms.Options{
+		K: *k, R: *r, Epsilon: *eps, MaxUtilities: *m, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatalf("rmsserve: %v", err)
+	}
+	defer store.Close()
+
+	log.Printf("rmsserve: serving n=%d d=%d k=%d r=%d on %s (generation %d)",
+		store.Len(), *d, *k, *r, *addr, store.Current().ID())
+	log.Fatal(http.ListenAndServe(*addr, newMux(store)))
+}
+
+// pointJSON is the wire form of a tuple.
+type pointJSON struct {
+	ID     int       `json:"id"`
+	Values []float64 `json:"values"`
+}
+
+func toJSON(ps []rms.Point) []pointJSON {
+	out := make([]pointJSON, len(ps))
+	for i, p := range ps {
+		out[i] = pointJSON{ID: p.ID, Values: p.Values}
+	}
+	return out
+}
+
+// updateRequest is the POST /update body: insertions then deletions,
+// applied as one atomic batch (readers see before or after, never between).
+type updateRequest struct {
+	Insert []pointJSON `json:"insert"`
+	Delete []int       `json:"delete"`
+}
+
+// newMux wires the read and update handlers around a store. Every read
+// handler pins ONE generation for its whole response, so the fields of a
+// single response are mutually consistent even while batches commit.
+func newMux(store *rms.Store) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+
+	mux.HandleFunc("GET /result", func(w http.ResponseWriter, req *http.Request) {
+		g := store.Current()
+		writeOK(w, map[string]any{
+			"generation": g.ID(),
+			"result":     toJSON(g.Result()),
+		})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		g := store.Current()
+		st := g.Stats()
+		writeOK(w, map[string]any{
+			"generation":  g.ID(),
+			"n":           g.Len(),
+			"result_size": len(g.Result()),
+			"epoch":       g.Epoch(),
+			"stats":       st,
+		})
+	})
+
+	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, req *http.Request) {
+		u, ok := parseUtility(w, req)
+		if !ok {
+			return
+		}
+		k := 10
+		if s := req.URL.Query().Get("k"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad k: %v", err)
+				return
+			}
+			k = v
+		}
+		g := store.Current()
+		res, err := g.TopK(u, k)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		type scored struct {
+			pointJSON
+			Score float64 `json:"score"`
+		}
+		out := make([]scored, len(res))
+		for i, s := range res {
+			out[i] = scored{pointJSON{ID: s.Point.ID, Values: s.Point.Values}, s.Score}
+		}
+		writeOK(w, map[string]any{"generation": g.ID(), "topk": out})
+	})
+
+	mux.HandleFunc("GET /regret", func(w http.ResponseWriter, req *http.Request) {
+		u, ok := parseUtility(w, req)
+		if !ok {
+			return
+		}
+		g := store.Current()
+		ratio, err := g.RegretRatioFor(u)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeOK(w, map[string]any{
+			"generation":   g.ID(),
+			"regret_ratio": ratio,
+			"result_size":  len(g.Result()),
+		})
+	})
+
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, req *http.Request) {
+		var ur updateRequest
+		if err := json.NewDecoder(req.Body).Decode(&ur); err != nil {
+			httpError(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		batch := make([]rms.Update, 0, len(ur.Insert)+len(ur.Delete))
+		for _, p := range ur.Insert {
+			batch = append(batch, rms.Ins(rms.Point{ID: p.ID, Values: p.Values}))
+		}
+		for _, id := range ur.Delete {
+			batch = append(batch, rms.Del(id))
+		}
+		if err := store.ApplyBatch(batch); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		g := store.Current()
+		writeOK(w, map[string]any{
+			"generation": g.ID(),
+			"applied":    len(batch),
+			"n":          g.Len(),
+		})
+	})
+
+	return mux
+}
+
+// parseUtility reads the u=v1,v2,... query parameter.
+func parseUtility(w http.ResponseWriter, req *http.Request) ([]float64, bool) {
+	s := req.URL.Query().Get("u")
+	if s == "" {
+		httpError(w, http.StatusBadRequest, "missing utility parameter u=v1,v2,...")
+		return nil, false
+	}
+	parts := strings.Split(s, ",")
+	u := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad utility component %q: %v", p, err)
+			return nil, false
+		}
+		u[i] = v
+	}
+	return u, true
+}
+
+func writeOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("rmsserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

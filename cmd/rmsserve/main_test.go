@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fdrms/rms"
+)
+
+func testStore(t *testing.T, n, d int) *rms.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]rms.Point, n)
+	for i := range pts {
+		vals := make([]float64, d)
+		for j := range vals {
+			vals[j] = rng.Float64()
+		}
+		pts[i] = rms.Point{ID: i, Values: vals}
+	}
+	store, err := rms.NewStore(d, pts, rms.Options{K: 1, R: 5, Epsilon: 0.05, MaxUtilities: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	return store
+}
+
+func get(t *testing.T, srv *httptest.Server, path string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil && wantCode == 200 {
+		t.Fatalf("GET %s: decoding: %v", path, err)
+	}
+	return body
+}
+
+func TestServeEndpoints(t *testing.T) {
+	store := testStore(t, 200, 3)
+	srv := httptest.NewServer(newMux(store))
+	defer srv.Close()
+
+	if resp, err := srv.Client().Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+
+	res := get(t, srv, "/result", 200)
+	if res["generation"].(float64) != 1 {
+		t.Fatalf("initial generation = %v, want 1", res["generation"])
+	}
+	answer := res["result"].([]any)
+	if len(answer) == 0 || len(answer) > 5 {
+		t.Fatalf("answer size %d, want 1..5", len(answer))
+	}
+
+	st := get(t, srv, "/stats", 200)
+	if st["n"].(float64) != 200 {
+		t.Fatalf("stats n = %v, want 200", st["n"])
+	}
+
+	top := get(t, srv, "/topk?u=0.5,0.3,0.2&k=7", 200)
+	tuples := top["topk"].([]any)
+	if len(tuples) != 7 {
+		t.Fatalf("topk returned %d tuples, want 7", len(tuples))
+	}
+	prev := tuples[0].(map[string]any)["score"].(float64)
+	for _, tu := range tuples[1:] {
+		s := tu.(map[string]any)["score"].(float64)
+		if s > prev {
+			t.Fatal("topk scores not in decreasing order")
+		}
+		prev = s
+	}
+
+	reg := get(t, srv, "/regret?u=0.5,0.3,0.2", 200)
+	ratio := reg["regret_ratio"].(float64)
+	if ratio < 0 || ratio > 1 {
+		t.Fatalf("regret ratio %v outside [0, 1]", ratio)
+	}
+
+	// Bad inputs map to 400, not 500.
+	get(t, srv, "/topk?u=0.5,0.3", 400)          // wrong dimension
+	get(t, srv, "/topk?u=0.5,0.3,nope", 400)     // unparsable
+	get(t, srv, "/topk?u=0.5,0.3,0.2&k=bad", 400)
+	get(t, srv, "/topk?u=0.5,0.3,0.2&k=0", 400)
+	get(t, srv, "/regret?u=-1,0.3,0.2", 400) // negative component
+	get(t, srv, "/regret", 400)              // missing u
+}
+
+func TestServeUpdateAdvancesGeneration(t *testing.T) {
+	store := testStore(t, 100, 2)
+	srv := httptest.NewServer(newMux(store))
+	defer srv.Close()
+
+	body := `{"insert": [{"id": 1000, "values": [2.0, 2.0]}], "delete": [0, 1]}`
+	resp, err := srv.Client().Post(srv.URL+"/update", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("update: status %d, body %v", resp.StatusCode, out)
+	}
+	if out["generation"].(float64) != 2 || out["n"].(float64) != 99 {
+		t.Fatalf("update response %v, want generation 2 and n 99", out)
+	}
+
+	// The dominating insert must now appear in the answer and in top-1.
+	top := get(t, srv, "/topk?u=0.5,0.5&k=1", 200)
+	first := top["topk"].([]any)[0].(map[string]any)
+	if first["id"].(float64) != 1000 {
+		t.Fatalf("top-1 id = %v, want the dominating insert 1000", first["id"])
+	}
+	if top["generation"].(float64) != 2 {
+		t.Fatalf("topk generation = %v, want 2", top["generation"])
+	}
+
+	// A malformed batch changes nothing.
+	resp2, err := srv.Client().Post(srv.URL+"/update", "application/json",
+		strings.NewReader(`{"insert": [{"id": 1001, "values": [1.0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Fatalf("malformed update: status %d, want 400", resp2.StatusCode)
+	}
+	if g := get(t, srv, "/result", 200); g["generation"].(float64) != 2 {
+		t.Fatalf("generation advanced to %v after a rejected batch", g["generation"])
+	}
+}
+
+func TestServeConcurrentReadsDuringUpdates(t *testing.T) {
+	store := testStore(t, 150, 2)
+	srv := httptest.NewServer(newMux(store))
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		for b := 0; b < 10; b++ {
+			body := fmt.Sprintf(`{"insert": [{"id": %d, "values": [0.5, 0.5]}], "delete": [%d]}`, 2000+b, b)
+			resp, err := srv.Client().Post(srv.URL+"/update", "application/json", strings.NewReader(body))
+			if err != nil {
+				done <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				done <- fmt.Errorf("update %d: status %d", b, resp.StatusCode)
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	lastGen := 0.0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := get(t, srv, "/result", 200); g["generation"].(float64) != 11 {
+				t.Fatalf("final generation = %v, want 11", g["generation"])
+			}
+			return
+		default:
+		}
+		res := get(t, srv, "/regret?u=0.6,0.4", 200)
+		if g := res["generation"].(float64); g < lastGen {
+			t.Fatalf("generation went backwards: %v after %v", g, lastGen)
+		} else {
+			lastGen = g
+		}
+	}
+}

@@ -173,3 +173,20 @@ func TestTuneEpsReturnsLadderValue(t *testing.T) {
 }
 
 func newSphereForTest() baseline.Algorithm { return baseline.NewSphere(1) }
+
+// The serving table doubles as a consistency check: every row must report
+// consistent (monotonic generations, valid reads, expected final version).
+func TestServeQuickConsistent(t *testing.T) {
+	o := QuickOptions()
+	o.Scale = 0.01
+	o.M = 256
+	tb := Serve(o)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("serve table rows: %d, want 6 (2 reader counts x 3 kinds)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if got := row[len(row)-1]; got != "true" {
+			t.Fatalf("serve row %v not consistent", row)
+		}
+	}
+}

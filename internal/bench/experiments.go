@@ -9,8 +9,8 @@ import (
 	"fdrms/internal/core"
 	"fdrms/internal/dataset"
 	"fdrms/internal/geom"
-	"fdrms/internal/regret"
 	"fdrms/internal/skyline"
+	"fdrms/internal/tune"
 	"fdrms/internal/workload"
 )
 
@@ -75,14 +75,8 @@ func Fig4(o Options) []*Table {
 	return []*Table{byD, byN}
 }
 
-// epsLadder is the paper's ε grid (Section III-C): powers of two times 1e-4.
-func epsLadder() []float64 {
-	out := make([]float64, 0, 11)
-	for i := 0; i <= 10; i++ {
-		out = append(out, 1e-4*math.Pow(2, float64(i)))
-	}
-	return out
-}
+// epsLadder is the paper's ε grid (Section III-C); see tune.EpsLadder.
+func epsLadder() []float64 { return tune.EpsLadder() }
 
 // Fig5 reproduces Fig. 5: FD-RMS update time and regret as ε sweeps the
 // ladder, one table per dataset (k=1, r=20 on BB / 50 elsewhere).
@@ -121,46 +115,10 @@ func Fig5(o Options, names ...string) []*Table {
 	return out
 }
 
-// TuneEps mirrors the paper's trial-and-error parameter selection
-// (Section III-C): walk the ε ladder, build FD-RMS on the initial database,
-// and keep the ε with the best estimated regret that does not saturate M.
-// Large databases are probed through a subsample — the tuned ε transfers
-// because it tracks the optimal regret level, which is a property of the
-// data distribution, not of n.
+// TuneEps is the paper's trial-and-error ε selection; see tune.TuneEps
+// (re-exported here so the experiment code reads like the paper's text).
 func TuneEps(pts []geom.Point, dim, k, r, m int, seed int64) float64 {
-	const tuneCap = 4000
-	if len(pts) > tuneCap {
-		pts = pts[:tuneCap]
-	}
-	probeM := m
-	if probeM > 1024 {
-		probeM = 1024
-	}
-	if probeM <= r {
-		probeM = m
-	}
-	ev := regret.NewEvaluator(pts, dim, k, 2000, seed+999)
-	bestEps, bestMRR := 0.0, math.Inf(1)
-	for _, eps := range epsLadder() {
-		cfg := core.Config{K: k, R: r, Eps: eps, M: probeM, Seed: seed}
-		f, err := core.New(dim, pts, cfg)
-		if err != nil {
-			continue
-		}
-		mrr := ev.MRR(f.Result())
-		exhausted := f.Stats().M >= probeM
-		f.Close()
-		if mrr < bestMRR-1e-9 {
-			bestEps, bestMRR = eps, mrr
-		}
-		if exhausted {
-			break // sample budget exhausted; larger eps cannot help
-		}
-	}
-	if bestEps == 0 {
-		bestEps = 0.0016
-	}
-	return bestEps
+	return tune.TuneEps(pts, dim, k, r, m, seed)
 }
 
 // staticFeasible estimates whether one from-scratch run of alg fits the

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fdrms/internal/geom"
+	"fdrms/internal/kdtree"
+)
+
+// Frozen is an immutable capture of FD-RMS's queryable state at one commit
+// point: the answer Q_t, its ids, the maintenance stats, and an epoch-pinned
+// view of the tuple index. A Frozen shares no mutable state with the live
+// structure — once captured it is safe for unsynchronized concurrent reads
+// while the writer keeps applying batches — which makes it the payload of
+// the serving layer's generation handles (see rms.Store).
+//
+// The result points share their coordinate slices with the engine (which
+// never mutates point coordinates in place); callers must treat them as
+// read-only.
+type Frozen struct {
+	Epoch     uint64       // tuple-index epoch of the capture
+	Result    []geom.Point // Q_t, ascending id
+	ResultIDs []int        // ids of Q_t, ascending
+	Stats     Stats        // maintenance counters at the capture
+	K         int          // rank depth, for regret evaluation against Index
+	Index     *kdtree.View // the database as of Epoch
+}
+
+// Freeze captures the current queryable state. Like every other method it
+// must be called by the structure's single writer (or synchronized with it);
+// the returned capture is then immutable. Cost: O(r) for the answer plus
+// O(arena) for the index view's cloned node metadata (see kdtree.Tree.View).
+func (f *FDRMS) Freeze() *Frozen {
+	return &Frozen{
+		Epoch:     f.engine.TreeEpoch(),
+		Result:    f.Result(),
+		ResultIDs: f.cover.Solution(),
+		Stats:     f.Stats(),
+		K:         f.cfg.K,
+		Index:     f.engine.TreeView(),
+	}
+}

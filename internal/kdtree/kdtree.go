@@ -65,23 +65,29 @@ type node struct {
 	liveCount   int32
 }
 
-// Tree is a dynamic k-d tree over points in R^d.
-type Tree struct {
-	dim     int
-	live    int
-	removed int
-	byID    map[int]liveEntry
-
-	// Arena: slot i of every slice describes the same node. boxMin, boxMax
-	// and coords are flat dim-strided arrays (slot i occupies
-	// [i*dim, (i+1)*dim)), so the branch-and-bound upper-bound and score
-	// computations stream contiguous float64s.
+// arena is the flat node storage plus the fields the score-query read paths
+// touch: slot i of every slice describes the same node. boxMin, boxMax and
+// coords are flat dim-strided arrays (slot i occupies [i*dim, (i+1)*dim)),
+// so the branch-and-bound upper-bound and score computations stream
+// contiguous float64s. The query methods live on arena so a Tree (mutable,
+// reading the present) and a View (immutable, pinned to one epoch) share
+// one implementation.
+type arena struct {
+	dim    int
 	nodes  []node
 	pts    []geom.Point // node payload, returned in Results
 	coords []float64    // flat copy of pts[i].Coords (hot score path)
-	boxMin []float64    // subtree bounding boxes
+	boxMin []float64    // subtree bounding boxes (nil in a View)
 	boxMax []float64
 	root   int32
+}
+
+// Tree is a dynamic k-d tree over points in R^d.
+type Tree struct {
+	arena
+	live    int
+	removed int
+	byID    map[int]liveEntry
 
 	recScratch []rec // reusable rebuild record buffer
 
@@ -89,6 +95,11 @@ type Tree struct {
 	retaining   bool
 	retainFloor uint64        // epoch at BeginRetain (valid when retaining)
 	graveyard   map[int]grave // retained tombstones by id (only while retaining)
+
+	// arenaShared is set by View() and means an outstanding View aliases
+	// pts/coords (and the next rebuild must therefore allocate fresh backing
+	// arrays instead of compacting in place). Cleared by rebuild.
+	arenaShared bool
 }
 
 // liveEntry is the by-id record of a live point.
@@ -114,7 +125,7 @@ type rec struct {
 // New builds a balanced tree over pts by recursive median split.
 // The input slice is not modified.
 func New(dim int, pts []geom.Point) *Tree {
-	t := &Tree{dim: dim, root: nilNode, byID: make(map[int]liveEntry, len(pts))}
+	t := &Tree{arena: arena{dim: dim, root: nilNode}, byID: make(map[int]liveEntry, len(pts))}
 	recs := make([]rec, len(pts))
 	for i, p := range pts {
 		recs[i] = rec{p: p}
@@ -477,7 +488,10 @@ func (t *Tree) tombstone(idx int32, p geom.Point, del uint64) bool {
 // authoritative), keeping the tombstones of an open retain window so
 // historic reads stay exact. The arena is compacted in place: its storage
 // and the record scratch are reused across rebuilds, so steady-state
-// compaction performs no allocation beyond amortized growth.
+// compaction performs no allocation beyond amortized growth. When an
+// outstanding View aliases the arena (arenaShared), compaction instead
+// moves to fresh backing arrays — copy-on-write — so the View keeps reading
+// its frozen prefix of the abandoned arrays while the live tree walks away.
 func (t *Tree) rebuild() {
 	recs := t.recScratch[:0]
 	for _, le := range t.byID {
@@ -493,11 +507,17 @@ func (t *Tree) rebuild() {
 		}
 	}
 	t.recScratch = recs
-	t.nodes = t.nodes[:0]
-	t.pts = t.pts[:0]
-	t.coords = t.coords[:0]
-	t.boxMin = t.boxMin[:0]
-	t.boxMax = t.boxMax[:0]
+	if t.arenaShared {
+		t.nodes, t.pts, t.coords, t.boxMin, t.boxMax = nil, nil, nil, nil, nil
+		t.arenaShared = false
+		t.growArena(len(recs))
+	} else {
+		t.nodes = t.nodes[:0]
+		t.pts = t.pts[:0]
+		t.coords = t.coords[:0]
+		t.boxMin = t.boxMin[:0]
+		t.boxMax = t.boxMax[:0]
+	}
 	t.root = t.build(recs, 0)
 	t.live = len(t.byID)
 	t.removed = removed
@@ -510,8 +530,8 @@ func (t *Tree) rebuild() {
 // boxScoreUB returns an upper bound on <u, p> over every point in the box
 // of slot idx. Utilities are nonnegative, so the per-axis maximum is tight.
 // The box row is one contiguous stretch of the flat boxMax array.
-func (t *Tree) boxScoreUB(u geom.Vector, idx int32) float64 {
-	box := t.boxMax[int(idx)*t.dim:][:len(u)]
+func (a *arena) boxScoreUB(u geom.Vector, idx int32) float64 {
+	box := a.boxMax[int(idx)*a.dim:][:len(u)]
 	var s float64
 	for i, ui := range u {
 		s += ui * box[i]
@@ -521,8 +541,8 @@ func (t *Tree) boxScoreUB(u geom.Vector, idx int32) float64 {
 
 // scoreOf returns <u, p> for the point of slot idx from the arena's flat
 // coordinate array.
-func (t *Tree) scoreOf(u geom.Vector, idx int32) float64 {
-	c := t.coords[int(idx)*t.dim:][:len(u)]
+func (a *arena) scoreOf(u geom.Vector, idx int32) float64 {
+	c := a.coords[int(idx)*a.dim:][:len(u)]
 	var s float64
 	for i, ui := range u {
 		s += ui * c[i]
@@ -574,13 +594,18 @@ func (t *Tree) TopKInto(u geom.Vector, k int, sc *QueryScratch) []Result {
 // search instead would explore the same region at far higher cost (clipped
 // real datasets tie constantly).
 func (t *Tree) TopKAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) []Result {
-	best, ambiguous := t.searchTopK(u, k, e, sc)
+	return t.arena.topKAtInto(u, k, e, sc)
+}
+
+// topKAtInto is the shared Tree/View implementation of TopKAtInto.
+func (a *arena) topKAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) []Result {
+	best, ambiguous := a.searchTopK(u, k, e, sc)
 	if len(best) == 0 {
 		return nil
 	}
 	if len(best) == k && ambiguous {
 		// Deterministic tie resolution at the kth-score boundary.
-		out := t.AtLeastAtInto(u, best[0].Score, e, sc)
+		out := a.atLeastAtInto(u, best[0].Score, e, sc)
 		sortResults(out)
 		return out[:k]
 	}
@@ -596,8 +621,8 @@ func (t *Tree) TopKAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) []Re
 // the kth score are traversal-dependent), plus whether any exclusion tied
 // the then-current kth score — the signal that identity resolution needs
 // the phase-2 sweep. The returned slice is backed by sc.results.
-func (t *Tree) searchTopK(u geom.Vector, k int, e uint64, sc *QueryScratch) (best []Result, ambiguous bool) {
-	if t.root == nilNode || k <= 0 {
+func (a *arena) searchTopK(u geom.Vector, k int, e uint64, sc *QueryScratch) (best []Result, ambiguous bool) {
+	if a.root == nilNode || k <= 0 {
 		clear(sc.results) // same anti-pinning hygiene as the non-empty path
 		sc.results = sc.results[:0]
 		return nil, false
@@ -605,7 +630,7 @@ func (t *Tree) searchTopK(u geom.Vector, k int, e uint64, sc *QueryScratch) (bes
 	prevResults := len(sc.results)
 	frontier := sc.frontier[:0]
 	best = sc.results[:0]
-	frontier = pushFrontier(frontier, frontierEntry{t.boxScoreUB(u, t.root), t.root})
+	frontier = pushFrontier(frontier, frontierEntry{a.boxScoreUB(u, a.root), a.root})
 	for len(frontier) > 0 {
 		var ent frontierEntry
 		ent, frontier = popFrontier(frontier)
@@ -616,14 +641,14 @@ func (t *Tree) searchTopK(u geom.Vector, k int, e uint64, sc *QueryScratch) (bes
 			}
 			break
 		}
-		n := &t.nodes[ent.idx]
+		n := &a.nodes[ent.idx]
 		if n.visibleAt(e) {
-			s := t.scoreOf(u, ent.idx)
+			s := a.scoreOf(u, ent.idx)
 			if len(best) < k {
-				best = pushResult(best, Result{t.pts[ent.idx], s})
+				best = pushResult(best, Result{a.pts[ent.idx], s})
 			} else if s > best[0].Score {
 				evicted := best[0].Score
-				best[0] = Result{t.pts[ent.idx], s}
+				best[0] = Result{a.pts[ent.idx], s}
 				fixResultRoot(best)
 				if best[0].Score == evicted {
 					ambiguous = true // the evicted point tied the surviving kth
@@ -633,10 +658,10 @@ func (t *Tree) searchTopK(u geom.Vector, k int, e uint64, sc *QueryScratch) (bes
 			}
 		}
 		for _, c := range [2]int32{n.left, n.right} {
-			if c == nilNode || t.nodes[c].emptyAt(e) {
+			if c == nilNode || a.nodes[c].emptyAt(e) {
 				continue
 			}
-			ub := t.boxScoreUB(u, c)
+			ub := a.boxScoreUB(u, c)
 			if len(best) < k || ub > best[0].Score {
 				frontier = pushFrontier(frontier, frontierEntry{ub, c})
 			} else if ub == best[0].Score {
@@ -717,7 +742,12 @@ func (t *Tree) KthScoreAt(u geom.Vector, k int, e uint64) (score float64, ok boo
 // SCORE is needed, which phase 1 determines exactly, so the identity-
 // resolving tie sweep of TopKAtInto is skipped entirely.
 func (t *Tree) KthScoreAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) (score float64, ok bool) {
-	best, _ := t.searchTopK(u, k, e, sc)
+	return t.arena.kthScoreAtInto(u, k, e, sc)
+}
+
+// kthScoreAtInto is the shared Tree/View implementation of KthScoreAtInto.
+func (a *arena) kthScoreAtInto(u geom.Vector, k int, e uint64, sc *QueryScratch) (score float64, ok bool) {
+	best, _ := a.searchTopK(u, k, e, sc)
 	if len(best) == 0 {
 		return 0, false
 	}
@@ -753,25 +783,30 @@ func (t *Tree) AtLeastInto(u geom.Vector, tau float64, sc *QueryScratch) []Resul
 // slice is backed by sc and valid only until the next query through it.
 // A warmed-up scratch makes the query allocation-free.
 func (t *Tree) AtLeastAtInto(u geom.Vector, tau float64, e uint64, sc *QueryScratch) []Result {
+	return t.arena.atLeastAtInto(u, tau, e, sc)
+}
+
+// atLeastAtInto is the shared Tree/View implementation of AtLeastAtInto.
+func (a *arena) atLeastAtInto(u geom.Vector, tau float64, e uint64, sc *QueryScratch) []Result {
 	prevOut := len(sc.out)
 	out := sc.out[:0]
-	if t.root == nilNode {
+	if a.root == nilNode {
 		clear(out[:prevOut])
 		sc.out = out
 		return out
 	}
 	stack := sc.stack[:0]
-	stack = append(stack, t.root)
+	stack = append(stack, a.root)
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := &t.nodes[idx]
-		if n.emptyAt(e) || t.boxScoreUB(u, idx) < tau {
+		n := &a.nodes[idx]
+		if n.emptyAt(e) || a.boxScoreUB(u, idx) < tau {
 			continue
 		}
 		if n.visibleAt(e) {
-			if s := t.scoreOf(u, idx); s >= tau {
-				out = append(out, Result{t.pts[idx], s})
+			if s := a.scoreOf(u, idx); s >= tau {
+				out = append(out, Result{a.pts[idx], s})
 			}
 		}
 		// Push right first so the left subtree is visited first (pre-order,

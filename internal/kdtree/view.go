@@ -1,0 +1,87 @@
+package kdtree
+
+import (
+	"slices"
+
+	"fdrms/internal/geom"
+)
+
+// View is an immutable snapshot of the tree pinned to the epoch at which it
+// was taken: the score queries (TopKInto, AtLeastInto, KthScoreInto) answer
+// exactly as the live tree would have at that epoch, no matter how many
+// mutations, rebuilds, or retain windows happen afterwards. A View takes no
+// locks and shares no mutable state with the tree, so any number of
+// goroutines may query concurrent Views (each with its own QueryScratch)
+// while a single writer keeps mutating the tree — the MVCC read surface of
+// the serving layer.
+//
+// Capture cost and sharing: View() clones the node metadata and the boxMax
+// rows (both mutated in place by Insert/Delete) and SHARES the point payload
+// and flat coordinate arrays, which are append-only between rebuilds — the
+// view reads only its frozen prefix, so concurrent appends past that prefix
+// are race-free. A rebuild while a view is outstanding switches the tree to
+// fresh backing arrays (copy-on-write, see Tree.rebuild) instead of
+// compacting in place, so the view keeps its abandoned arrays. A dropped
+// View is reclaimed by the garbage collector; holding one pins O(arena)
+// memory of its capture instant, nothing of the live tree.
+type View struct {
+	arena
+	epoch uint64
+	live  int
+}
+
+// View captures an immutable snapshot of the current database. The caller
+// must be the tree's (single) writer or be synchronized with it; the
+// returned View itself is then safe for unsynchronized concurrent use.
+func (t *Tree) View() *View {
+	v := &View{
+		arena: arena{
+			dim:    t.dim,
+			nodes:  slices.Clone(t.nodes),
+			pts:    t.pts[:len(t.pts):len(t.pts)],
+			coords: t.coords[:len(t.coords):len(t.coords)],
+			boxMax: slices.Clone(t.boxMax),
+			root:   t.root,
+		},
+		epoch: t.epoch,
+		live:  t.live,
+	}
+	t.arenaShared = true
+	return v
+}
+
+// Epoch returns the epoch the view is pinned to.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Len returns the number of points live at the view's epoch.
+func (v *View) Len() int { return v.live }
+
+// Dim returns the view's dimensionality.
+func (v *View) Dim() int { return v.dim }
+
+// TopKInto is Tree.TopKInto evaluated at the view's pinned epoch: the k
+// points with the largest score <u, p>, decreasing score, ties to smaller
+// ID. The returned slice is backed by sc and valid only until the next
+// query through it.
+func (v *View) TopKInto(u geom.Vector, k int, sc *QueryScratch) []Result {
+	return v.arena.topKAtInto(u, k, v.epoch, sc)
+}
+
+// TopK is TopKInto with a private scratch and caller-owned result memory.
+func (v *View) TopK(u geom.Vector, k int) []Result {
+	var sc QueryScratch
+	return copyResults(v.TopKInto(u, k, &sc))
+}
+
+// AtLeastInto is Tree.AtLeastInto evaluated at the view's pinned epoch:
+// every point with score >= tau, in unspecified order, backed by sc.
+func (v *View) AtLeastInto(u geom.Vector, tau float64, sc *QueryScratch) []Result {
+	return v.arena.atLeastAtInto(u, tau, v.epoch, sc)
+}
+
+// KthScoreInto is Tree.KthScoreInto evaluated at the view's pinned epoch:
+// the k-th largest score (ω_k), or the smallest live score when fewer than
+// k points exist; ok is false on an empty database.
+func (v *View) KthScoreInto(u geom.Vector, k int, sc *QueryScratch) (score float64, ok bool) {
+	return v.arena.kthScoreAtInto(u, k, v.epoch, sc)
+}

@@ -1,0 +1,177 @@
+package kdtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fdrms/internal/geom"
+)
+
+// A view must keep answering with the point set of its capture instant while
+// the live tree absorbs inserts, deletes, and rebuilds.
+func TestViewPinnedAcrossMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := 4
+	pts := randomPoints(rng, 200, d)
+	tr := New(d, pts)
+
+	frozen := append([]geom.Point(nil), pts...)
+	v := tr.View()
+	if v.Len() != 200 || v.Epoch() != tr.Epoch() {
+		t.Fatalf("view len/epoch: %d/%d", v.Len(), v.Epoch())
+	}
+
+	// Churn hard enough to force several rebuilds (delete > half, reinsert).
+	for round := 0; round < 3; round++ {
+		for id := 0; id < 150; id++ {
+			tr.Delete(id)
+		}
+		for _, p := range randomPoints(rng, 150, d) {
+			tr.Insert(p)
+		}
+	}
+
+	us := geom.BasisThenRandom(d, 8, 7)
+	for _, u := range us {
+		for _, k := range []int{1, 3, 17} {
+			got := v.TopK(u, k)
+			want := bruteTopK(frozen, u, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("view TopK(k=%d) diverged after churn:\n got %v\nwant %v", k, got, want)
+			}
+			var sc QueryScratch
+			kth, ok := v.KthScoreInto(u, k, &sc)
+			if !ok || kth != want[min(k, len(want))-1].Score {
+				t.Fatalf("view KthScore(k=%d) = %v,%v want %v", k, kth, ok, want[min(k, len(want))-1].Score)
+			}
+			al := copyResults(v.AtLeastInto(u, kth, &sc))
+			for _, r := range al {
+				if r.Score < kth {
+					t.Fatalf("AtLeast returned score %v below threshold %v", r.Score, kth)
+				}
+			}
+			if len(al) < k {
+				t.Fatalf("AtLeast at kth score returned %d < k=%d points", len(al), k)
+			}
+		}
+	}
+}
+
+// A view taken mid-life must observe tombstones recorded before the capture
+// (deleted points invisible) without a retain window being open.
+func TestViewSeesDeletesBeforeCapture(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := 3
+	pts := randomPoints(rng, 100, d)
+	tr := New(d, pts)
+	for id := 0; id < 30; id++ {
+		tr.Delete(id)
+	}
+	v := tr.View()
+	live := make([]geom.Point, 0, 70)
+	for _, p := range pts {
+		if p.ID >= 30 {
+			live = append(live, p)
+		}
+	}
+	u := geom.BasisThenRandom(d, 4, 3)[3]
+	if got, want := v.TopK(u, 10), bruteTopK(live, u, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("view includes pre-capture tombstones:\n got %v\nwant %v", got, want)
+	}
+}
+
+// Copy-on-write: a rebuild with an outstanding view must move the live tree
+// to fresh backing arrays (and clear the shared flag), and repeated
+// view-then-churn cycles must keep the live arena bounded — views never pin
+// tombstones inside the live tree.
+func TestViewRebuildCopyOnWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := 3
+	tr := New(d, randomPoints(rng, 128, d))
+
+	var views []*View
+	var lens []int
+	maxArena := 0
+	for round := 0; round < 10; round++ {
+		views = append(views, tr.View())
+		lens = append(lens, tr.Len())
+		if !tr.arenaShared {
+			t.Fatal("View() did not mark the arena shared")
+		}
+		old := &tr.pts[0]
+		for id := round * 64; id < round*64+96; id++ {
+			tr.Delete(id % 128)
+		}
+		for _, p := range randomPoints(rng, 96, d) {
+			tr.Insert(p)
+		}
+		if tr.arenaShared {
+			t.Fatalf("round %d: no rebuild happened under 96 deletes (arena still shared)", round)
+		}
+		if &tr.pts[0] == old {
+			t.Fatalf("round %d: rebuild compacted in place while a view aliased the arena", round)
+		}
+		if len(tr.nodes) > maxArena {
+			maxArena = len(tr.nodes)
+		}
+	}
+	// The live arena never accumulates across rounds: it holds the live
+	// points plus at most the tombstones of the current round.
+	if maxArena > 3*tr.Len() {
+		t.Fatalf("live arena grew to %d nodes for %d live points", maxArena, tr.Len())
+	}
+	// Every captured view still reports the live count of its capture
+	// instant (its frozen arena was never compacted away under it).
+	for i, v := range views {
+		if v.Len() != lens[i] {
+			t.Fatalf("view %d reports %d live points, want %d", i, v.Len(), lens[i])
+		}
+	}
+}
+
+// The deferred rebuild at EndRetain must also copy-on-write when a view is
+// outstanding.
+func TestViewSurvivesRetainWindowRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := 3
+	pts := randomPoints(rng, 80, d)
+	tr := New(d, pts)
+	v := tr.View()
+
+	tr.BeginRetain()
+	for id := 0; id < 60; id++ {
+		tr.Delete(id)
+	}
+	tr.EndRetain() // triggers the deferred rebuild
+
+	u := geom.BasisThenRandom(d, 3, 5)[2]
+	if got, want := v.TopK(u, 5), bruteTopK(pts, u, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("view diverged across a retain-window rebuild:\n got %v\nwant %v", got, want)
+	}
+	if tr.retaining {
+		t.Fatal("retain window did not close")
+	}
+}
+
+// View answers must be bit-identical to the live tree's answers when no
+// mutation intervenes — same traversal, same tie handling, same floats.
+func TestViewMatchesTreeAtCapture(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	d := 5
+	tr := New(d, randomPoints(rng, 300, d))
+	for id := 0; id < 90; id++ {
+		tr.Delete(id * 3)
+	}
+	v := tr.View()
+	var sc QueryScratch
+	for _, u := range geom.BasisThenRandom(d, 10, 9) {
+		for _, k := range []int{1, 4, 32} {
+			a := copyResults(tr.TopKInto(u, k, &sc))
+			b := v.TopK(u, k)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("tree and view diverge at capture (k=%d):\n tree %v\n view %v", k, a, b)
+			}
+		}
+	}
+}

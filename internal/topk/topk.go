@@ -343,6 +343,16 @@ func (e *Engine) Contains(id int) bool { return e.tree.Contains(id) }
 // PointByID returns the live tuple with the given id.
 func (e *Engine) PointByID(id int) (geom.Point, bool) { return e.tree.PointByID(id) }
 
+// TreeEpoch returns the tuple index's current epoch (see kdtree.Tree.Epoch).
+func (e *Engine) TreeEpoch() uint64 { return e.tree.Epoch() }
+
+// TreeView captures an immutable epoch-pinned snapshot of the tuple index
+// (see kdtree.Tree.View) — the read surface of the MVCC serving layer.
+// Like every mutating entry point, it must be called by the engine's single
+// writer (or synchronized with it); the returned view is then lock-free and
+// safe for any number of concurrent readers.
+func (e *Engine) TreeView() *kdtree.View { return e.tree.View() }
+
 // Points returns all live tuples.
 func (e *Engine) Points() []geom.Point { return e.tree.Points() }
 

@@ -1,0 +1,64 @@
+// Package tune holds the ε parameter-selection rule of FD-RMS (the paper's
+// trial-and-error procedure, Section III-C). It lives below both the public
+// rms package (whose Options default to it) and the bench harness (whose ε
+// sweep walks the same ladder), so neither has to depend on the other.
+package tune
+
+import (
+	"math"
+
+	"fdrms/internal/core"
+	"fdrms/internal/geom"
+	"fdrms/internal/regret"
+)
+
+// EpsLadder is the paper's ε grid (Section III-C): powers of two times 1e-4.
+func EpsLadder() []float64 {
+	out := make([]float64, 0, 11)
+	for i := 0; i <= 10; i++ {
+		out = append(out, 1e-4*math.Pow(2, float64(i)))
+	}
+	return out
+}
+
+// TuneEps mirrors the paper's trial-and-error parameter selection
+// (Section III-C): walk the ε ladder, build FD-RMS on the initial database,
+// and keep the ε with the best estimated regret that does not saturate M.
+// Large databases are probed through a subsample — the tuned ε transfers
+// because it tracks the optimal regret level, which is a property of the
+// data distribution, not of n.
+func TuneEps(pts []geom.Point, dim, k, r, m int, seed int64) float64 {
+	const tuneCap = 4000
+	if len(pts) > tuneCap {
+		pts = pts[:tuneCap]
+	}
+	probeM := m
+	if probeM > 1024 {
+		probeM = 1024
+	}
+	if probeM <= r {
+		probeM = m
+	}
+	ev := regret.NewEvaluator(pts, dim, k, 2000, seed+999)
+	bestEps, bestMRR := 0.0, math.Inf(1)
+	for _, eps := range EpsLadder() {
+		cfg := core.Config{K: k, R: r, Eps: eps, M: probeM, Seed: seed}
+		f, err := core.New(dim, pts, cfg)
+		if err != nil {
+			continue
+		}
+		mrr := ev.MRR(f.Result())
+		exhausted := f.Stats().M >= probeM
+		f.Close()
+		if mrr < bestMRR-1e-9 {
+			bestEps, bestMRR = eps, mrr
+		}
+		if exhausted {
+			break // sample budget exhausted; larger eps cannot help
+		}
+	}
+	if bestEps == 0 {
+		bestEps = 0.0016
+	}
+	return bestEps
+}

@@ -389,9 +389,12 @@ func (ds *DurableStore) Checkpoint() (uint64, error) {
 		myStamp = time.Now()
 		ds.lastCkpt = myStamp
 		seq = ds.log.LastSeq()
-		ds.store.mu.RLock() // exclude any non-wmu writer path; readers still flow
-		snap = ds.store.d.f.Snapshot()
-		ds.store.mu.RUnlock()
+		// Capture under the store's writer mutex: readers (which only load
+		// generation handles) still flow, while any non-wmu writer path is
+		// excluded for the duration of the in-memory copy.
+		ds.store.withWriteLock(func() {
+			snap = ds.store.d.f.Snapshot()
+		})
 		return nil
 	}(); err != nil {
 		return 0, err
@@ -485,3 +488,18 @@ func (ds *DurableStore) Contains(id int) bool { return ds.store.Contains(id) }
 
 // Stats reports maintenance internals (see Dynamic.Stats).
 func (ds *DurableStore) Stats() core.Stats { return ds.store.Stats() }
+
+// Current returns the newest committed generation (see Store.Current):
+// lock-free repeatable reads pinned to one durable commit point.
+func (ds *DurableStore) Current() *Generation { return ds.store.Current() }
+
+// TopK queries the current generation's database (see Store.TopK).
+func (ds *DurableStore) TopK(utility []float64, k int) ([]Scored, error) {
+	return ds.store.TopK(utility, k)
+}
+
+// RegretRatioFor evaluates the current answer against one preference
+// (see Store.RegretRatioFor).
+func (ds *DurableStore) RegretRatioFor(utility []float64) (float64, error) {
+	return ds.store.RegretRatioFor(utility)
+}

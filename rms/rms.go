@@ -36,12 +36,17 @@
 //	})
 //
 // Servers that interleave reads with writes should wrap the structure in a
-// Store, which adds an RWMutex and cached read-only result snapshots
-// (rebuilt at most once per write, shared by all readers in between):
+// Store, the MVCC serving layer: every committed write publishes a new
+// immutable Generation (answer, membership, stats, and an epoch-pinned
+// index view) through one atomic pointer, so reads are lock-free and never
+// wait on a writer. Hold a Generation for repeatable reads across calls:
 //
 //	store := rms.NewStoreFrom(db)
 //	go store.ApplyBatch(batch)         // writer
-//	top := store.Result()              // safe from any goroutine
+//	top := store.Result()              // lock-free, from any goroutine
+//	g := store.Current()               // pin one version
+//	g.TopK(u, 10)                      // query the database as of g
+//	g.RegretRatioFor(u)                // evaluate g's answer for one user
 //
 // Stores that must survive a crash or restart wrap the same machinery in a
 // DurableStore: every batch is written to a CRC-checked write-ahead log
@@ -58,13 +63,13 @@ import (
 	"sort"
 
 	"fdrms/internal/baseline"
-	"fdrms/internal/bench"
 	"fdrms/internal/core"
 	"fdrms/internal/geom"
 	"fdrms/internal/nonlinear"
 	"fdrms/internal/regret"
 	"fdrms/internal/skyline"
 	"fdrms/internal/topk"
+	"fdrms/internal/tune"
 )
 
 // Point is a database tuple: a caller-chosen unique ID and nonnegative
@@ -136,7 +141,7 @@ func (o Options) withDefaults(dim int, initial []geom.Point) Options {
 		o.Seed = 1
 	}
 	if o.Epsilon == 0 {
-		o.Epsilon = bench.TuneEps(initial, dim, o.K, o.R, o.MaxUtilities, o.Seed)
+		o.Epsilon = tune.TuneEps(initial, dim, o.K, o.R, o.MaxUtilities, o.Seed)
 	}
 	return o
 }

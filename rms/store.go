@@ -2,28 +2,34 @@ package rms
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fdrms/internal/core"
 	"fdrms/internal/topk"
 )
 
-// Store is a concurrency-safe wrapper around a Dynamic instance: writers
-// (Insert, Delete, ApplyBatch) take an exclusive lock, readers (Result,
-// Len, Contains, Stats) share one. Result returns a cached immutable
-// snapshot that is rebuilt at most once per write, so read-mostly servers
-// pay O(r·d) only after an update, not on every read. A server typically
-// runs one ingestion goroutine applying batches and any number of query
-// goroutines reading the current answer.
+// Store is the MVCC serving layer around a Dynamic instance. Each committed
+// write (Insert, Delete, ApplyBatch) publishes a new immutable Generation —
+// the answer, the membership, frozen stats, and an epoch-pinned view of the
+// tuple index — through one atomic pointer. Reads (Result, Len, Contains,
+// Stats, TopK, RegretRatioFor) load the current generation and never take a
+// lock: they cannot wait on a writer, cannot observe a mid-batch state, and
+// a handle obtained from Current stays exactly as it was — repeatable reads
+// — for as long as the caller holds it. Writers serialize among themselves
+// on a writer-only mutex; superseded generations are reclaimed by the
+// garbage collector once the last reader drops them.
+//
+// A server typically runs one ingestion goroutine applying batches and any
+// number of query goroutines; none of the query goroutines are ever blocked
+// by ingestion (writes only append to the shared arenas and publish, see
+// kdtree.View for the copy-on-write contract underneath).
 type Store struct {
-	mu sync.RWMutex
-	d  *Dynamic
+	// wmu serializes writers only. No read path acquires it.
+	wmu sync.Mutex
+	d   *Dynamic
+	gen atomic.Pointer[Generation]
 
-	// cache is the current answer, deep-copied out of the engine once per
-	// write generation and shared by every reader until the next write
-	// invalidates it. Guarded by cacheMu (readers holding only mu.RLock may
-	// race to fill it); writers invalidate under the exclusive mu.
-	cacheMu sync.Mutex
-	cache   []Point
+	deltas []idDelta // per-write membership delta scratch; guarded by wmu
 }
 
 // NewStore builds the maintenance structure over the initial database and
@@ -33,140 +39,186 @@ func NewStore(dim int, initial []Point, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{d: d}, nil
+	return NewStoreFrom(d), nil
 }
 
-// NewStoreFrom wraps an existing Dynamic instance. The caller must not use
-// the instance directly afterwards.
-func NewStoreFrom(d *Dynamic) *Store { return &Store{d: d} }
-
-// invalidate drops the cached result; called with mu held exclusively.
-func (s *Store) invalidate() {
-	s.cacheMu.Lock()
-	s.cache = nil
-	s.cacheMu.Unlock()
+// NewStoreFrom wraps an existing Dynamic instance, publishing generation 1
+// from its current state. The caller must not use the instance directly
+// afterwards.
+func NewStoreFrom(d *Dynamic) *Store {
+	s := &Store{d: d}
+	s.publishLocked(0, nil)
+	return s
 }
 
-// Insert adds a tuple (replacing any live tuple with the same ID) and
-// updates the answer. A rejected tuple leaves the cached snapshot intact.
+// publishLocked captures the post-write state as generation prev+1 and
+// publishes it; wmu must be held (or the store not yet shared). delta is the
+// write's net membership change, merged into the previous generation's
+// sorted id list — O(n) per commit only in the merge and the index view,
+// never a map rebuild.
+func (s *Store) publishLocked(prevID uint64, delta []idDelta) {
+	fz := s.d.f.Freeze()
+	var prevIDs []int
+	if prev := s.gen.Load(); prev != nil {
+		prevIDs = prev.ids
+	} else {
+		delta = nil // initial publish: take the full list below
+	}
+	ids := nextIDs(prevIDs, delta)
+	if len(ids) != s.d.Len() || s.gen.Load() == nil {
+		// Defensive resync (or the initial publish): rebuild the membership
+		// from the engine. len(ids) != Len can only mean the delta drifted
+		// from what the engine actually applied.
+		ids = make([]int, 0, s.d.Len())
+		for _, p := range s.d.f.Points() {
+			ids = append(ids, p.ID)
+		}
+	}
+	result := make([]Point, len(fz.Result))
+	for i, p := range fz.Result {
+		vals := make([]float64, len(p.Coords))
+		copy(vals, p.Coords)
+		result[i] = Point{ID: p.ID, Values: vals}
+	}
+	s.gen.Store(&Generation{
+		id:     prevID + 1,
+		result: result,
+		ids:    ids,
+		stats:  fz.Stats,
+		k:      fz.K,
+		dim:    s.d.dim,
+		index:  fz.Index,
+	})
+}
+
+// Current returns the newest committed generation: an immutable handle
+// whose every read method is lock-free and pinned to that version. Use it
+// to make several reads mutually consistent; call again for fresher data.
+func (s *Store) Current() *Generation { return s.gen.Load() }
+
+// Insert adds a tuple (replacing any live tuple with the same ID), updates
+// the answer, and publishes a new generation. A rejected tuple publishes
+// nothing.
 func (s *Store) Insert(p Point) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	prev := s.gen.Load().id
 	err := s.d.Insert(p)
 	if err == nil {
-		s.invalidate()
+		s.deltas = append(s.deltas[:0], idDelta{id: p.ID, live: true})
+		s.publishLocked(prev, s.deltas)
 	}
 	return err
 }
 
-// Delete removes the tuple with the given ID and updates the answer.
-// Deleting an unknown ID is a no-op and keeps the cached snapshot. Unknown
-// IDs are screened under the shared lock first, so no-op deletes (common
-// when upstream retries or mirrors a feed) never stall concurrent readers
-// behind an exclusive acquisition; the check is repeated under the exclusive
-// lock in case a racing writer removed the tuple in between.
+// Delete removes the tuple with the given ID, updates the answer, and
+// publishes a new generation. Deleting an unknown ID is a no-op that
+// publishes nothing — screened against the current generation without any
+// lock, so no-op deletes (common when upstream retries or mirrors a feed)
+// are as cheap as reads; the check is repeated under the writer mutex in
+// case a racing writer removed the tuple in between.
 func (s *Store) Delete(id int) {
-	s.mu.RLock()
-	known := s.d.Contains(id)
-	s.mu.RUnlock()
-	if !known {
+	if !s.gen.Load().Contains(id) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if !s.d.Contains(id) {
 		return
 	}
+	prev := s.gen.Load().id
 	s.d.Delete(id)
-	s.invalidate()
+	s.deltas = append(s.deltas[:0], idDelta{id: id, live: false})
+	s.publishLocked(prev, s.deltas)
 }
 
-// ApplyBatch applies the updates in order under one exclusive lock — the
-// preferred write path for heavy ingestion, since readers wait for at most
-// one batch rather than contending on every tuple. A rejected batch (it is
-// validated up front and applied all-or-nothing) keeps the cached snapshot.
+// ApplyBatch applies the updates in order as one write: readers either see
+// the generation before the whole batch or the one after it, never a
+// mid-batch state — the preferred write path for heavy ingestion. A
+// rejected batch (it is validated up front and applied all-or-nothing)
+// publishes nothing.
 func (s *Store) ApplyBatch(batch []Update) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	prev := s.gen.Load().id
 	err := s.d.ApplyBatch(batch)
 	if err == nil && len(batch) > 0 {
-		s.invalidate()
+		s.deltas = s.deltas[:0]
+		for _, u := range batch {
+			if u.Delete {
+				s.deltas = append(s.deltas, idDelta{id: u.ID, live: false})
+			} else {
+				s.deltas = append(s.deltas, idDelta{id: u.Point.ID, live: true})
+			}
+		}
+		s.publishLocked(prev, s.deltas)
 	}
 	return err
 }
 
-// Result returns the current k-RMS answer as a shared immutable snapshot:
-// the slice stays valid (and unchanged) after further updates, and
-// consecutive reads between writes return the same cached copy without
-// re-copying the points. Callers must treat the returned points as
-// read-only; a caller that needs private mutable tuples should copy them.
-func (s *Store) Result() []Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.cacheMu.Lock()
-	if c := s.cache; c != nil {
-		s.cacheMu.Unlock()
-		return c
-	}
-	s.cacheMu.Unlock()
-	// Deep-copy outside cacheMu: only readers reach here (writers hold mu
-	// exclusively), and racing readers build identical snapshots.
-	res := s.d.Result()
-	out := make([]Point, len(res))
-	for i, p := range res {
-		vals := make([]float64, len(p.Values))
-		copy(vals, p.Values)
-		out[i] = Point{ID: p.ID, Values: vals}
-	}
-	s.cacheMu.Lock()
-	if s.cache == nil {
-		s.cache = out
-	} else {
-		out = s.cache // another reader won the fill race; share its copy
-	}
-	s.cacheMu.Unlock()
-	return out
-}
+// Result returns the current k-RMS answer as an immutable snapshot: the
+// slice stays valid (and unchanged) after further updates, and consecutive
+// reads between writes return the same shared slice without copying.
+// Callers must treat the returned points as read-only; a caller that needs
+// private mutable tuples should copy them. Equivalent to Current().Result().
+func (s *Store) Result() []Point { return s.gen.Load().Result() }
 
 // Len returns the current database size.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.d.Len()
-}
+func (s *Store) Len() int { return s.gen.Load().Len() }
 
 // Contains reports whether a tuple with the given ID is live.
-func (s *Store) Contains(id int) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.d.Contains(id)
+func (s *Store) Contains(id int) bool { return s.gen.Load().Contains(id) }
+
+// Stats reports maintenance internals as frozen at the last committed write.
+func (s *Store) Stats() core.Stats { return s.gen.Load().Stats() }
+
+// TopK returns the k live tuples scoring highest under the utility, with
+// scores, against the current generation (see Generation.TopK).
+func (s *Store) TopK(utility []float64, k int) ([]Scored, error) {
+	return s.gen.Load().TopK(utility, k)
 }
 
-// applyOps applies already-validated engine operations under the exclusive
-// lock — the durable store's apply path, which validates and converts a
-// batch exactly once (when encoding it for the log) and must then apply the
-// very ops it logged.
+// RegretRatioFor evaluates the current answer against one preference
+// (see Generation.RegretRatioFor).
+func (s *Store) RegretRatioFor(utility []float64) (float64, error) {
+	return s.gen.Load().RegretRatioFor(utility)
+}
+
+// applyOps applies already-validated engine operations as one write — the
+// durable store's apply path, which validates and converts a batch exactly
+// once (when encoding it for the log) and must then apply the very ops it
+// logged. Publishes a new generation like every committed write.
 func (s *Store) applyOps(ops []topk.Op) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	prev := s.gen.Load().id
 	s.d.f.ApplyBatch(ops)
 	if len(ops) > 0 {
-		s.invalidate()
+		s.deltas = s.deltas[:0]
+		for _, op := range ops {
+			if op.Delete {
+				s.deltas = append(s.deltas, idDelta{id: op.ID, live: false})
+			} else {
+				s.deltas = append(s.deltas, idDelta{id: op.Point.ID, live: true})
+			}
+		}
+		s.publishLocked(prev, s.deltas)
 	}
 }
 
-// Stats reports maintenance internals (see Dynamic.Stats).
-func (s *Store) Stats() core.Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.d.Stats()
+// withWriteLock runs f under the writer mutex — the durable store's
+// checkpoint capture hook (readers keep flowing; concurrent writers wait).
+func (s *Store) withWriteLock(f func()) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	f()
 }
 
 // Close releases the wrapped instance's persistent shard worker pool (see
 // Dynamic.Close). Reads and writes keep working afterwards; parallel phases
 // run inline. Idempotent.
 func (s *Store) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.d.Close()
 }
