@@ -1,0 +1,90 @@
+// Command fdrmsvet is the module's multichecker: it loads every package of
+// the fdrms module and runs the project-specific analyzers that turn the
+// repository's correctness conventions into compile-time gates —
+//
+//	mapiter        no unannotated map iteration in determinism-contract
+//	               packages (//fdrms:orderinvariant <reason> is the audited
+//	               escape hatch)
+//	lockdiscipline generation pointers published only via their publish
+//	               helper; mutex-guarded fields written only under the lock
+//	scratchescape  caller-owned QueryScratch and slab-fragment slices never
+//	               outlive the call that received them
+//	nondet         no wall clock, global randomness, or map-ordered
+//	               formatting reachable from Snapshot/Encode/ApplyBatch
+//
+// Usage:
+//
+//	fdrmsvet [-C moduledir] [analyzer ...]
+//
+// With no analyzer names, every analyzer runs. Exits 1 when any diagnostic
+// is reported, 2 on loading errors — the CI static-analysis job runs it
+// blocking, like a compiler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fdrms/internal/analysis"
+	"fdrms/internal/analysis/lockdiscipline"
+	"fdrms/internal/analysis/mapiter"
+	"fdrms/internal/analysis/nondet"
+	"fdrms/internal/analysis/scratchescape"
+)
+
+var all = []*analysis.Analyzer{
+	mapiter.Analyzer,
+	lockdiscipline.Analyzer,
+	scratchescape.Analyzer,
+	nondet.Analyzer,
+}
+
+func main() {
+	moduleDir := flag.String("C", ".", "module root directory (where go.mod lives)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if args := flag.Args(); len(args) > 0 {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range args {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fdrmsvet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	loader := analysis.NewLoader(*moduleDir)
+	prog, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdrmsvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdrmsvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fdrmsvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

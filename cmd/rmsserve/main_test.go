@@ -91,8 +91,8 @@ func TestServeEndpoints(t *testing.T) {
 	}
 
 	// Bad inputs map to 400, not 500.
-	get(t, srv, "/topk?u=0.5,0.3", 400)          // wrong dimension
-	get(t, srv, "/topk?u=0.5,0.3,nope", 400)     // unparsable
+	get(t, srv, "/topk?u=0.5,0.3", 400)      // wrong dimension
+	get(t, srv, "/topk?u=0.5,0.3,nope", 400) // unparsable
 	get(t, srv, "/topk?u=0.5,0.3,0.2&k=bad", 400)
 	get(t, srv, "/topk?u=0.5,0.3,0.2&k=0", 400)
 	get(t, srv, "/regret?u=-1,0.3,0.2", 400) // negative component

@@ -1,0 +1,127 @@
+// Package analysis is a self-contained static-analysis framework for the
+// fdrms module, mirroring the shape of golang.org/x/tools/go/analysis on
+// nothing but the standard library (this repository vendors no third-party
+// code). It exists to turn the module's load-bearing conventions — the
+// bit-exact batch≡sequential replay contract, the MVCC publish discipline,
+// the caller-owned scratch-buffer ownership rules — into compile-time gates
+// instead of review-time folklore.
+//
+// An Analyzer inspects type-checked packages and reports Diagnostics. The
+// loader (see Load) resolves the whole module with `go list -export` so
+// analyzers see the same types the compiler does. cmd/fdrmsvet is the
+// multichecker binary that runs every analyzer over the module; the
+// analysistest package runs a single analyzer over fixture packages with
+// `// want` expectations, exactly like x/tools' analysistest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Mode says how often an analyzer runs over a loaded program.
+type Mode int
+
+const (
+	// PerPackage runs the analyzer once per module package, with
+	// Pass.Pkg set to that package. The default.
+	PerPackage Mode = iota
+	// WholeProgram runs the analyzer exactly once with Pass.Pkg nil;
+	// the analyzer walks Pass.Prog itself (used for cross-package
+	// reachability like the nondet call-graph check).
+	WholeProgram
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Mode Mode
+	Run  func(*Pass) error
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Name  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded view of the module (or of a fixture package set).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	ByPath   map[string]*Package
+}
+
+// Diagnostic is one finding, position-resolved for printing and testing.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer invocation's inputs and its report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package // nil iff Analyzer.Mode == WholeProgram
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to the program and returns every diagnostic,
+// sorted by file, line, column, then analyzer name (a deterministic order:
+// fdrmsvet output is itself diffable CI evidence).
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		switch a.Mode {
+		case WholeProgram:
+			pass := &Pass{Analyzer: a, Fset: prog.Fset, Prog: prog, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		default:
+			for _, pkg := range prog.Packages {
+				pass := &Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, Prog: prog, diags: &diags}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,161 @@
+// Package analysistest runs one analyzer over a fixture package and checks
+// its diagnostics against `// want` expectations in the fixture source —
+// the same testing shape as golang.org/x/tools/go/analysis/analysistest,
+// rebuilt on the module's own loader.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	x := f() // want "regexp" "another regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. The run
+// fails on any diagnostic without a matching expectation and on any
+// expectation no diagnostic matched. Fixtures live under
+// testdata/src/<name>/ and are loaded as the import path "fixture/<name>";
+// they may import both the standard library and fdrms packages.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fdrms/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` pattern, keyed by file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<name> relative to the caller's package directory,
+// runs the analyzer over it, and reports mismatches as test failures.
+func Run(t *testing.T, name string, a *analysis.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(moduleDir)
+	prog, err := loader.LoadDir("fixture/"+name, absDir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(absDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := posKey(d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matched %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses the fixture files' comments for `// want` patterns.
+func collectWants(dir string) (map[string][]*expectation, error) {
+	out := map[string][]*expectation{}
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+					pat := strings.ReplaceAll(q[1], `\"`, `"`)
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, err
+					}
+					key := posKey(pos.Filename, pos.Line)
+					out[key] = append(out[key], &expectation{re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Loader resolves packages against one module root. Imports are satisfied
+// from compiler export data produced by `go list -export`, so analyzers see
+// exactly the types the compiler builds — no source re-typechecking of
+// dependencies, no drift between vet view and build view.
+type Loader struct {
+	ModuleDir string
+
+	fset    *token.FileSet
+	imp     types.ImporterFrom
+	exports map[string]string // import path -> export data file
+}
+
+// NewLoader builds a loader rooted at the module directory (where go.mod
+// lives). The loader shells out to the go command; it needs no network.
+func NewLoader(moduleDir string) *Loader {
+	l := &Loader{ModuleDir: moduleDir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// goList runs `go list -e -export -json` for the given patterns in the
+// module root and decodes the JSON stream.
+func (l *Loader) goList(args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Module"}, args...)...)
+	cmd.Dir = l.ModuleDir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding: %v", strings.Join(args, " "), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// lookup feeds export data to the gc importer, resolving lazily through
+// `go list -export` for paths not seen yet (fixture imports, test deps).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	exp, ok := l.exports[path]
+	if !ok {
+		entries, err := l.goList(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Export != "" {
+				l.exports[e.ImportPath] = e.Export
+			}
+		}
+		exp = l.exports[path]
+	}
+	if exp == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+// LoadModule loads every package of the module (`go list ./...`), fully
+// parsed and type-checked, with all dependencies resolved from export data.
+func (l *Loader) LoadModule() (*Program, error) {
+	entries, err := l.goList("-deps", "./...")
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.fset, ByPath: map[string]*Package{}}
+	for _, e := range entries {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+	for _, e := range entries {
+		if e.Module == nil || !e.Module.Main || len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, err := l.loadFiles(e.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[pkg.Path] = pkg
+	}
+	return prog, nil
+}
+
+// LoadDir loads the .go files of one directory as a single package under
+// the given import path — the analysistest entry point for fixture
+// packages that are deliberately outside the module's package list.
+func (l *Loader) LoadDir(importPath, dir string) (*Program, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	pkg, err := l.loadFiles(importPath, names)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Fset:     l.fset,
+		Packages: []*Package{pkg},
+		ByPath:   map[string]*Package{pkg.Path: pkg},
+	}, nil
+}
+
+// loadFiles parses and type-checks one package from explicit file names.
+func (l *Loader) loadFiles(importPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Name:  tpkg.Name(),
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

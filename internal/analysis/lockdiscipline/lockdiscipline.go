@@ -1,0 +1,325 @@
+// Package lockdiscipline enforces the module's two write-side locking
+// contracts by call-graph position instead of convention:
+//
+//  1. Publish discipline. A struct field of type sync/atomic.Pointer[T]
+//     whose declaration carries the marker comment
+//
+//     published only by <helper>
+//
+//     may be written (Store/Swap/CompareAndSwap, or address-taken) only
+//     inside the named helper method of the owning struct. This is the
+//     rms.Store generation pointer: every committed write must go through
+//     publishLocked so readers can never observe a half-built generation.
+//
+//  2. Guarded fields. A field whose declaration carries
+//
+//     guarded by <mutex>
+//
+//     (mutex being a sibling sync.Mutex/RWMutex field) may be written only
+//     where the analyzer can see the lock held: lexically after a
+//     <recv>.<mutex>.Lock() call in an enclosing function body, or inside
+//     a function whose name ends in "Locked" (the repo's callee-holds-lock
+//     convention), or inside a func literal passed to a *Lock* helper
+//     (withWriteLock), or on a receiver that is a local, not-yet-shared
+//     variable (constructors).
+//
+// Reads are deliberately out of scope: the MVCC design makes lock-free
+// reads the whole point; it is unsynchronized WRITES that corrupt it.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"fdrms/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "atomic generation pointers stored only via their publish helper; guarded fields written only under their mutex",
+	Run:  run,
+}
+
+var (
+	guardedRe   = regexp.MustCompile(`guarded by (\w+)`)
+	publishedRe = regexp.MustCompile(`published only by (\w+)`)
+)
+
+// atomicStoreMethods are the mutating methods of sync/atomic.Pointer.
+var atomicStoreMethods = map[string]bool{"Store": true, "Swap": true, "CompareAndSwap": true}
+
+// fieldContract is the parsed marker of one struct field.
+type fieldContract struct {
+	owner   string // struct type name, for messages
+	guard   string // sibling mutex field name ("" if none)
+	publish string // designated publish helper ("" if none)
+}
+
+func run(pass *analysis.Pass) error {
+	contracts := collectContracts(pass)
+	if len(contracts) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkPublishCall(pass, contracts, n, stack)
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, contracts, lhs, n.Pos(), stack)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, contracts, n.X, n.Pos(), stack)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					checkAddr(pass, contracts, n, stack)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectContracts scans the package's struct declarations for marker
+// comments and resolves them to field objects.
+func collectContracts(pass *analysis.Pass) map[*types.Var]fieldContract {
+	info := pass.Pkg.Info
+	out := map[*types.Var]fieldContract{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				fc := fieldContract{owner: ts.Name.Name}
+				if m := guardedRe.FindStringSubmatch(text); m != nil {
+					fc.guard = m[1]
+				}
+				if m := publishedRe.FindStringSubmatch(text); m != nil {
+					fc.publish = m[1]
+				}
+				if fc.guard == "" && fc.publish == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						out[v] = fc
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldObj resolves a selector expression to the field object it selects,
+// or nil.
+func fieldObj(info *types.Info, e ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v, sel
+	}
+	return nil, nil
+}
+
+// checkPublishCall flags x.field.Store/Swap/CompareAndSwap when field is a
+// publish-marked atomic pointer and the enclosing named function is not the
+// designated helper.
+func checkPublishCall(pass *analysis.Pass, contracts map[*types.Var]fieldContract, call *ast.CallExpr, stack []ast.Node) {
+	method, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicStoreMethods[method.Sel.Name] {
+		return
+	}
+	v, _ := fieldObj(pass.Pkg.Info, method.X)
+	if v == nil {
+		return
+	}
+	fc, ok := contracts[v]
+	if !ok || fc.publish == "" {
+		return
+	}
+	if fd := analysis.EnclosingFuncDecl(stack); fd == nil || fd.Name.Name != fc.publish {
+		pass.Reportf(call.Pos(), "%s.%s is published only by %s: %s here bypasses the publish helper",
+			fc.owner, v.Name(), fc.publish, method.Sel.Name)
+	}
+}
+
+// checkAddr flags &x.field for publish-marked fields outside the helper
+// (an alias would let the pointer be stored anywhere, unseen).
+func checkAddr(pass *analysis.Pass, contracts map[*types.Var]fieldContract, ue *ast.UnaryExpr, stack []ast.Node) {
+	v, _ := fieldObj(pass.Pkg.Info, ue.X)
+	if v == nil {
+		return
+	}
+	fc, ok := contracts[v]
+	if !ok || fc.publish == "" {
+		return
+	}
+	if fd := analysis.EnclosingFuncDecl(stack); fd == nil || fd.Name.Name != fc.publish {
+		pass.Reportf(ue.Pos(), "%s.%s is published only by %s: taking its address here could smuggle stores past the publish helper",
+			fc.owner, v.Name(), fc.publish)
+	}
+}
+
+// checkWrite flags writes to guarded fields outside the guard.
+func checkWrite(pass *analysis.Pass, contracts map[*types.Var]fieldContract, lhs ast.Expr, writePos token.Pos, stack []ast.Node) {
+	v, sel := fieldObj(pass.Pkg.Info, lhs)
+	if v == nil {
+		return
+	}
+	fc, ok := contracts[v]
+	if !ok || fc.guard == "" {
+		return
+	}
+	root := analysis.RootIdent(sel.X)
+	if root == nil {
+		return
+	}
+	rootObj := pass.Pkg.Info.Uses[root]
+	if rootObj == nil {
+		rootObj = pass.Pkg.Info.Defs[root]
+	}
+	funcs := analysis.EnclosingFuncs(stack)
+	if lockHeld(pass, fc, root, rootObj, writePos, funcs) {
+		return
+	}
+	pass.Reportf(writePos, "write to %s.%s (guarded by %s) without %s.%s.Lock() in scope",
+		fc.owner, v.Name(), fc.guard, root.Name, fc.guard)
+}
+
+// lockHeld reports whether the analyzer can see the guard held at the
+// write: a Locked-suffix function, a local (unshared) receiver, a lexically
+// preceding Lock() on the same receiver and mutex, or a func literal handed
+// to a *Lock* runner.
+func lockHeld(pass *analysis.Pass, fc fieldContract, root *ast.Ident, rootObj types.Object, writePos token.Pos, funcs []ast.Node) bool {
+	for _, fn := range funcs {
+		if fd, ok := fn.(*ast.FuncDecl); ok && strings.HasSuffix(fd.Name.Name, "Locked") {
+			return true // callee-holds-lock convention: callers are checked at their own Lock sites
+		}
+	}
+	// Constructor exemption: the receiver is a variable local to the
+	// innermost function body — the struct is not shared yet.
+	if v, ok := rootObj.(*types.Var); ok && len(funcs) > 0 {
+		inner := funcs[len(funcs)-1]
+		var body *ast.BlockStmt
+		switch f := inner.(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body != nil && v.Pos() >= body.Pos() && v.Pos() < body.End() {
+			return true
+		}
+	}
+	// A lexically preceding <root>.<guard>.Lock() in any enclosing body.
+	for _, fn := range funcs {
+		var body *ast.BlockStmt
+		switch f := fn.(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body == nil {
+			continue
+		}
+		held := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() >= writePos {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Lock" {
+				return true
+			}
+			mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok || mutexSel.Sel.Name != fc.guard {
+				return true
+			}
+			if mr := analysis.RootIdent(mutexSel.X); mr != nil && sameObject(pass, mr, root) {
+				held = true
+			}
+			return true
+		})
+		if held {
+			return true
+		}
+	}
+	// A func literal passed to a lock-running helper (withWriteLock et al).
+	for i := len(funcs) - 1; i >= 0; i-- {
+		lit, ok := funcs[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if callee := enclosingCallee(pass, lit); callee != "" && strings.Contains(callee, "Lock") {
+			return true
+		}
+	}
+	return false
+}
+
+// sameObject reports whether two identifiers resolve to the same object.
+func sameObject(pass *analysis.Pass, a, b *ast.Ident) bool {
+	info := pass.Pkg.Info
+	ao := info.Uses[a]
+	if ao == nil {
+		ao = info.Defs[a]
+	}
+	bo := info.Uses[b]
+	if bo == nil {
+		bo = info.Defs[b]
+	}
+	return ao != nil && ao == bo
+}
+
+// enclosingCallee returns the name of the function a literal is passed to
+// as a direct call argument, or "".
+func enclosingCallee(pass *analysis.Pass, lit *ast.FuncLit) string {
+	name := ""
+	for _, file := range pass.Pkg.Files {
+		if lit.Pos() < file.Pos() || lit.End() > file.End() {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if arg == lit {
+					switch fun := ast.Unparen(call.Fun).(type) {
+					case *ast.Ident:
+						name = fun.Name
+					case *ast.SelectorExpr:
+						name = fun.Sel.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return name
+}

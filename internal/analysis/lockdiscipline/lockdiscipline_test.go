@@ -1,0 +1,19 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"fdrms/internal/analysis/analysistest"
+	"fdrms/internal/analysis/lockdiscipline"
+)
+
+// TestLockdiscipline seeds every violation class — Store/Swap/
+// CompareAndSwap outside the publish helper, address-taking of the
+// published pointer, unguarded writes and increments, a closure that
+// escapes without the lock — next to every sanctioned shape: the helper
+// itself, a lexically held lock, the Locked suffix, a constructor's local
+// receiver, and a literal handed to a lock-running helper. The contracts
+// come from the fixture's own marker comments, so no overrides are needed.
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, "lockdiscipline", lockdiscipline.Analyzer)
+}

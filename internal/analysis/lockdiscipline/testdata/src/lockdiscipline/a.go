@@ -1,0 +1,78 @@
+// Fixture for the lockdiscipline analyzer. The contracts come from the
+// marker comments on the struct fields below, exactly as in rms.Store.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type gen struct{ v int }
+
+type store struct {
+	mu  sync.Mutex
+	gen atomic.Pointer[gen] // published only by publish
+	n   int                 // guarded by mu
+}
+
+func (s *store) publish(g *gen) {
+	s.gen.Store(g) // ok: the designated helper
+}
+
+func (s *store) directStore(g *gen) {
+	s.gen.Store(g) // want "bypasses the publish helper"
+}
+
+func (s *store) directSwap(g *gen) {
+	_ = s.gen.Swap(g) // want "bypasses the publish helper"
+}
+
+func (s *store) directCAS(old, next *gen) {
+	s.gen.CompareAndSwap(old, next) // want "bypasses the publish helper"
+}
+
+func (s *store) alias() {
+	p := &s.gen // want "taking its address"
+	_ = p
+}
+
+func (s *store) lockedWrite() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 1 // ok: lock lexically held
+}
+
+func (s *store) unlockedWrite() {
+	s.n = 2 // want "guarded by mu"
+}
+
+func (s *store) unlockedIncr() {
+	s.n++ // want "guarded by mu"
+}
+
+func (s *store) applyLocked() {
+	s.n = 3 // ok: Locked-suffix convention, callers hold mu
+}
+
+func newStore() *store {
+	s := &store{}
+	s.n = 7 // ok: local receiver, not shared yet
+	return s
+}
+
+func (s *store) withMyLock(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+func (s *store) viaRunner() {
+	s.withMyLock(func() {
+		s.n = 4 // ok: literal handed to a lock-running helper
+	})
+}
+
+func (s *store) escapedClosure() {
+	f := func() { s.n = 5 } // want "guarded by mu"
+	f()
+}

@@ -1,0 +1,117 @@
+// Package mapiter flags `range` over map types inside the determinism-
+// contract packages. Go randomizes map iteration order per run, so any map
+// range on a path that feeds emitted change groups, snapshot bytes, or the
+// WAL would silently break the module's bit-exact batch≡sequential and
+// recovery contracts. A loop that is provably order-invariant (commutative
+// accumulation, or followed by a canonical sort before anything observes
+// the order) may be annotated
+//
+//	//fdrms:orderinvariant <one-line proof>
+//
+// on the line of — or the line immediately above — the range statement.
+// The reason is mandatory: every annotation is a reviewed, greppable audit
+// record of WHY that iteration order cannot reach an observable output.
+// Annotations that no longer sit on a map range are themselves flagged, so
+// stale audit records cannot accumulate.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fdrms/internal/analysis"
+)
+
+// Marker is the annotation tag, without the comment slashes.
+const Marker = "fdrms:orderinvariant"
+
+// ContractPaths are the packages whose map ranges must be dispositioned:
+// the deterministic maintenance pipeline (topk → core → setcover/conetree),
+// the snapshot and WAL encoders, and the MVCC serving layer whose
+// generations must equal a sequential twin. Tests may override.
+var ContractPaths = []string{
+	"fdrms/internal/topk",
+	"fdrms/internal/core",
+	"fdrms/internal/setcover",
+	"fdrms/internal/conetree",
+	"fdrms/internal/wal",
+	"fdrms/rms",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag range over maps in determinism-contract packages unless annotated //fdrms:orderinvariant <reason>",
+	Run:  run,
+}
+
+// annot is one //fdrms:orderinvariant comment found in a file.
+type annot struct {
+	pos    token.Pos
+	reason string
+	used   bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPath(ContractPaths, pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Collect annotations by the line they sit on.
+		anns := map[int]*annot{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimLeft(text, " \t")
+				if !strings.HasPrefix(text, Marker) {
+					continue
+				}
+				reason := strings.TrimPrefix(text, Marker)
+				// Allow a nested trailing comment (used by the analysistest
+				// fixtures' want expectations) without it counting as a reason.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				reason = strings.TrimSpace(reason)
+				line := pass.Fset.Position(c.Pos()).Line
+				anns[line] = &annot{pos: c.Pos(), reason: reason}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(rs.For).Line
+			ann := anns[line]
+			if ann == nil {
+				ann = anns[line-1]
+			}
+			if ann == nil {
+				pass.Reportf(rs.For, "range over %s in determinism-contract package %s: sort the keys, or annotate //%s <reason> if the order provably cannot reach an observable output",
+					types.TypeString(tv.Type, nil), pass.Pkg.Path, Marker)
+				return true
+			}
+			ann.used = true
+			if ann.reason == "" {
+				pass.Reportf(ann.pos, "//%s needs a reason: state why this map's iteration order cannot reach an observable output", Marker)
+			}
+			return true
+		})
+		for _, ann := range anns {
+			if !ann.used {
+				pass.Reportf(ann.pos, "//%s does not annotate a map range (it must sit on the range line or the line above); delete the stale audit record", Marker)
+			}
+		}
+	}
+	return nil
+}

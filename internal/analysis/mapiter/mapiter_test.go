@@ -1,0 +1,25 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"fdrms/internal/analysis/analysistest"
+	"fdrms/internal/analysis/mapiter"
+)
+
+// TestMapiter seeds violations (an unannotated range, a reasonless
+// annotation, a stale annotation) next to the legal shapes (annotation on
+// the range line or the line above, non-map ranges).
+func TestMapiter(t *testing.T) {
+	old := mapiter.ContractPaths
+	mapiter.ContractPaths = append([]string{"fixture/mapiter"}, old...)
+	defer func() { mapiter.ContractPaths = old }()
+	analysistest.Run(t, "mapiter", mapiter.Analyzer)
+}
+
+// TestMapiterNonContractPackage proves the analyzer stays silent outside
+// the contract packages: the fixture ranges over a map with no annotation
+// and expects no diagnostics.
+func TestMapiterNonContractPackage(t *testing.T) {
+	analysistest.Run(t, "nocontract", mapiter.Analyzer)
+}

@@ -1,0 +1,48 @@
+// Fixture for the mapiter analyzer: the test adds "fixture/mapiter" to
+// ContractPaths, so every map range here must be annotated or flagged.
+package a
+
+import "sort"
+
+//fdrms:orderinvariant no range here anymore // want "stale audit record"
+var order = []int{1, 2, 3}
+
+func unannotated(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want "range over map"
+		s += v
+	}
+	return s
+}
+
+func annotatedAbove(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//fdrms:orderinvariant key collection only; sorted below before return
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func annotatedSameLine(m map[int]bool) int {
+	n := 0
+	for range m { //fdrms:orderinvariant pure count, order-free
+		n++
+	}
+	return n
+}
+
+func missingReason(m map[int]int) {
+	//fdrms:orderinvariant // want "needs a reason"
+	for range m {
+	}
+}
+
+func sliceRangeIsFine(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t + order[0]
+}

@@ -1,0 +1,11 @@
+// Fixture for the mapiter analyzer's package gate: this package is NOT in
+// ContractPaths, so its map range must produce no diagnostics.
+package a
+
+func count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

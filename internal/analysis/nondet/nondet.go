@@ -1,0 +1,197 @@
+// Package nondet walks the static call graph from the module's determinism
+// roots — Snapshot, Encode*/Decode*, ApplyBatch*, AppendOps, Freeze,
+// Restore* in the contract packages — and flags calls that can make two
+// runs over the same input diverge:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until),
+//   - the global math/rand source (package-level functions; a locally
+//     seeded *rand.Rand is fine and so are rand.New/NewSource themselves),
+//   - fmt/json/gob formatting of a map-typed value (output order is
+//     formatter-defined, not contract-defined; snapshot and WAL bytes must
+//     come from explicitly sorted iteration).
+//
+// The graph is built from every package in the module, so a root in
+// internal/core that reaches time.Now through three helper hops in another
+// package is still caught; each finding reports the call chain from its
+// root. Dynamic calls (interface methods, function values) dead-end — the
+// analyzer is a gate on the concrete deterministic pipeline, not an alias
+// analysis.
+package nondet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"fdrms/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc:  "no wall clock, global randomness, or map-ordered formatting on paths reachable from the determinism roots",
+	Mode: analysis.WholeProgram,
+	Run:  run,
+}
+
+// ContractPaths are the packages whose exported entry points are
+// determinism roots. Tests may override.
+var ContractPaths = []string{
+	"fdrms/internal/topk",
+	"fdrms/internal/core",
+	"fdrms/internal/setcover",
+	"fdrms/internal/conetree",
+	"fdrms/internal/wal",
+}
+
+// RootPattern matches the names of determinism-contract entry points.
+// Tests may override.
+var RootPattern = regexp.MustCompile(`^(Snapshot|Encode\w*|Decode\w*|ApplyBatch\w*|AppendOps|Freeze|Restore\w*)$`)
+
+// forbiddenCall classifies one banned callee, or returns "".
+func forbiddenCall(f *types.Func) string {
+	full := f.FullName()
+	switch full {
+	case "time.Now", "time.Since", "time.Until":
+		return "wall clock (" + full + ")"
+	}
+	if pkg := f.Pkg(); pkg != nil && pkg.Path() == "math/rand" && !strings.HasPrefix(full, "(") {
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf":
+			return "" // constructing a locally seeded source is deterministic
+		}
+		return "global math/rand source (" + full + ")"
+	}
+	return ""
+}
+
+// formatPkgs are the packages whose functions serialize values in an order
+// the formatter, not the contract, chooses.
+var formatPkgs = map[string]bool{"fmt": true, "encoding/json": true, "encoding/gob": true}
+
+// callSite is one interesting call inside a function body.
+type callSite struct {
+	pos  token.Pos
+	what string // non-empty for forbidden calls
+	to   string // callee node key, "" when not a module function
+}
+
+// node is one declared function of the module.
+type node struct {
+	key   string
+	calls []callSite
+}
+
+func run(pass *analysis.Pass) error {
+	nodes := map[string]*node{}
+	var roots []string
+	rootSeen := map[string]bool{}
+
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := fn.FullName()
+				nd := &node{key: key}
+				nodes[key] = nd
+				collectCalls(pkg, fd, nd)
+				if analysis.HasPath(ContractPaths, pkg.Path) && RootPattern.MatchString(fn.Name()) && !rootSeen[key] {
+					rootSeen[key] = true
+					roots = append(roots, key)
+				}
+			}
+		}
+	}
+	sort.Strings(roots) // deterministic traversal → deterministic chains
+
+	// BFS from the roots, remembering one shortest parent chain.
+	parent := map[string]string{}
+	var queue []string
+	for _, r := range roots {
+		if _, seen := parent[r]; !seen {
+			parent[r] = ""
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		nd := nodes[key]
+		if nd == nil {
+			continue
+		}
+		for _, cs := range nd.calls {
+			if cs.what != "" {
+				pass.Reportf(cs.pos, "%s on deterministic path %s", cs.what, chain(parent, key))
+			}
+			if cs.to != "" {
+				if _, seen := parent[cs.to]; !seen && nodes[cs.to] != nil {
+					parent[cs.to] = key
+					queue = append(queue, cs.to)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectCalls records the interesting calls of one function body: edges to
+// module functions (by key) and forbidden callees. Calls inside func
+// literals are attributed to the declaring function — an overapproximation
+// that errs toward flagging.
+func collectCalls(pkg *analysis.Package, fd *ast.FuncDecl, nd *node) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pkg.Info, call)
+		if f == nil {
+			return true
+		}
+		cs := callSite{pos: call.Pos(), to: f.FullName()}
+		if what := forbiddenCall(f); what != "" {
+			cs.what = what
+		} else if fp := f.Pkg(); fp != nil && formatPkgs[fp.Path()] {
+			for _, arg := range call.Args {
+				if tv, ok := pkg.Info.Types[arg]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						cs.what = fmt.Sprintf("map-ordered formatting (%s of %s)", f.FullName(), types.TypeString(tv.Type, nil))
+						break
+					}
+				}
+			}
+		}
+		nd.calls = append(nd.calls, cs)
+		return true
+	})
+}
+
+// chain renders the BFS path from a root to key, e.g.
+// "reachable via (fdrms/internal/core.FDRMS).Snapshot → encodeUtils".
+func chain(parent map[string]string, key string) string {
+	var hops []string
+	for k := key; k != ""; k = parent[k] {
+		hops = append(hops, shortName(k))
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return "reachable via " + strings.Join(hops, " → ")
+}
+
+// shortName trims import-path noise from a node key for messages.
+func shortName(key string) string {
+	key = strings.ReplaceAll(key, "fdrms/internal/", "")
+	return strings.ReplaceAll(key, "fdrms/", "")
+}

@@ -1,0 +1,19 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"fdrms/internal/analysis/analysistest"
+	"fdrms/internal/analysis/nondet"
+)
+
+// TestNondet seeds a wall-clock read two hops below Snapshot, map-keyed
+// formatting one hop below it, and a global math/rand call directly in
+// ApplyBatch — and keeps a locally seeded *rand.Rand inside a root plus an
+// unreachable time.Now as the negatives the reachability walk must skip.
+func TestNondet(t *testing.T) {
+	old := nondet.ContractPaths
+	nondet.ContractPaths = []string{"fixture/nondet"}
+	defer func() { nondet.ContractPaths = old }()
+	analysistest.Run(t, "nondet", nondet.Analyzer)
+}

@@ -1,0 +1,42 @@
+// Fixture for the nondet analyzer: the test points ContractPaths at this
+// package, making Snapshot, ApplyBatch, and EncodeSeeded the determinism
+// roots. Forbidden calls are flagged only when reachable from a root.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+type engine struct{ m map[int]int }
+
+func (e *engine) Snapshot() []byte {
+	stamp()
+	return e.encode()
+}
+
+func (e *engine) encode() []byte {
+	fmt.Println(e.m) // want "map-ordered formatting"
+	return nil
+}
+
+func stamp() {
+	_ = time.Now() // want "wall clock"
+}
+
+func (e *engine) ApplyBatch(ops []int) {
+	if rand.Intn(2) == 0 { // want "global math/rand"
+		_ = ops
+	}
+}
+
+func (e *engine) EncodeSeeded() []byte {
+	r := rand.New(rand.NewSource(7)) // ok: locally seeded source
+	_ = r.Intn(10)
+	return nil
+}
+
+func helper() {
+	_ = time.Now() // ok: not reachable from a determinism root
+}

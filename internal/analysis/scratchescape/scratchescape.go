@@ -1,0 +1,295 @@
+// Package scratchescape enforces the caller-owned-buffer contract from the
+// allocation-free query pipeline (PR 3): a *kdtree.QueryScratch handed to a
+// function belongs to the caller for the duration of the call ONLY, and the
+// slices returned by the kd-tree Into query variants and the setcover slab
+// (fragments carved from the shared arena) alias reusable storage that the
+// next query or slab operation will overwrite.
+//
+// Concretely, within any function, a value is "owned elsewhere" when it is
+// a parameter of an owned pointer type (OwnedTypes) or flows from a call to
+// a fragment source (SourceFuncs, matched on the callee's full name). Such
+// a value, or any local alias / field read / subslice of it, must not
+//
+//   - be returned (unless the enclosing function is itself a fragment
+//     source — the Into chain hands the alias to ITS caller by contract),
+//   - be stored into a struct field, map or slice element, or package
+//     variable,
+//   - be captured by a func literal that escapes (returned, assigned,
+//     placed in a composite literal, or started as a goroutine), or
+//   - be passed to a goroutine.
+//
+// Everything transient — ranging over the result, copying it out, passing
+// it (or the scratch) down the call chain — stays legal.
+package scratchescape
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"fdrms/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchescape",
+	Doc:  "caller-owned scratch buffers and slab-fragment slices must not outlive the call that received them",
+	Run:  run,
+}
+
+// OwnedTypes are named types T where a parameter of type *T is caller-owned
+// for the duration of the call. Tests may override.
+var OwnedTypes = []string{"fdrms/internal/kdtree.QueryScratch"}
+
+// SourceFuncs match (*types.Func).FullName of functions whose slice results
+// alias reusable internal storage. Tests may override.
+var SourceFuncs = []*regexp.Regexp{
+	regexp.MustCompile(`^\(\*fdrms/internal/setcover\.slab\)\.view$`),
+	regexp.MustCompile(`^\(\*fdrms/internal/kdtree\.[\w]+\)\.[\w]*Into$`),
+	// Phase-1 of the top-k search: documented as returning sc.results-backed
+	// storage to its (in-package) callers.
+	regexp.MustCompile(`^\(\*fdrms/internal/kdtree\.arena\)\.searchTopK$`),
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isOwnedPtr reports whether t is *T for an owned named type T.
+func isOwnedPtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return analysis.HasPath(OwnedTypes, obj.Pkg().Path()+"."+obj.Name())
+}
+
+// isSource reports whether f is a fragment source.
+func isSource(f *types.Func) bool {
+	if f == nil {
+		return false
+	}
+	full := f.FullName()
+	for _, re := range SourceFuncs {
+		if re.MatchString(full) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc analyzes one declared function (literals inside it included).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// Seed the tracked set with owned-pointer parameters.
+	tracked := map[types.Object]string{} // object -> description for messages
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isOwnedPtr(obj.Type()) {
+					tracked[obj] = "caller-owned " + types.TypeString(obj.Type(), nil)
+				}
+			}
+		}
+	}
+	enclosingIsSource := isSource(funcOf(info, fd))
+
+	// Propagate: a local defined from a tracked value or a fragment-source
+	// call becomes tracked. Iterate to a fixed point so chains of aliases
+	// (a := view(...); b := a[1:]; c := b) are all seen regardless of
+	// declaration order.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || tracked[obj] != "" {
+					continue
+				}
+				if desc := trackedValue(info, tracked, as.Rhs[i]); desc != "" {
+					// Only locals: a tracked value stored into anything
+					// non-local is reported by the escape walk below.
+					if _, isVar := obj.(*types.Var); isVar {
+						tracked[obj] = desc
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	analysis.WithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if enclosingIsSource && innermostFunc(stack) == nil {
+				break // the Into chain returns its alias by contract
+			}
+			for _, res := range n.Results {
+				if desc := trackedValue(info, tracked, res); desc != "" {
+					pass.Reportf(res.Pos(), "returning %s: it aliases storage the next query/operation reuses; copy it out instead", desc)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				desc := trackedValue(info, tracked, n.Rhs[i])
+				if desc == "" {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					// Storing scratch-backed storage back into the SAME
+					// tracked owner (sc.results = best) is the reuse
+					// contract working, not an escape.
+					if root := analysis.RootIdent(target.X); root != nil {
+						if obj := info.Uses[root]; obj != nil && tracked[obj] != "" {
+							continue
+						}
+					}
+					pass.Reportf(n.Pos(), "storing %s into field %s: scratch-backed storage must not outlive the call", desc, target.Sel.Name)
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(), "storing %s into an element: scratch-backed storage must not outlive the call", desc)
+				case *ast.Ident:
+					if obj := info.Uses[target]; obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+						pass.Reportf(n.Pos(), "storing %s into package variable %s: scratch-backed storage must not outlive the call", desc, target.Name)
+					}
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if desc := trackedValue(info, tracked, arg); desc != "" {
+					pass.Reportf(arg.Pos(), "passing %s to a goroutine: a scratch belongs to exactly one goroutine", desc)
+				}
+			}
+		case *ast.FuncLit:
+			if obj, capt := captures(info, n, tracked); capt != "" && escapes(n, stack) {
+				pass.Reportf(n.Pos(), "func literal capturing %s (%s) escapes this call: scratch-backed storage must not outlive it", capt, obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// funcOf returns the *types.Func of a declaration, or nil.
+func funcOf(info *types.Info, fd *ast.FuncDecl) *types.Func {
+	f, _ := info.Defs[fd.Name].(*types.Func)
+	return f
+}
+
+// innermostFunc returns the innermost FuncLit on the stack, or nil: a
+// return inside a literal is not the enclosing declaration's return.
+func innermostFunc(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+// trackedValue reports whether e is a tracked value or a direct derivation
+// of one (subslice, field read through a tracked pointer, fragment-source
+// call), returning a description or "".
+func trackedValue(info *types.Info, tracked map[types.Object]string, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return tracked[obj]
+		}
+	case *ast.SliceExpr:
+		return trackedValue(info, tracked, e.X)
+	case *ast.SelectorExpr:
+		// A slice read out of a tracked pointer (sc.out) is scratch-backed.
+		if root := analysis.RootIdent(e.X); root != nil {
+			if obj := info.Uses[root]; obj != nil && tracked[obj] != "" {
+				if _, isSlice := info.Types[e].Type.Underlying().(*types.Slice); isSlice {
+					return "a slice of " + tracked[obj]
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if f := analysis.CalleeFunc(info, e); isSource(f) {
+			return "the result of " + f.Name() + " (aliases reusable storage)"
+		}
+	}
+	return ""
+}
+
+// captures returns a tracked object referenced inside the literal (declared
+// outside it), if any.
+func captures(info *types.Info, lit *ast.FuncLit, tracked map[types.Object]string) (types.Object, string) {
+	var obj types.Object
+	desc := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || desc != "" {
+			return true
+		}
+		o := info.Uses[id]
+		if o == nil || tracked[o] == "" {
+			return true
+		}
+		if o.Pos() < lit.Pos() || o.Pos() > lit.End() {
+			obj, desc = o, tracked[o]
+		}
+		return true
+	})
+	return obj, desc
+}
+
+// escapes reports whether the func literal leaves the enclosing function:
+// returned, assigned, placed in a composite literal, or started as a
+// goroutine (directly or as `go func(){...}()`). A literal that is only
+// called in place or passed to an ordinary call (sort.Slice and friends)
+// does not escape.
+func escapes(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.GoStmt, *ast.ReturnStmt, *ast.AssignStmt, *ast.ValueSpec, *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.CallExpr:
+		// go func(){...}(): the literal's parent is the call, the call's
+		// parent the go statement.
+		if parent.Fun == lit && len(stack) >= 3 {
+			if _, ok := stack[len(stack)-3].(*ast.GoStmt); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package scratchescape_test
+
+import (
+	"regexp"
+	"testing"
+
+	"fdrms/internal/analysis/analysistest"
+	"fdrms/internal/analysis/scratchescape"
+)
+
+// TestScratchescape retargets the ownership config at the fixture's own
+// Scratch type and (*pool).view* sources, then checks every escape class
+// (returns, field/element/global stores, goroutine handoff, escaping
+// closures — including `go func(){...}()` and a nested closure inside a
+// non-escaping one) against every legal shape (threading down the call
+// chain, copying out, self-stores, in-place literals, source chains).
+func TestScratchescape(t *testing.T) {
+	oldTypes, oldSrc := scratchescape.OwnedTypes, scratchescape.SourceFuncs
+	scratchescape.OwnedTypes = []string{"fixture/scratchescape.Scratch"}
+	scratchescape.SourceFuncs = []*regexp.Regexp{
+		regexp.MustCompile(`^\(\*fixture/scratchescape\.pool\)\.view\w*$`),
+	}
+	defer func() {
+		scratchescape.OwnedTypes, scratchescape.SourceFuncs = oldTypes, oldSrc
+	}()
+	analysistest.Run(t, "scratchescape", scratchescape.Analyzer)
+}

@@ -1,0 +1,115 @@
+// Fixture for the scratchescape analyzer. The test configures
+// fixture/scratchescape.Scratch as the owned type (standing in for
+// kdtree.QueryScratch) and (*pool).view* as the fragment sources
+// (standing in for slab.view and the kd-tree Into variants).
+package a
+
+type Scratch struct {
+	buf []int
+	out []int
+}
+
+type pool struct{ arena []int }
+
+// view is a configured fragment source: returning its own alias is the
+// contract, not a violation.
+func (p *pool) view(n int) []int { return p.arena[:n] }
+
+// viewTail derives from a source and is itself a source: the Into chain
+// hands aliases to its callers by contract.
+func (p *pool) viewTail(n int) []int {
+	f := p.view(n)
+	return f // ok: viewTail is itself a source
+}
+
+type holder struct {
+	kept []int
+	sc   *Scratch
+	cb   func()
+}
+
+var global []int
+
+func ret(sc *Scratch) *Scratch {
+	return sc // want "returning caller-owned"
+}
+
+func retSlice(sc *Scratch) []int {
+	return sc.buf // want "returning a slice of caller-owned"
+}
+
+func storePtr(h *holder, sc *Scratch) {
+	h.sc = sc // want "into field sc"
+}
+
+func storeFrag(h *holder, p *pool) {
+	f := p.view(3)
+	h.kept = f // want "into field kept"
+}
+
+func storeGlobal(p *pool) {
+	global = p.view(2) // want "into package variable global"
+}
+
+func retFragAlias(p *pool) []int {
+	f := p.view(3)
+	g := f[1:]
+	return g // want "returning the result of view"
+}
+
+func handoff(sc *Scratch, ch chan int) {
+	go worker(sc, ch) // want "to a goroutine"
+}
+
+func worker(sc *Scratch, ch chan int) { ch <- len(sc.buf) }
+
+func captureGo(sc *Scratch) {
+	go func() { // want "func literal capturing"
+		_ = sc.buf
+	}()
+}
+
+func captureReturn(sc *Scratch) func() int {
+	return func() int { // want "func literal capturing"
+		return len(sc.buf)
+	}
+}
+
+func captureField(h *holder, sc *Scratch) {
+	h.cb = func() { // want "func literal capturing"
+		_ = sc.out
+	}
+}
+
+func nested(sc *Scratch) {
+	run(func() { // ok: called in place, does not escape
+		inner := func() int { return len(sc.buf) } // want "func literal capturing"
+		_ = inner
+	})
+}
+
+func run(f func()) { f() }
+
+func consume(sc *Scratch) int {
+	n := 0
+	for _, v := range sc.buf {
+		n += v
+	}
+	return n // ok: scalar copy
+}
+
+func passDown(sc *Scratch) int {
+	return consume(sc) // ok: passing down the call chain
+}
+
+func copyOut(p *pool) []int {
+	f := p.view(4)
+	out := make([]int, len(f))
+	copy(out, f)
+	return out // ok: a copy, not the fragment
+}
+
+func selfStore(sc *Scratch) {
+	best := sc.buf[:0]
+	sc.out = best // ok: reuse inside the same scratch
+}

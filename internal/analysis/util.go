@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks root in depth-first order, calling fn with each node and
+// the stack of its ancestors (stack[len-1] == n). Returning false skips the
+// node's children.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// EnclosingFuncs returns the function nodes (FuncDecl or FuncLit) on the
+// stack, outermost first.
+func EnclosingFuncs(stack []ast.Node) []ast.Node {
+	var out []ast.Node
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// EnclosingFuncDecl returns the innermost FuncDecl on the stack, or nil.
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// RootIdent returns the base identifier of a selector chain (a in a.b.c),
+// unwrapping parens, stars, index and slice expressions; nil when the chain
+// roots in something else (a call, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// CalleeFunc resolves the static callee of a call expression to a
+// *types.Func (package function or method), or nil for builtins, function
+// values, conversions, and dynamic calls.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// HasPath reports whether path is in the list.
+func HasPath(list []string, path string) bool {
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}

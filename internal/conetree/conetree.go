@@ -18,6 +18,7 @@ package conetree
 
 import (
 	"math"
+	"sort"
 
 	"fdrms/internal/geom"
 )
@@ -367,9 +368,16 @@ func (t *Tree) Threshold(id int) (float64, bool) {
 func (t *Tree) rebuild() {
 	t.Rebuilds++
 	ids := make([]int, 0, len(t.items))
+	//fdrms:orderinvariant key collection only; sorted on the next line before any use
 	for id := range t.items {
 		ids = append(ids, id)
 	}
+	// Canonical input order: build() picks pivots positionally (ids[0],
+	// scan-order ties in farthestFrom), so the tree SHAPE is a function of
+	// the id order. Sorting makes every rebuild of the same id set produce
+	// the same tree — probe order, visited counts, and perf are then
+	// reproducible run to run instead of following map iteration order.
+	sort.Ints(ids)
 	t.root = t.build(nil, ids)
 	t.churn = 0
 }

@@ -61,6 +61,7 @@ func (f *FDRMS) Snapshot() *Snapshot {
 	}
 	assign := f.cover.Assignment()
 	s.Assign = make([]AssignEntry, 0, len(assign))
+	//fdrms:orderinvariant elem keys are unique and the entries are sorted by Elem on the line after the loop, before anything observes them
 	for e, set := range assign {
 		s.Assign = append(s.Assign, AssignEntry{Elem: e, Set: set})
 	}
@@ -122,6 +123,7 @@ func Restore(s *Snapshot, shards int) (*FDRMS, error) {
 	}
 	arena := make([]int, 0, total)
 	members := make(map[int][]int, len(degree))
+	//fdrms:orderinvariant only the per-pid windows' OFFSETS within the shared backing array vary with this order; each window's contents are filled in ascending-utility order below and offsets are not observable
 	for pid, n := range degree {
 		members[pid] = arena[len(arena) : len(arena) : len(arena)+n]
 		arena = arena[:len(arena)+n]

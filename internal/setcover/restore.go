@@ -11,7 +11,6 @@
 package setcover
 
 import (
-	"cmp"
 	"fmt"
 	"slices"
 )
@@ -92,8 +91,21 @@ func (sv *Solver) RestoreSolution(elems []int, assign map[int]int) error {
 		sv.nUniverse++
 	}
 
+	// One canonical order for everything below: ascending element id. The
+	// cover install, the level fill, and the bucket rebuild all walk it, so
+	// slab layout, counters, and — on a corrupt snapshot — WHICH violation
+	// is reported all come out identical on every restore of the same
+	// snapshot, instead of following map iteration order.
+	keys := make([]int, 0, len(assign))
+	//fdrms:orderinvariant key collection only; sorted on the next line before any validation or use
+	for e := range assign {
+		keys = append(keys, e)
+	}
+	slices.Sort(keys)
+
 	// Covers and levels first: bucketAdd needs every chosen set's level.
-	for e, s := range assign {
+	for _, e := range keys {
+		s := assign[e]
 		ei, ok := sv.elemIdx[e]
 		if !ok || !sv.elems[ei].inU {
 			return fmt.Errorf("setcover: assignment of %d outside the universe", e)
@@ -120,19 +132,12 @@ func (sv *Solver) RestoreSolution(elems []int, assign map[int]int) error {
 		t.level = j
 		sv.levelAdd(j, int32(i))
 	}
-	// Buckets in deterministic element order (buckets are rebuilt from
+	// Buckets in the same canonical element order (buckets are rebuilt from
 	// scratch, so order only matters for reproducible failure modes).
-	ordered := sv.moved[:0]
-	for e := range assign {
-		ordered = append(ordered, sv.elemIdx[e])
-	}
-	slices.SortFunc(ordered, func(x, y int32) int {
-		return cmp.Compare(sv.elems[x].id, sv.elems[y].id)
-	})
-	for _, ei := range ordered {
+	for _, e := range keys {
+		ei := sv.elemIdx[e]
 		sv.bucketAdd(ei, sv.sets[sv.elems[ei].assign].level)
 	}
-	sv.moved = ordered[:0]
 	for _, e := range elems {
 		ei := sv.elemIdx[e]
 		if sv.elems[ei].assign >= 0 {

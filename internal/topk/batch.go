@@ -524,6 +524,7 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 		// visits only the utilities whose Φ holds the tuple) never leaves a
 		// dead tuple buffered.
 		if newThresh > oldThresh {
+			//fdrms:orderinvariant each pid is visited once and evicted iff score < newThresh (a per-entry predicate); the emitted changes are re-sorted by (utility, point) in emitRunGroups before any caller sees them
 			for pid, score := range st.phi {
 				if score < newThresh {
 					delete(st.phi, pid)

@@ -81,6 +81,7 @@ func (e *Engine) Snapshot() *EngineSnapshot {
 	s.Utilities = make([]UtilityState, 0, e.numUtils)
 	for si := range e.shards {
 		sh := &e.shards[si]
+		//fdrms:orderinvariant collects per-utility states only; s.Utilities is sorted by ID below before the snapshot is returned
 		for uid := range sh.slots {
 			st := sh.state(uid)
 			us := UtilityState{
@@ -88,6 +89,7 @@ func (e *Engine) Snapshot() *EngineSnapshot {
 				Phi:  make([]PhiEntry, 0, len(st.phi)),
 				TopK: make([]int, len(st.topk)),
 			}
+			//fdrms:orderinvariant pid keys are unique and us.Phi is sorted by PointID on the line after the loop
 			for pid, score := range st.phi {
 				us.Phi = append(us.Phi, PhiEntry{PointID: pid, Score: score})
 			}

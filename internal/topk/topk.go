@@ -258,6 +258,7 @@ func NewEngineShards(dim, k int, eps float64, points []geom.Point, utilities []U
 			e.numUtils++
 		}
 		sh.put(ut.ID, st)
+		//fdrms:orderinvariant each pid is visited once and addToSet does a sorted insert into pid's own disjoint list; no cross-pid state exists
 		for pid := range st.phi {
 			sh.addToSet(pid, ut.ID)
 		}
@@ -453,6 +454,7 @@ func (e *Engine) Delete(id int) []Change {
 func (e *Engine) topKFromPhi(st *uState, asOf uint64, buf []kdtree.Result) []kdtree.Result {
 	out := buf[:0]
 	max := e.maxTopK()
+	//fdrms:orderinvariant top-k accumulation under the total order (score desc, id asc): the kept set is the best max elements of the candidate set, and the skip-when-full test only drops candidates strictly worse than the current kth — independent of visit order (see doc above)
 	for pid, score := range st.phi {
 		if len(out) == max {
 			last := out[len(out)-1]
@@ -508,6 +510,7 @@ func (e *Engine) AddUtility(ut Utility) []Change {
 	e.numUtils++
 	e.ui.Insert(conetree.Item{ID: ut.ID, U: ut.U, Threshold: e.thresholdOf(st.topk)})
 	changes := make([]Change, 0, len(st.phi))
+	//fdrms:orderinvariant addToSet sorted-inserts into disjoint per-pid lists and changes are sorted by PointID on the line after the loop
 	for pid := range st.phi {
 		sh.addToSet(pid, ut.ID)
 		changes = append(changes, Change{UtilityID: ut.ID, PointID: pid, Added: true})
@@ -525,6 +528,7 @@ func (e *Engine) RemoveUtility(uid int) []Change {
 		return nil
 	}
 	changes := make([]Change, 0, len(st.phi))
+	//fdrms:orderinvariant removeFromSet edits disjoint per-pid lists and changes are sorted by PointID on the line after the loop
 	for pid := range st.phi {
 		sh.removeFromSet(pid, uid)
 		changes = append(changes, Change{UtilityID: uid, PointID: pid, Added: false})

@@ -81,18 +81,18 @@ type DurableStore struct {
 	// keeping the log order identical to the apply order. It nests OUTSIDE
 	// store.mu.
 	wmu    sync.Mutex
-	log    *wal.Log
-	closed bool
+	log    *wal.Log // opened at construction, then guarded by wmu
+	closed bool     // guarded by wmu
 
 	ops []topk.Op // reusable batch-conversion scratch; guarded by wmu
 
 	// Auto-checkpoint state (see DurableOptions.CheckpointEveryOps /
-	// CheckpointInterval). opsSinceCkpt and lastCkpt are guarded by wmu;
-	// ckptBusy keeps concurrent triggering writers from stacking redundant
-	// checkpoints (the loser simply skips — the winner's checkpoint covers
-	// its batch too, since Checkpoint captures after syncing the log).
-	opsSinceCkpt int
-	lastCkpt     time.Time
+	// CheckpointInterval). ckptBusy keeps concurrent triggering writers from
+	// stacking redundant checkpoints (the loser simply skips — the winner's
+	// checkpoint covers its batch too, since Checkpoint captures after
+	// syncing the log).
+	opsSinceCkpt int       // guarded by wmu
+	lastCkpt     time.Time // guarded by wmu
 	ckptBusy     atomic.Bool
 }
 

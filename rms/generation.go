@@ -146,37 +146,42 @@ type idDelta struct {
 
 // nextIDs merges the sorted live-id list of the previous generation with the
 // net per-id effect of one committed write (last operation wins), returning
-// the new sorted list. Runs in O(|prev| + |delta| log |delta|).
+// the new sorted list. Runs in O(|prev| + |delta| log |delta|), map-free:
+// a stable sort groups the delta by id while preserving arrival order
+// within a group, so each group's last entry IS the net effect (ins-then-del
+// nets to dead, del-then-ins to live, replace to live) and the merge walks
+// two sorted lists.
 func nextIDs(prev []int, delta []idDelta) []int {
 	if len(delta) == 0 {
 		return prev
 	}
-	// Net effect per id: the last op wins (ins-then-del nets to dead,
-	// del-then-ins to live, replace to live).
-	last := make(map[int]bool, len(delta))
-	for _, d := range delta {
-		last[d.id] = d.live
+	net := make([]idDelta, len(delta))
+	copy(net, delta)
+	sort.SliceStable(net, func(i, j int) bool { return net[i].id < net[j].id })
+	w := 0
+	for i := range net {
+		if i+1 < len(net) && net[i+1].id == net[i].id {
+			continue // a later op on the same id supersedes this one
+		}
+		net[w] = net[i]
+		w++
 	}
-	changed := make([]int, 0, len(last))
-	for id := range last {
-		changed = append(changed, id)
-	}
-	sort.Ints(changed)
-	out := make([]int, 0, len(prev)+len(changed))
+	net = net[:w]
+	out := make([]int, 0, len(prev)+len(net))
 	i, j := 0, 0
-	for i < len(prev) || j < len(changed) {
+	for i < len(prev) || j < len(net) {
 		switch {
-		case j == len(changed) || (i < len(prev) && prev[i] < changed[j]):
+		case j == len(net) || (i < len(prev) && prev[i] < net[j].id):
 			out = append(out, prev[i])
 			i++
-		case i == len(prev) || changed[j] < prev[i]:
-			if last[changed[j]] {
-				out = append(out, changed[j])
+		case i == len(prev) || net[j].id < prev[i]:
+			if net[j].live {
+				out = append(out, net[j].id)
 			}
 			j++
 		default: // same id in both: the delta decides
-			if last[changed[j]] {
-				out = append(out, changed[j])
+			if net[j].live {
+				out = append(out, net[j].id)
 			}
 			i++
 			j++

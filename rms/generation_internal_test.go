@@ -1,0 +1,49 @@
+package rms
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestNextIDs pins the merge semantics of the membership-delta fold: the
+// last operation on an id within one write wins, results stay sorted and
+// duplicate-free, and the order the deltas arrived in (which follows batch
+// order, not id order) cannot change the outcome.
+func TestNextIDs(t *testing.T) {
+	cases := []struct {
+		name  string
+		prev  []int
+		delta []idDelta
+		want  []int
+	}{
+		{"empty delta", []int{1, 3, 5}, nil, []int{1, 3, 5}},
+		{"insert new", []int{1, 3}, []idDelta{{id: 2, live: true}}, []int{1, 2, 3}},
+		{"insert existing is idempotent", []int{1, 3}, []idDelta{{id: 3, live: true}}, []int{1, 3}},
+		{"delete", []int{1, 3, 5}, []idDelta{{id: 3, live: false}}, []int{1, 5}},
+		{"delete absent is a no-op", []int{1, 5}, []idDelta{{id: 3, live: false}}, []int{1, 5}},
+		{
+			"insert then delete same id: delete wins",
+			[]int{1},
+			[]idDelta{{id: 2, live: true}, {id: 2, live: false}},
+			[]int{1},
+		},
+		{
+			"delete then reinsert same id: insert wins",
+			[]int{1, 2},
+			[]idDelta{{id: 2, live: false}, {id: 2, live: true}},
+			[]int{1, 2},
+		},
+		{
+			"unsorted batch order",
+			[]int{2, 4, 6},
+			[]idDelta{{id: 7, live: true}, {id: 4, live: false}, {id: 1, live: true}},
+			[]int{1, 2, 6, 7},
+		},
+	}
+	for _, tc := range cases {
+		got := nextIDs(tc.prev, tc.delta)
+		if !slices.Equal(got, tc.want) {
+			t.Errorf("%s: nextIDs(%v, %v) = %v, want %v", tc.name, tc.prev, tc.delta, got, tc.want)
+		}
+	}
+}

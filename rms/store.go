@@ -26,8 +26,8 @@ import (
 type Store struct {
 	// wmu serializes writers only. No read path acquires it.
 	wmu sync.Mutex
-	d   *Dynamic
-	gen atomic.Pointer[Generation]
+	d   *Dynamic                   // engine mutations serialize on wmu; guarded by wmu
+	gen atomic.Pointer[Generation] // published only by publishLocked; loads are lock-free
 
 	deltas []idDelta // per-write membership delta scratch; guarded by wmu
 }
