@@ -16,13 +16,19 @@
 //	rmsbench -exp window                 # sliding-window / delete-heavy throughput
 //	rmsbench -exp recover                # WAL ingest, checkpoint, crash recovery
 //	rmsbench -exp serve                  # concurrent readers vs writer batches (MVCC)
+//	rmsbench -exp scaling                # GOMAXPROCS × shards sweep with phase breakdown
 //	rmsbench -exp all                    # everything above
 //
 // With -json, each experiment additionally writes BENCH_<exp>.json — the
 // same tables with rows keyed by column name (ops/s, speedup, allocs/op,
 // result==seq, ...), plus run metadata (git rev, Go version, GOMAXPROCS,
 // scale, timestamp), so the performance trajectory is machine-readable and
-// comparable across commits and runners.
+// comparable across commits and runners. Every JSON row carries the
+// gomaxprocs and shards that produced it.
+//
+// Profiling hooks for the multi-core work: -cpuprofile, -memprofile and
+// -mutexprofile write pprof profiles covering the selected experiments
+// (mutex profiling is only enabled when requested — it taxes every lock).
 //
 // Flags -scale, -samples, -m, -recomputes, -budget and -seed control the
 // reproduction scale; see EXPERIMENTS.md for the settings used to produce
@@ -33,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -42,8 +50,8 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | serve | all")
-		batches    = flag.String("batches", "1,16,256", "comma-separated batch sizes for -exp batch and -exp window")
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | serve | scaling | all")
+		batches    = flag.String("batches", "", "comma-separated batch sizes for -exp batch, window and scaling (default 1,16,256; scaling: 1,64,256)")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
 		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
 		m          = flag.Int("m", 2048, "FD-RMS utility sample upper bound M")
@@ -52,8 +60,37 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
 		jsonOut    = flag.Bool("json", false, "also write BENCH_<exp>.json with machine-readable rows")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
 	)
 	flag.Parse()
+
+	if *mutexProf != "" {
+		// Sampled, and only when asked for: fraction accounting costs every
+		// contended lock acquisition in the process.
+		runtime.SetMutexProfileFraction(100)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rmsbench: cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf != "" {
+			writeProfile("heap", *memProf)
+		}
+		if *mutexProf != "" {
+			writeProfile("mutex", *mutexProf)
+		}
+	}()
 
 	opt := bench.Options{
 		Scale:         *scale,
@@ -76,6 +113,24 @@ func main() {
 			t.Fprint(os.Stdout)
 			collected = append(collected, t)
 		}
+	}
+
+	// parseSizes resolves the -batches grid; empty means the experiment's
+	// own default (DefaultBatchSizes / DefaultScalingBatchSizes).
+	parseSizes := func() []int {
+		if *batches == "" {
+			return nil
+		}
+		var sizes []int
+		for _, s := range strings.Split(*batches, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "rmsbench: bad batch size %q\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+		return sizes
 	}
 
 	// perDataset streams one table per dataset.
@@ -113,21 +168,12 @@ func main() {
 			emit(bench.AblationTopK(opt, names...))
 		case "nonlinear":
 			emit(bench.Nonlinear(opt, names...)...)
-		case "batch", "window":
-			var sizes []int
-			for _, s := range strings.Split(*batches, ",") {
-				v, err := strconv.Atoi(strings.TrimSpace(s))
-				if err != nil || v < 1 {
-					fmt.Fprintf(os.Stderr, "rmsbench: bad batch size %q\n", s)
-					os.Exit(2)
-				}
-				sizes = append(sizes, v)
-			}
-			if e == "batch" {
-				emit(bench.BatchThroughput(opt, sizes...))
-			} else {
-				emit(bench.SlidingWindow(opt, sizes...))
-			}
+		case "batch":
+			emit(bench.BatchThroughput(opt, parseSizes()...))
+		case "window":
+			emit(bench.SlidingWindow(opt, parseSizes()...))
+		case "scaling":
+			emit(bench.Scaling(opt, parseSizes()...))
 		case "recover":
 			emit(bench.Recovery(opt))
 		case "serve":
@@ -150,10 +196,27 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover", "serve"} {
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover", "serve", "scaling"} {
 			run(e)
 		}
 		return
 	}
 	run(*exp)
+}
+
+// writeProfile dumps one named runtime profile, forcing a GC first for the
+// heap profile so it reflects live objects rather than garbage.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmsbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if name == "heap" {
+		runtime.GC()
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "rmsbench: %s profile: %v\n", name, err)
+	}
 }

@@ -44,6 +44,7 @@ type listEntry struct {
 	Dir        string
 	ImportPath string
 	Name       string
+	ForTest    string // base import path, set on test-augmented variants
 	Export     string
 	Standard   bool
 	GoFiles    []string
@@ -56,7 +57,7 @@ type listEntry struct {
 // goList runs `go list -e -export -json` for the given patterns in the
 // module root and decodes the JSON stream.
 func (l *Loader) goList(args ...string) ([]listEntry, error) {
-	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Module"}, args...)...)
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json=Dir,ImportPath,Name,ForTest,Export,Standard,GoFiles,Module"}, args...)...)
 	cmd.Dir = l.ModuleDir
 	var out, errb bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &out, &errb
@@ -101,8 +102,17 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 
 // LoadModule loads every package of the module (`go list ./...`), fully
 // parsed and type-checked, with all dependencies resolved from export data.
+//
+// Test files are in scope: `-test` adds, for each package with tests, a
+// test-augmented variant (`pkg [pkg.test]`, GoFiles = regular + in-package
+// _test.go files), the external test package (`pkg_test [pkg.test]`), and
+// the synthesized test main (`pkg.test`, generated sources in the build
+// cache). The test main is skipped; the other variants are folded down to
+// one package per import path, keeping whichever entry carries more files —
+// so analyzers see each determinism-contract package WITH its tests, under
+// its plain path, and external test packages under `pkg_test`.
 func (l *Loader) LoadModule() (*Program, error) {
-	entries, err := l.goList("-deps", "./...")
+	entries, err := l.goList("-deps", "-test", "./...")
 	if err != nil {
 		return nil, err
 	}
@@ -112,15 +122,37 @@ func (l *Loader) LoadModule() (*Program, error) {
 			l.exports[e.ImportPath] = e.Export
 		}
 	}
+	// Fold the entry list down to one winner per plain import path,
+	// preserving first-seen path order so the emitted package list stays
+	// deterministic across runs.
+	var order []string
+	best := map[string]listEntry{}
 	for _, e := range entries {
 		if e.Module == nil || !e.Module.Main || len(e.GoFiles) == 0 {
 			continue
 		}
+		path := e.ImportPath
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i] // strip the " [pkg.test]" build-variant suffix
+		}
+		if strings.HasSuffix(path, ".test") {
+			continue // generated test main: cache-dir sources, nothing to vet
+		}
+		prev, seen := best[path]
+		if !seen {
+			order = append(order, path)
+		}
+		if !seen || len(e.GoFiles) > len(prev.GoFiles) {
+			best[path] = e
+		}
+	}
+	for _, path := range order {
+		e := best[path]
 		files := make([]string, len(e.GoFiles))
 		for i, f := range e.GoFiles {
 			files[i] = filepath.Join(e.Dir, f)
 		}
-		pkg, err := l.loadFiles(e.ImportPath, files)
+		pkg, err := l.loadFiles(path, files)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"fdrms/internal/core"
+	"fdrms/internal/topk"
+)
+
+// DefaultScalingBatchSizes is the batch-size grid of the scaling experiment:
+// the sequential baseline plus the two batched points the CI gate reads.
+var DefaultScalingBatchSizes = []int{1, 64, 256}
+
+// scalingConfigs is the GOMAXPROCS × shard-count grid: the single-core
+// baseline, proportional growth to four cores, and the over-partitioned
+// point (4 shards per core, the DefaultShards policy) that shows what shard
+// over-partitioning buys the work-stealing pool on skewed phases.
+var scalingConfigs = []struct{ procs, shards int }{
+	{1, 1}, {2, 2}, {4, 4}, {4, 16},
+}
+
+// scalingReps is how many times each cell runs; the fastest rep is reported
+// (see run below).
+const scalingReps = 3
+
+// batchFloor is the batch_floor gate's threshold on vs_b1: the best batched
+// size of a configuration must not lose more than 10% to batch=1. Judging
+// the best size (rather than every size) plus the margin absorbs residual
+// scheduler noise that even best-of-scalingReps leaves in few-millisecond
+// cells; a structurally broken batch path drags every size far below. The
+// gate only applies where gomaxprocs <= NumCPU: oversubscribed
+// configurations pay fan-out overhead with no real parallelism behind it,
+// which is a property of the host, not of the code under test.
+const batchFloor = 0.9
+
+// Scaling measures how the batched update path scales across cores: the
+// insert and mixed AntiCor streams (the workloads of the throughput tables)
+// run at every (GOMAXPROCS, shards) point of scalingConfigs × every batch
+// size, with the engine's phase clock installed, so each row carries a
+// wall-time breakdown of the pipeline (candidate probing, index mutation,
+// parallel fan-out, merge, emission) plus the fan-out's load imbalance —
+// the columns that say WHERE the time goes when a configuration fails to
+// scale. The two workloads probe different regimes: insert's long runs are
+// what the shard fan-out parallelizes; mixed's short runs (a delete every
+// four inserts caps each run at four ops) mostly stay under the engine's
+// parallel threshold, so its batched win comes from run segmentation and
+// amortized emission rather than the pool.
+//
+// Two boolean columns feed the CI gate: result==seq (every configuration
+// must reproduce the single-core sequential answer — shard count and
+// parallelism are performance knobs, never semantics) and batch_floor
+// (the best batched size must stay within batchFloor of batch=1 in the
+// same configuration, gated only where the host has the cores to back the
+// requested gomaxprocs). A "false" anywhere fails the workflow's scaling
+// step.
+func Scaling(o Options, sizes ...int) *Table {
+	o = o.withDefaults()
+	if len(sizes) == 0 {
+		sizes = DefaultScalingBatchSizes
+	}
+	initial, fresh, cfg := batchSetup(o)
+	streams := map[string][]topk.Op{
+		"insert": insertStream(fresh),
+		"mixed":  mixedStream(initial, fresh),
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	t := &Table{
+		Title: fmt.Sprintf("Multi-core scaling (AntiCor, n=%d, d=%d, M=%d, r=%d)",
+			len(initial), o.SynthD, o.M, cfg.R),
+		Header: []string{"workload", "gomaxprocs", "shards", "batch", "ops", "elapsed", "ops/s",
+			"vs_b1", "vs_seq1core", "cand(ms)", "index(ms)", "fanout(ms)", "merge(ms)", "emit(ms)",
+			"imbalance", "result==seq", "batch_floor"},
+	}
+
+	type runOut struct {
+		elapsed time.Duration
+		prof    topk.PhaseProfile
+		result  []int
+	}
+	runOnce := func(ops []topk.Op, procs, shards, size int) runOut {
+		runtime.GOMAXPROCS(procs)
+		c := cfg
+		c.Shards = shards
+		f, err := core.New(o.SynthD, initial, c)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		t0 := time.Now()
+		f.Engine().SetPhaseClock(func() int64 { return int64(time.Since(t0)) })
+		// Per-call windows, like runStreams: clock reads between calls are
+		// excluded symmetrically at every batch size.
+		var elapsed time.Duration
+		if size <= 1 {
+			for _, op := range ops {
+				s := time.Now()
+				if op.Delete {
+					f.Delete(op.ID)
+				} else {
+					f.Insert(op.Point)
+				}
+				elapsed += time.Since(s)
+			}
+		} else {
+			for i := 0; i < len(ops); i += size {
+				j := i + size
+				if j > len(ops) {
+					j = len(ops)
+				}
+				s := time.Now()
+				f.ApplyBatch(ops[i:j])
+				elapsed += time.Since(s)
+			}
+		}
+		return runOut{elapsed, f.Engine().PhaseProfile(), f.ResultIDs()}
+	}
+	// Each cell is the best of scalingReps runs: the speedup columns gate CI,
+	// and a single few-millisecond window is scheduler roulette. The ops are
+	// deterministic, so every rep produces the identical result set — only
+	// the clock varies.
+	run := func(ops []topk.Op, procs, shards, size int) runOut {
+		best := runOnce(ops, procs, shards, size)
+		for i := 1; i < scalingReps; i++ {
+			if r := runOnce(ops, procs, shards, size); r.elapsed < best.elapsed {
+				best = r
+			}
+		}
+		return best
+	}
+
+	ms := func(n int64) string { return fmt.Sprintf("%.1f", float64(n)/1e6) }
+	for _, name := range []string{"insert", "mixed"} {
+		ops := streams[name]
+		// The per-workload reference every row's vs_seq1core and result==seq
+		// compare against: one core, one shard, sequential.
+		ref := run(ops, 1, 1, 1)
+		refOps := float64(len(ops)) / ref.elapsed.Seconds()
+		for _, c := range scalingConfigs {
+			seqR := ref
+			if c.procs != 1 || c.shards != 1 {
+				seqR = run(ops, c.procs, c.shards, 1)
+			}
+			base := float64(len(ops)) / seqR.elapsed.Seconds()
+			results := make([]runOut, len(sizes))
+			vs := make([]float64, len(sizes))
+			bestBatched := 0.0
+			for i, size := range sizes {
+				results[i] = seqR
+				if size > 1 {
+					results[i] = run(ops, c.procs, c.shards, size)
+				}
+				vs[i] = float64(len(ops)) / results[i].elapsed.Seconds() / base
+				if size >= 64 && vs[i] > bestBatched {
+					bestBatched = vs[i]
+				}
+			}
+			gated := c.procs <= runtime.NumCPU()
+			for i, size := range sizes {
+				r := results[i]
+				opsPerSec := float64(len(ops)) / r.elapsed.Seconds()
+				vsB1 := vs[i]
+				// The floor verdict is per configuration (its best batched
+				// size), printed on the gated batched rows; "-" marks rows
+				// the gate does not apply to.
+				floor := "-"
+				if size >= 64 && gated {
+					floor = fmt.Sprintf("%v", bestBatched >= batchFloor)
+				}
+				// Fan-out imbalance: max over mean of per-shard worker busy
+				// time, counting only shards the phases actually touched. 1.00
+				// is a perfectly level pool; "-" means no run went parallel.
+				imb := "-"
+				if r.prof.Parallel > 0 {
+					var max, sum int64
+					n := 0
+					for _, b := range r.prof.Busy {
+						if b > 0 {
+							n++
+							sum += b
+							if b > max {
+								max = b
+							}
+						}
+					}
+					if sum > 0 {
+						imb = fmt.Sprintf("%.2f", float64(max)*float64(n)/float64(sum))
+					}
+				}
+				t.AddRow(name,
+					fmt.Sprint(c.procs), fmt.Sprint(c.shards), fmt.Sprint(size),
+					fmt.Sprint(len(ops)), fmtDur(r.elapsed), fmt.Sprintf("%.0f", opsPerSec),
+					fmt.Sprintf("%.2fx", vsB1),
+					fmt.Sprintf("%.2fx", opsPerSec/refOps),
+					ms(r.prof.CandidateNanos), ms(r.prof.IndexNanos), ms(r.prof.FanoutNanos),
+					ms(r.prof.MergeNanos), ms(r.prof.EmitNanos),
+					imb,
+					fmt.Sprintf("%v", reflect.DeepEqual(r.result, ref.result)),
+					floor)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"vs_b1 compares against batch=1 in the SAME (gomaxprocs, shards) configuration; vs_seq1core against the 1-core 1-shard sequential baseline",
+		"cand/index/fanout/merge/emit are the batched pipeline's accumulated phase wall times (engine phase clock)",
+		"imbalance = max/mean of per-shard worker busy time over parallel phases (1.00 = level); '-' = nothing ran parallel",
+		"result==seq and batch_floor are CI gates: any 'false' fails the scaling step",
+		"batch_floor judges a configuration by its BEST batched size with a 10% noise margin, and only where gomaxprocs <= NumCPU ('-' otherwise: oversubscription measures the host, not the code)",
+		"runs on fewer physical cores than gomaxprocs still measure the batching win; the parallel speedup needs real cores")
+	return t
+}

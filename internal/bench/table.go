@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"fdrms/internal/topk"
 )
 
 // Table is a printable experiment result.
@@ -139,17 +141,30 @@ func CollectMeta(o Options) RunMeta {
 
 // WriteJSON writes the tables of one experiment as an indented JSON
 // document (see jsonTable for the shape) to path.
+//
+// Every row carries "gomaxprocs" and "shards" keys: tables that sweep them
+// (the scaling experiment) provide their own columns; all other rows get the
+// process-wide values stamped in, so a dashboard diffing ops/s across
+// commits can always condition on the parallelism that produced the number.
 func WriteJSON(path, experiment string, meta RunMeta, tables []*Table) error {
+	gmp := fmt.Sprint(runtime.GOMAXPROCS(0))
+	shards := fmt.Sprint(topk.DefaultShards())
 	rep := jsonReport{Experiment: experiment, Meta: meta, Tables: make([]jsonTable, 0, len(tables))}
 	for _, t := range tables {
 		jt := jsonTable{Title: t.Title, Header: t.Header, Notes: t.Notes,
 			Rows: make([]map[string]string, 0, len(t.Rows))}
 		for _, row := range t.Rows {
-			m := make(map[string]string, len(row))
+			m := make(map[string]string, len(row)+2)
 			for i, c := range row {
 				if i < len(t.Header) {
 					m[t.Header[i]] = c
 				}
+			}
+			if _, ok := m["gomaxprocs"]; !ok {
+				m["gomaxprocs"] = gmp
+			}
+			if _, ok := m["shards"]; !ok {
+				m["shards"] = shards
 			}
 			jt.Rows = append(jt.Rows, m)
 		}

@@ -37,6 +37,7 @@ func randomPoint(rng *rand.Rand, d int) geom.Point {
 // bruteAffected is the linear-scan reference for Affected.
 func bruteAffected(items map[int]Item, p geom.Point) []int {
 	var out []int
+	//fdrms:orderinvariant out is sorted before return
 	for id, it := range items {
 		if geom.Score(it.U, p) >= it.Threshold {
 			out = append(out, id)
@@ -50,6 +51,19 @@ func sortedCopy(xs []int) []int {
 	out := append([]int(nil), xs...)
 	sort.Ints(out)
 	return out
+}
+
+// sortedIDs returns the reference model's ids in ascending order. Churn
+// tests pick their victims through it so a failing seed replays the exact
+// same operation schedule instead of one sampled from map iteration order.
+func sortedIDs(ref map[int]Item) []int {
+	ids := make([]int, 0, len(ref))
+	//fdrms:orderinvariant ids are sorted before return
+	for id := range ref {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 func equalInts(a, b []int) bool {
@@ -110,16 +124,7 @@ func TestInsertDeleteChurn(t *testing.T) {
 			tr.Insert(it)
 			ref[it.ID] = it
 		default:
-			var id int
-			stop := rng.Intn(len(ref))
-			i := 0
-			for k := range ref {
-				if i == stop {
-					id = k
-					break
-				}
-				i++
-			}
+			id := sortedIDs(ref)[rng.Intn(len(ref))]
 			if !tr.Delete(id) {
 				t.Fatalf("Delete(%d) reported missing", id)
 			}
@@ -268,23 +273,19 @@ func TestAffectedExactQuick(t *testing.T) {
 				if len(ref) == 0 {
 					continue
 				}
-				for id := range ref {
-					tr.Delete(id)
-					delete(ref, id)
-					break
-				}
+				id := sortedIDs(ref)[rng.Intn(len(ref))]
+				tr.Delete(id)
+				delete(ref, id)
 			case 3:
 				if len(ref) == 0 {
 					continue
 				}
-				for id := range ref {
-					tau := rng.Float64()
-					tr.SetThreshold(id, tau)
-					it := ref[id]
-					it.Threshold = tau
-					ref[id] = it
-					break
-				}
+				id := sortedIDs(ref)[rng.Intn(len(ref))]
+				tau := rng.Float64()
+				tr.SetThreshold(id, tau)
+				it := ref[id]
+				it.Threshold = tau
+				ref[id] = it
 			}
 		}
 		p := randomPoint(rng, d)
@@ -409,7 +410,7 @@ func TestInsertOverflowResplitsLocally(t *testing.T) {
 		}
 	}
 	// The delete-churn threshold path must still rebuild the whole tree.
-	for id := range ref {
+	for _, id := range sortedIDs(ref) {
 		tr.Delete(id)
 		delete(ref, id)
 		if len(ref) < 64 {

@@ -1,0 +1,80 @@
+// Streaming snapshot capture: the non-blocking counterpart of Snapshot().
+//
+// A SnapshotSession splits the O(state) capture into an O(m + utilities)
+// arm step plus caller-bounded chunks, so a durable store can keep applying
+// write batches between chunks and still obtain a snapshot BIT-IDENTICAL to
+// what Snapshot() would have returned at the arm point — same bytes from
+// EncodeSnapshot, enforced by TestSnapshotSessionMatchesStopTheWorld. The
+// cover side (φ, m, the solver counters) is tiny — O(m) ints — and captured
+// eagerly at arm; the engine side streams through the overlay machinery of
+// package topk (see topk/snapstream.go for the correctness argument).
+package core
+
+import "sort"
+
+// SnapshotSession is an in-flight streaming capture of one FDRMS structure.
+// StartSnapshot and every Step call must be serialized with the structure's
+// writer (they run "between batches"); Finish and Abort need no writer
+// synchronization once Step has reported completion.
+type SnapshotSession struct {
+	f    *FDRMS
+	snap *Snapshot
+	done bool
+}
+
+// StartSnapshot arms a streaming capture of the current state and returns
+// the session. The call itself is cheap — the cover assignment copy plus
+// the engine's arm step (an epoch-pinned view clone and a utility-id
+// sweep) — and is the only part of the capture whose cost the writer must
+// absorb in full; everything afterwards is bounded by the caller's Step
+// size. At most one session may be armed per structure; arming panics if
+// one already is.
+func (f *FDRMS) StartSnapshot() *SnapshotSession {
+	s := &Snapshot{
+		Cfg:           f.cfg,
+		Dim:           f.dim,
+		M:             f.m,
+		Takeovers:     f.cover.Takeovers,
+		Reassignments: f.cover.Reassignments,
+	}
+	assign := f.cover.Assignment()
+	s.Assign = make([]AssignEntry, 0, len(assign))
+	//fdrms:orderinvariant elem keys are unique and the entries are sorted by Elem in Finish before the snapshot is observable
+	for e, set := range assign {
+		s.Assign = append(s.Assign, AssignEntry{Elem: e, Set: set})
+	}
+	f.engine.StartSnapshot()
+	return &SnapshotSession{f: f, snap: s}
+}
+
+// Step captures up to n more utilities and reports whether the capture is
+// complete. Must be serialized with the structure's writer; n bounds the
+// pause each call imposes on it.
+func (ss *SnapshotSession) Step(n int) bool {
+	if ss.done {
+		return true
+	}
+	ss.done = ss.f.engine.SnapshotChunk(n)
+	return ss.done
+}
+
+// Finish assembles and returns the snapshot. Safe to call off the writer
+// lock once Step has returned true (it panics otherwise): every input is
+// immutable by then, so the sorting and assembly — the bulk of the old
+// stop-the-world cost — happen without blocking anyone.
+func (ss *SnapshotSession) Finish() *Snapshot {
+	if !ss.done {
+		panic("core: SnapshotSession.Finish before Step completed the capture")
+	}
+	ss.snap.Engine = ss.f.engine.FinishSnapshot()
+	sort.Slice(ss.snap.Assign, func(i, j int) bool { return ss.snap.Assign[i].Elem < ss.snap.Assign[j].Elem })
+	return ss.snap
+}
+
+// Abort discards the session. Must be serialized with the writer (it tears
+// down the engine's armed state). Safe after any prefix of Steps.
+func (ss *SnapshotSession) Abort() {
+	ss.f.engine.AbortSnapshot()
+	ss.snap = nil
+	ss.done = false
+}

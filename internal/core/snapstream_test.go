@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"fdrms/internal/topk"
+)
+
+// The streaming session's whole reason to exist: armed at some point and
+// stepped in small chunks while ApplyBatch keeps landing between steps, it
+// must produce the SAME BYTES EncodeSnapshot yields for a stop-the-world
+// Snapshot() at the arm point — and the batches that ran through the armed
+// structure must leave it byte-identical to a twin that was never armed.
+func TestSnapshotSessionMatchesStopTheWorld(t *testing.T) {
+	f, rng := snapshotTestInstance(t, 47, 2)
+	twin, _ := snapshotTestInstance(t, 47, 2)
+
+	want := EncodeSnapshot(nil, twin.Snapshot())
+
+	sess := f.StartSnapshot()
+	ops := randomCoreOps(rng, nil, 250, 4, 9000)
+	var batches [][]topk.Op
+	for i := 0; i < len(ops); {
+		n := 1 + rng.Intn(6)
+		if i+n > len(ops) {
+			n = len(ops) - i
+		}
+		batches = append(batches, ops[i:i+n])
+		i += n
+	}
+	done := false
+	for _, batch := range batches {
+		if !done {
+			done = sess.Step(5)
+		}
+		f.ApplyBatch(batch)
+	}
+	for !done {
+		done = sess.Step(5)
+	}
+	got := EncodeSnapshot(nil, sess.Finish())
+	if !bytes.Equal(got, want) {
+		t.Fatal("streamed capture is not byte-identical to the stop-the-world capture at the arm point")
+	}
+
+	// The batches interleaved with Step ran through the copy-on-first-write
+	// overlay; replaying them on the never-armed twin must converge exactly.
+	for _, batch := range batches {
+		twin.ApplyBatch(batch)
+	}
+	if !bytes.Equal(EncodeSnapshot(nil, f.Snapshot()), EncodeSnapshot(nil, twin.Snapshot())) {
+		t.Fatal("batches applied during the armed capture perturbed the structure")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after streamed capture: %v", err)
+	}
+}
+
+// Abort after a partial drain (with writes applied while armed) must leave
+// no residue: the structure continues byte-identically to a never-armed
+// twin, and a later full session still works.
+func TestSnapshotSessionAbort(t *testing.T) {
+	f, rng := snapshotTestInstance(t, 53, 2)
+	twin, _ := snapshotTestInstance(t, 53, 2)
+
+	sess := f.StartSnapshot()
+	sess.Step(3)
+	ops := randomCoreOps(rng, nil, 80, 4, 9000)
+	f.ApplyBatch(ops)
+	sess.Abort()
+	twin.ApplyBatch(ops)
+
+	if !bytes.Equal(EncodeSnapshot(nil, f.Snapshot()), EncodeSnapshot(nil, twin.Snapshot())) {
+		t.Fatal("aborted session left residue in the structure")
+	}
+
+	sess = f.StartSnapshot()
+	for !sess.Step(7) {
+	}
+	if !bytes.Equal(EncodeSnapshot(nil, sess.Finish()), EncodeSnapshot(nil, f.Snapshot())) {
+		t.Fatal("session re-armed after abort differs from Snapshot()")
+	}
+}

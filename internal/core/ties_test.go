@@ -2,11 +2,24 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
 	"fdrms/internal/geom"
 )
+
+// pickLive selects a deterministic random victim from the live set: keys are
+// sorted first so a failing quick.Check seed replays the same schedule.
+func pickLive(rng *rand.Rand, live map[int]bool) int {
+	ids := make([]int, 0, len(live))
+	//fdrms:orderinvariant ids are sorted before use
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids[rng.Intn(len(ids))]
+}
 
 // gridPoint draws coordinates from a coarse grid so exact score ties and
 // duplicate tuples stress the whole maintenance stack end to end.
@@ -42,11 +55,9 @@ func TestInvariantsUnderTieChurnQuick(t *testing.T) {
 				live[next] = true
 				next++
 			} else {
-				for id := range live {
-					f0.Delete(id)
-					delete(live, id)
-					break
-				}
+				id := pickLive(rng, live)
+				f0.Delete(id)
+				delete(live, id)
 			}
 			if f0.CheckInvariants() != nil || len(f0.Result()) > cfg.R {
 				return false

@@ -79,6 +79,23 @@ func (v *View) AtLeastInto(u geom.Vector, tau float64, sc *QueryScratch) []Resul
 	return v.arena.atLeastAtInto(u, tau, v.epoch, sc)
 }
 
+// Points returns the points live at the view's pinned epoch, in unspecified
+// order (callers that need a canonical order sort by ID). Visibility is
+// decided per node, so the result is exact no matter how many mutations the
+// live tree has absorbed since the capture: a node inserted before and not
+// deleted by the view's epoch is visible exactly once — an insert that
+// replaces a live id always tombstones the old node first, so no id has two
+// nodes visible at any single epoch.
+func (v *View) Points() []geom.Point {
+	out := make([]geom.Point, 0, v.live)
+	for i := range v.nodes {
+		if v.nodes[i].visibleAt(v.epoch) {
+			out = append(out, v.pts[i])
+		}
+	}
+	return out
+}
+
 // KthScoreInto is Tree.KthScoreInto evaluated at the view's pinned epoch:
 // the k-th largest score (ω_k), or the smallest live score when fewer than
 // k points exist; ok is false on an empty database.

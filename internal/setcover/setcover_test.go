@@ -3,13 +3,23 @@ package setcover
 import (
 	"math/bits"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
 
-// buildSystem registers sets from a map of set id -> elements.
+// buildSystem registers sets from a map of set id -> elements, in ascending
+// set-id order: ensureSet assigns internal indices in call order, so sorted
+// registration keeps the solver's tie-breaking identical across runs.
 func buildSystem(sv *Solver, sets map[int][]int, universe []int) {
-	for s, elems := range sets {
+	ids := make([]int, 0, len(sets))
+	//fdrms:orderinvariant ids are sorted before use
+	for s := range sets {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	for _, s := range ids {
+		elems := sets[s]
 		si := sv.ensureSet(s)
 		for _, e := range elems {
 			// Membership registration without universe side effects first.
@@ -75,6 +85,7 @@ func checkCovered(t *testing.T, sv *Solver) {
 
 func TestLevelOf(t *testing.T) {
 	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	//fdrms:orderinvariant each case is asserted independently
 	for n, want := range cases {
 		if got := levelOf(n); got != want {
 			t.Errorf("levelOf(%d) = %d, want %d", n, got, want)
@@ -142,6 +153,7 @@ func TestGreedyOrphans(t *testing.T) {
 // bruteOPT finds the optimal cover size by exhaustive search (small inputs).
 func bruteOPT(sets map[int][]int, universe []int) int {
 	ids := make([]int, 0, len(sets))
+	//fdrms:orderinvariant best is a minimum over all 2^n subsets, invariant of enumeration order
 	for s := range sets {
 		ids = append(ids, s)
 	}
@@ -163,6 +175,7 @@ func bruteOPT(sets map[int][]int, universe []int) int {
 			}
 		}
 		ok := true
+		//fdrms:orderinvariant conjunction over the universe, any order
 		for e := range need {
 			if !covered[e] {
 				ok = false

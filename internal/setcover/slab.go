@@ -57,9 +57,24 @@ func classFor(n int) int8 {
 // slab is the shared arena. data grows only at the tail (amortized, via
 // slices.Grow), so span offsets remain valid forever; free[c] heads the
 // intrusive freelist of class c (-1 when empty).
+//
+// The header is padded onto exclusive cache lines: the data slice header is
+// rewritten on every fresh carve and the freelist heads on every alloc/
+// release, making these the hottest write targets of cover maintenance.
+// The slab is embedded at the head of Solver, so without the padding those
+// writes share cache lines with the solver's id-translation maps — read on
+// every operation, including by whatever runs concurrently with the solver
+// on other cores (frozen-stats readers above, topk shard workers whose
+// engine the caller lays out next to the solver). 64-byte alignment of the
+// struct itself is up to the allocator, but separating the write-hot words
+// from everything read-hot removes the systematic ping-pong; the three
+// lines of padding cost nothing at one slab per solver.
 type slab struct {
 	data []int32
+	_    [40]byte // data's slice header alone on its cache line
+
 	free [slabClasses]int32
+	_    [16]byte // round the freelist heads up to whole cache lines
 }
 
 func (a *slab) init() {

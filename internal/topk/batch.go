@@ -75,12 +75,21 @@ type taggedChange struct {
 	ch  Change
 }
 
-// shardResult collects one worker's output for a parallel phase.
+// shardResult collects one worker's output for a parallel phase. Result
+// slots live side by side in one engine-owned slice and are written
+// concurrently by different workers, so each slot is padded out to two
+// cache lines: without the padding, two workers appending to adjacent
+// slots' change lists invalidate each other's cache line on every counter
+// bump (false sharing), which profiles as memory stalls precisely on the
+// multi-core path this fan-out exists for.
 type shardResult struct {
 	changes   []taggedChange
 	touched   []int // utilities whose threshold changed (dupes allowed)
 	processed int   // exact affected-utility count, summed over operations
 	requeries int   // fresh tuple-index top-k queries issued (delete phases)
+	busyNanos int64 // worker wall time this phase (phase profiling only)
+
+	_ [56]byte // pad to 128 bytes: no two slots share a cache line
 }
 
 // ApplyBatch applies the operations in order and returns the concatenated
@@ -296,6 +305,7 @@ func (e *Engine) phaseScratch() (tasks [][]insTask, results []shardResult) {
 		sc.results[s].touched = sc.results[s].touched[:0]
 		sc.results[s].processed = 0
 		sc.results[s].requeries = 0
+		sc.results[s].busyNanos = 0
 		sc.cursors[s] = 0
 	}
 	return sc.tasks, sc.results
@@ -305,6 +315,7 @@ func (e *Engine) phaseScratch() (tasks [][]insTask, results []shardResult) {
 // not-live ids and emits each operation's changes in order.
 func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change)) {
 	sc := &e.scratch
+	t0 := e.now()
 	// Probe the utility index before mutating any state: with insertions
 	// only, thresholds are non-decreasing, so candidates computed at run
 	// start are a superset of the exact affected set of every operation.
@@ -316,10 +327,12 @@ func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change))
 		sc.affected[i] = e.ui.AffectedInto(run[i].op.Point, sc.affected[i][:0])
 		run[i].affected = sc.affected[i]
 	}
+	t1 := e.now()
 	for i := range run {
 		e.tree.Insert(run[i].op.Point)
 	}
 	e.InsertOps += len(run)
+	t2 := e.now()
 
 	tasks, results := e.phaseScratch()
 	total := 0
@@ -330,9 +343,13 @@ func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change))
 			total++
 		}
 	}
+	t3 := e.now()
 	e.runPhase(false, run, nil, 0, nil, total)
+	t4 := e.now()
 	e.mergePhase(results)
+	t5 := e.now()
 	e.emitRunGroups(len(run), run, nil, results, emit)
+	e.recordPhase(t0, t1, t2, t3, t4, t5, e.now())
 }
 
 // flushDeleteRun applies a run of deletions of distinct live ids and emits
@@ -341,6 +358,7 @@ func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change))
 // utility, requerying at each operation's epoch (see the package comment
 // for why the run-start inverted index yields the complete task list).
 func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
+	t0 := e.now()
 	_, results := e.phaseScratch()
 	sc := &e.scratch
 	if sc.dtasks == nil {
@@ -408,16 +426,23 @@ func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
 		}
 	}
 
+	t1 := e.now()
 	base := e.tree.BeginRetain()
 	for _, op := range run {
 		e.tree.Delete(op.ID)
 	}
 	e.DeleteOps += len(run)
+	t2 := e.now()
 
 	e.runPhase(true, nil, run, base, runPos, total)
 	e.tree.EndRetain()
+	t3 := e.now()
 	e.mergePhase(results)
+	t4 := e.now()
 	e.emitRunGroups(len(run), nil, run, results, emit)
+	// Task grouping is the delete path's candidate discovery; there is no
+	// separate build step after tombstoning, so that slot is passed empty.
+	e.recordPhase(t0, t1, t2, t2, t3, t4, e.now())
 }
 
 // deleteLive removes a live tuple as a single-operation delete run and
@@ -455,15 +480,8 @@ func (e *Engine) runPhase(del bool, insRun []insOp, delRun []Op, base uint64, ru
 		}
 		return
 	}
-	e.pool.wg.Add(active)
-	job := phaseJob{del: del, insRun: insRun, delRun: delRun, base: base, runPos: runPos}
-	for s := range e.shards {
-		if e.phaseTasks(del, s) == 0 {
-			continue
-		}
-		e.pool.jobs[s] <- job
-	}
-	e.pool.wg.Wait()
+	e.prof.Parallel++
+	e.dispatch(phaseJob{del: del, insRun: insRun, delRun: delRun, base: base, runPos: runPos}, active)
 }
 
 // phaseTasks returns the task count of shard s for the phase kind.
@@ -474,13 +492,19 @@ func (e *Engine) phaseTasks(del bool, s int) int {
 	return len(e.scratch.tasks[s])
 }
 
-// phaseWork runs shard s's worker for the phase kind.
+// phaseWork runs shard s's worker for the phase kind. The busy-time stamp
+// feeds the per-shard balance column of the phase profile; the clock hook
+// must be safe for concurrent calls (see SetPhaseClock).
 func (e *Engine) phaseWork(del bool, s int, insRun []insOp, delRun []Op, base uint64, runPos map[int]int) {
 	sc := &e.scratch
+	start := e.now()
 	if del {
 		e.deleteWorker(&e.shards[s], delRun, base, runPos, sc.dtasks[s], &sc.results[s])
 	} else {
 		e.insertWorker(&e.shards[s], insRun, sc.tasks[s], &sc.results[s])
+	}
+	if e.clock != nil {
+		sc.results[s].busyNanos = e.now() - start
 	}
 }
 
@@ -494,6 +518,9 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 		oldThresh := e.threshold(st)
 		if s < oldThresh {
 			continue // stale candidate: the threshold rose earlier in the run
+		}
+		if e.snap.armed {
+			sh.snapTouch(t.uid, st) // preserve the pre-image for the armed capture
 		}
 		res.processed++
 
@@ -524,7 +551,7 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 		// visits only the utilities whose Φ holds the tuple) never leaves a
 		// dead tuple buffered.
 		if newThresh > oldThresh {
-			//fdrms:orderinvariant each pid is visited once and evicted iff score < newThresh (a per-entry predicate); the emitted changes are re-sorted by (utility, point) in emitRunGroups before any caller sees them
+			//fdrms:orderinvariant each pid is visited once and evicted iff score < newThresh (a per-entry predicate); the emitted changes are re-sorted by (pos, utility, point) at the end of this worker before any caller sees them
 			for pid, score := range st.phi {
 				if score < newThresh {
 					delete(st.phi, pid)
@@ -536,6 +563,13 @@ func (e *Engine) insertWorker(sh *shard, run []insOp, tasks []insTask, res *shar
 			res.touched = append(res.touched, t.uid)
 		}
 	}
+	// Leave the shard's lane fully sorted by (pos, utility, point) — the
+	// emit phase is a pure k-way merge of pre-sorted lanes, so this sort
+	// (the only O(n log n) step) runs in parallel inside the workers instead
+	// of serialized in the merge. Task order is pos-major but uids within a
+	// position follow cone-tree probe order, and map-order eviction entries
+	// need sorting anyway.
+	sortTagged(res.changes)
 }
 
 // deleteWorker repairs one shard's utilities after a run of deletions,
@@ -562,6 +596,9 @@ func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]i
 			op := run[pos]
 			if _, in := st.phi[op.ID]; !in {
 				continue // defensive: queued candidates are always members
+			}
+			if e.snap.armed {
+				sh.snapTouch(t.uid, st) // preserve the pre-image for the armed capture
 			}
 			res.processed++
 			delete(st.phi, op.ID)
@@ -617,22 +654,46 @@ func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]i
 		}
 	}
 	sh.pending = pending[:0]
-	// Replay order is utility-major; the per-operation group merge needs
-	// the changes op-major. Order within one operation is irrelevant (each
-	// group is re-sorted), so a plain sort by position suffices.
-	slices.SortFunc(res.changes, func(a, b taggedChange) int { return cmp.Compare(a.pos, b.pos) })
+	// Replay order is utility-major; the emit phase merges pre-sorted
+	// lanes, so leave this shard's lane fully ordered by (pos, utility,
+	// point) — the sort runs inside the parallel phase, off the serial
+	// merge path.
+	sortTagged(res.changes)
+}
+
+// sortTagged orders one worker's change lane by (run position, utility id,
+// point id) — the global emission order restricted to this shard. A single
+// operation never produces two changes for the same (utility, point) pair,
+// so the key is unique within a lane and the order total.
+func sortTagged(chs []taggedChange) {
+	slices.SortFunc(chs, func(a, b taggedChange) int {
+		if c := cmp.Compare(a.pos, b.pos); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.ch.UtilityID, b.ch.UtilityID); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.ch.PointID, b.ch.PointID)
+	})
 }
 
 // emitRunGroups groups the workers' tagged changes per operation and emits
 // them in run order. Exactly one of insRun/delRun carries the run's
-// operations. Each shard's changes arrive sorted by position, so one cursor
-// per shard suffices. All groups are carved out of ONE freshly allocated
-// backing slice — emitted groups are caller-owned and may be retained
-// indefinitely, so they cannot live in engine scratch — and materialized
-// before the first emit call so callbacks see the scratch buffers released.
+// operations. Each shard's lane arrives FULLY sorted by (pos, utility id,
+// point id) — the workers sort in parallel before handing off — so the
+// serial tail of the run is a pure k-way tournament merge: O(total · log
+// shards) comparisons through a loser tree instead of the former
+// concat-then-sort-per-group, whose O(total · log total) comparisons all
+// ran on one core after the fan-out had finished. Cross-lane keys never
+// tie (shards own disjoint utility ids), so the merge output is exactly
+// the sequential emission order, bit for bit.
+//
+// All groups are carved out of ONE freshly allocated backing slice —
+// emitted groups are caller-owned and may be retained indefinitely, so
+// they cannot live in engine scratch — and materialized before the first
+// emit call so callbacks see the scratch buffers released.
 func (e *Engine) emitRunGroups(n int, insRun []insOp, delRun []Op, results []shardResult, emit func(op Op, changes []Change)) {
 	sc := &e.scratch
-	cursors := sc.cursors
 	total := 0
 	for s := range results {
 		total += len(results[s].changes)
@@ -642,19 +703,7 @@ func (e *Engine) emitRunGroups(n int, insRun []insOp, delRun []Op, results []sha
 		backing = make([]Change, 0, total)
 	}
 	offs := sc.groupOffs[:0]
-	start := 0
-	for pos := 0; pos < n; pos++ {
-		for s := range results {
-			chs := results[s].changes
-			for cursors[s] < len(chs) && chs[cursors[s]].pos == pos {
-				backing = append(backing, chs[cursors[s]].ch)
-				cursors[s]++
-			}
-		}
-		sortChanges(backing[start:])
-		offs = append(offs, len(backing))
-		start = len(backing)
-	}
+	backing, offs = e.mergeLanes(backing, offs, n, total, results)
 	sc.groupOffs = offs
 	prev := 0
 	for pos := 0; pos < n; pos++ {
@@ -674,6 +723,107 @@ func (e *Engine) emitRunGroups(n int, insRun []insOp, delRun []Op, results []sha
 	}
 }
 
+// laneLess reports whether lane a's current head precedes lane b's in the
+// emission order (pos, utility, point). An exhausted lane — cursor past its
+// end, or a padding lane beyond the real shard count — sorts after
+// everything; two exhausted lanes tie-break on index so the order stays
+// total (live heads never tie across lanes: shards own disjoint uids).
+func laneLess(results []shardResult, cursors []int, a, b int) bool {
+	ae := a >= len(results) || cursors[a] >= len(results[a].changes)
+	be := b >= len(results) || cursors[b] >= len(results[b].changes)
+	if ae || be {
+		return !ae && be || ae == be && a < b
+	}
+	x, y := &results[a].changes[cursors[a]], &results[b].changes[cursors[b]]
+	if x.pos != y.pos {
+		return x.pos < y.pos
+	}
+	if x.ch.UtilityID != y.ch.UtilityID {
+		return x.ch.UtilityID < y.ch.UtilityID
+	}
+	return x.ch.PointID < y.ch.PointID
+}
+
+// mergeLanes drains the shards' sorted change lanes into backing through a
+// loser tree, recording each run position's end offset in offs (one entry
+// per position, as emitRunGroups expects). The tree holds lane indices:
+// leaves are lanes (padded to a power of two with permanently exhausted
+// ones), each internal node remembers the LOSER of its match, and the
+// overall winner is kept aside — so replacing the winner's head replays
+// exactly one root-to-leaf path of log₂(lanes) matches, each against a
+// precomputed loser, instead of a full scan per element.
+func (e *Engine) mergeLanes(backing []Change, offs []int, n, total int, results []shardResult) ([]Change, []int) {
+	sc := &e.scratch
+	cursors := sc.cursors
+	cur := 0
+	if total > 0 && len(results) == 1 {
+		// Single lane (one shard, or an inline run): already in emission
+		// order, no tournament needed.
+		for _, tc := range results[0].changes {
+			for cur < tc.pos {
+				offs = append(offs, len(backing))
+				cur++
+			}
+			backing = append(backing, tc.ch)
+		}
+		cursors[0] = len(results[0].changes)
+	} else if total > 0 {
+		width := 1
+		for width < len(results) {
+			width <<= 1
+		}
+		// Build a winner tree bottom-up in win (leaves at win[width:]),
+		// then derive each node's loser: of the two child winners, the one
+		// that is not the node's winner — arithmetic, since the node's
+		// winner IS one of the two.
+		win := sc.mergeWin
+		if cap(win) < 2*width {
+			win = make([]int, 2*width)
+		}
+		win = win[:2*width]
+		loser := sc.mergeLoser
+		if cap(loser) < width {
+			loser = make([]int, width)
+		}
+		loser = loser[:width]
+		for s := 0; s < width; s++ {
+			win[width+s] = s
+		}
+		for i := width - 1; i >= 1; i-- {
+			l, r := win[2*i], win[2*i+1]
+			if laneLess(results, cursors, l, r) {
+				win[i] = l
+			} else {
+				win[i] = r
+			}
+			loser[i] = l + r - win[i]
+		}
+		sc.mergeWin, sc.mergeLoser = win, loser
+		winner := win[1]
+		for emitted := 0; emitted < total; emitted++ {
+			tc := &results[winner].changes[cursors[winner]]
+			for cur < tc.pos {
+				offs = append(offs, len(backing))
+				cur++
+			}
+			backing = append(backing, tc.ch)
+			cursors[winner]++
+			// Replay the winner's path: at each ancestor the new head plays
+			// the stored loser; the match loser stays, the winner moves up.
+			for t := (width + winner) / 2; t >= 1; t /= 2 {
+				if laneLess(results, cursors, loser[t], winner) {
+					loser[t], winner = winner, loser[t]
+				}
+			}
+		}
+	}
+	for cur < n {
+		offs = append(offs, len(backing))
+		cur++
+	}
+	return backing, offs
+}
+
 // mergePhase folds the workers' counters into the engine and repairs the
 // cone tree's thresholds, once per touched utility (the cone tree is not
 // safe for concurrent mutation, so this runs after the parallel phase).
@@ -681,6 +831,9 @@ func (e *Engine) mergePhase(results []shardResult) {
 	for s := range results {
 		e.AffectedTotal += results[s].processed
 		e.Requeries += results[s].requeries
+		if e.clock != nil && e.prof.Busy != nil {
+			e.prof.Busy[s] += results[s].busyNanos
+		}
 		for _, uid := range results[s].touched {
 			tau := e.threshold(e.stateOf(uid))
 			if cur, ok := e.ui.Threshold(uid); ok && tau != cur {
@@ -688,17 +841,4 @@ func (e *Engine) mergePhase(results []shardResult) {
 			}
 		}
 	}
-}
-
-// sortChanges orders a change list by utility id, then point id. A single
-// operation never produces two changes for the same (utility, point) pair,
-// so the order is total. cmp.Compare, not subtraction: point ids are
-// caller-supplied and may differ by more than MaxInt.
-func sortChanges(chs []Change) {
-	slices.SortFunc(chs, func(a, b Change) int {
-		if c := cmp.Compare(a.UtilityID, b.UtilityID); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.PointID, b.PointID)
-	})
 }

@@ -65,6 +65,7 @@ func membersSnapshot(e *Engine, utils []Utility) map[int][]int {
 	out := make(map[int][]int, len(utils))
 	for _, ut := range utils {
 		var ids []int
+		//fdrms:orderinvariant ids are sorted before use
 		for pid := range e.Members(ut.ID) {
 			ids = append(ids, pid)
 		}
@@ -303,6 +304,7 @@ func TestApplyBatchChangeReplay(t *testing.T) {
 	replayed := make(map[int]map[int]bool)
 	for _, ut := range utils {
 		m := make(map[int]bool)
+		//fdrms:orderinvariant building a set, insertion order immaterial
 		for pid := range e.Members(ut.ID) {
 			m[pid] = true
 		}
@@ -334,6 +336,7 @@ func TestApplyBatchChangeReplay(t *testing.T) {
 		if len(m) != len(replayed[ut.ID]) {
 			t.Fatalf("u%d: replayed %d members, engine has %d", ut.ID, len(replayed[ut.ID]), len(m))
 		}
+		//fdrms:orderinvariant conjunctive membership check, any order
 		for pid := range m {
 			if !replayed[ut.ID][pid] {
 				t.Fatalf("u%d: replay misses p%d", ut.ID, pid)

@@ -1,0 +1,90 @@
+package topk
+
+// PhaseProfile is the accumulated wall-time breakdown of the batched
+// update path, split along the pipeline stages of one run:
+//
+//	Candidate — utility-index probes and task-list construction
+//	Index     — tuple-index mutation (inserts or tombstoning)
+//	Fanout    — the parallel per-shard Φ maintenance phase
+//	Merge     — counter folding and cone-tree threshold repair
+//	Emit      — the k-way change merge and group emission
+//
+// Busy holds per-shard worker wall time summed over parallel phases; the
+// spread between max(Busy) and mean(Busy) is the load-imbalance signal the
+// scaling experiment reports. All times are deltas of the installed phase
+// clock (SetPhaseClock) and zero when no clock is installed.
+type PhaseProfile struct {
+	Phases   int // runs executed (insert + delete)
+	Parallel int // runs whose fan-out went through the worker pool
+
+	CandidateNanos int64
+	IndexNanos     int64
+	FanoutNanos    int64
+	MergeNanos     int64
+	EmitNanos      int64
+
+	Busy []int64 // per-shard worker time across parallel + inline phases
+}
+
+// SetPhaseClock installs (or, with nil, removes) the timestamp source for
+// phase profiling. The clock returns monotonic nanoseconds and MUST be safe
+// for concurrent calls: shard workers stamp their busy time from pool
+// goroutines.
+//
+// The engine deliberately takes the clock as an injected function value
+// instead of reading the wall clock itself: every timing feeds only the
+// profiling report, never state, changes, or snapshots, and the injection
+// point keeps the package's determinism contract machine-checkable — the
+// nondet analyzer walks the static call graph from ApplyBatch and would
+// flag a direct time.Now in it, while a caller-supplied hook is an audited
+// boundary the analyzer (correctly) treats as opaque. Must be called by the
+// engine's single writer, like every mutating entry point.
+func (e *Engine) SetPhaseClock(clock func() int64) {
+	e.clock = clock
+	if clock != nil && e.prof.Busy == nil {
+		e.prof.Busy = make([]int64, len(e.shards))
+	}
+}
+
+// PhaseProfile returns a copy of the accumulated breakdown.
+func (e *Engine) PhaseProfile() PhaseProfile {
+	p := e.prof
+	if p.Busy != nil {
+		p.Busy = append([]int64(nil), p.Busy...)
+	}
+	return p
+}
+
+// ResetPhaseProfile zeroes the accumulated breakdown (the installed clock
+// stays).
+func (e *Engine) ResetPhaseProfile() {
+	busy := e.prof.Busy
+	e.prof = PhaseProfile{}
+	if busy != nil {
+		clear(busy)
+		e.prof.Busy = busy
+	}
+}
+
+// now returns the phase-clock timestamp, or 0 with no clock installed.
+func (e *Engine) now() int64 {
+	if e.clock == nil {
+		return 0
+	}
+	return e.clock()
+}
+
+// recordPhase folds one run's boundary timestamps into the profile.
+// The seven stamps bracket, in order: candidate probing, index mutation,
+// task building, the parallel fan-out, the merge, and group emission.
+func (e *Engine) recordPhase(probe0, probe1, index1, build1, fanout1, merge1, emit1 int64) {
+	e.prof.Phases++
+	if e.clock == nil {
+		return
+	}
+	e.prof.CandidateNanos += (probe1 - probe0) + (build1 - index1)
+	e.prof.IndexNanos += index1 - probe1
+	e.prof.FanoutNanos += fanout1 - build1
+	e.prof.MergeNanos += merge1 - fanout1
+	e.prof.EmitNanos += emit1 - merge1
+}

@@ -73,14 +73,13 @@ func TestTiesMembershipExactQuick(t *testing.T) {
 				e.Insert(p)
 				live[p.ID] = p
 			} else {
-				for id := range live {
-					e.Delete(id)
-					delete(live, id)
-					break
-				}
+				id := pickLive(rng, live)
+				e.Delete(id)
+				delete(live, id)
 			}
 		}
 		cur := make([]geom.Point, 0, len(live))
+		//fdrms:orderinvariant brutePhi's result is a threshold set, independent of input order
 		for _, p := range live {
 			cur = append(cur, p)
 		}
@@ -90,6 +89,7 @@ func TestTiesMembershipExactQuick(t *testing.T) {
 			if len(got) != len(want) {
 				return false
 			}
+			//fdrms:orderinvariant conjunctive membership check, any order
 			for pid := range want {
 				if _, ok := got[pid]; !ok {
 					return false
@@ -224,17 +224,16 @@ func TestTiesTopKScores(t *testing.T) {
 			e.Insert(p)
 			live[p.ID] = p
 		} else {
-			for id := range live {
-				e.Delete(id)
-				delete(live, id)
-				break
-			}
+			id := pickLive(rng, live)
+			e.Delete(id)
+			delete(live, id)
 		}
 		if op%20 != 0 {
 			continue
 		}
 		for _, ut := range utils {
 			var scores []float64
+			//fdrms:orderinvariant scores are sorted before comparison
 			for _, p := range live {
 				scores = append(scores, geom.Dot(ut.U, p.Coords))
 			}

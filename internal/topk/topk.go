@@ -21,9 +21,11 @@
 //     forces a fresh index query.
 //
 // Per-utility maintenance is embarrassingly parallel, so the engine
-// partitions utility state into shards (one per available CPU by default),
-// each owning contiguous blocks of utility IDs with its own slice-backed
-// state storage and its own fragment of the inverted membership index. The
+// partitions utility state into shards (several per available CPU by
+// default — shards are the load-balancing unit of the worker pool, see
+// DefaultShards), each owning contiguous blocks of utility IDs with its own
+// slice-backed state storage and its own fragment of the inverted
+// membership index. The
 // batch entry point ApplyBatch fans the Φ maintenance of each operation out
 // to the shards and merges their change lists deterministically (see
 // batch.go); Insert and Delete are single-element batches.
@@ -94,6 +96,13 @@ type shard struct {
 
 	qs      kdtree.QueryScratch // per-shard tuple-index query scratch
 	pending posHeap             // delete-worker replay heap
+
+	// overlay preserves pre-image state for an armed streaming snapshot
+	// (see snapstream.go): the first mutation of a utility after
+	// StartSnapshot captures its state here, so SnapshotChunk can emit the
+	// arm-point value no matter how far the writer has since advanced.
+	// Nil or empty when no snapshot session is armed.
+	overlay map[int]snapCapture
 }
 
 func (sh *shard) state(uid int) *uState {
@@ -192,8 +201,18 @@ type Engine struct {
 		results    []shardResult
 		cursors    []int
 		groupOffs  []int               // per-position change-group boundaries
+		mergeWin   []int               // loser-tree build scratch (winner tree)
+		mergeLoser []int               // loser-tree internal nodes
 		qs         kdtree.QueryScratch // sequential-path query scratch
 	}
+
+	// clock, when set, timestamps the batch phases for the profiling report
+	// (see SetPhaseClock); prof accumulates the per-phase breakdown.
+	clock func() int64
+	prof  PhaseProfile
+
+	// snap is the armed streaming-snapshot session, if any (snapstream.go).
+	snap snapSession
 
 	// Counters for the ablation experiments.
 	InsertOps     int // insert operations processed
@@ -209,8 +228,15 @@ func NewEngine(dim, k int, eps float64, points []geom.Point, utilities []Utility
 	return NewEngineShards(dim, k, eps, points, utilities, DefaultShards())
 }
 
-// DefaultShards returns the shard count NewEngine uses: one per available
-// CPU, overridable through the FDRMS_SHARDS environment variable. The
+// DefaultShards returns the shard count NewEngine uses: FOUR contiguous id
+// blocks per available CPU, overridable through the FDRMS_SHARDS
+// environment variable. Over-partitioning matters because shards are the
+// unit of load balancing, not of parallelism: the worker pool (pool.go)
+// hands whole shards to whichever worker is free, so with exactly one
+// shard per CPU a clustered workload — all of a phase's tasks landing in
+// one utility-id block — degenerates to single-core throughput. At ~4
+// blocks per CPU the largest-first dispatch keeps every worker busy until
+// the phase tail while per-shard fixed costs stay negligible. The env
 // override exists so CI (and operators of small machines) can force the
 // cross-shard parallel path — every answer is independent of the shard
 // count, only ApplyBatch parallelism changes.
@@ -220,7 +246,7 @@ func DefaultShards() int {
 			return v
 		}
 	}
-	return runtime.GOMAXPROCS(0)
+	return 4 * runtime.GOMAXPROCS(0)
 }
 
 // NewEngineShards is NewEngine with an explicit shard count (tests force
@@ -526,6 +552,9 @@ func (e *Engine) RemoveUtility(uid int) []Change {
 	st := sh.state(uid)
 	if st == nil {
 		return nil
+	}
+	if e.snap.armed {
+		sh.snapTouch(uid, st) // preserve the pre-image for the armed capture
 	}
 	changes := make([]Change, 0, len(st.phi))
 	//fdrms:orderinvariant removeFromSet edits disjoint per-pid lists and changes are sorted by PointID on the line after the loop

@@ -39,6 +39,19 @@ func randomUtilities(rng *rand.Rand, m, d int) []Utility {
 	return out
 }
 
+// pickLive selects a deterministic random victim from the live-point map:
+// the keys are sorted first so a failing seed replays the exact same
+// operation schedule instead of one sampled from map iteration order.
+func pickLive(rng *rand.Rand, live map[int]geom.Point) int {
+	ids := make([]int, 0, len(live))
+	//fdrms:orderinvariant ids are sorted before use
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids[rng.Intn(len(ids))]
+}
+
 // brutePhi computes Φ_{k,ε}(u, pts) by linear scan.
 func brutePhi(u geom.Vector, pts []geom.Point, k int, eps float64) map[int]bool {
 	out := make(map[int]bool)
@@ -79,6 +92,7 @@ func checkEngine(t *testing.T, e *Engine, utilities []Utility, pts []geom.Point)
 		if len(got) != len(want) {
 			t.Fatalf("utility %d: |Φ| = %d, want %d", ut.ID, len(got), len(want))
 		}
+		//fdrms:orderinvariant conjunctive membership check, any order
 		for pid := range want {
 			if _, ok := got[pid]; !ok {
 				t.Fatalf("utility %d: missing member %d", ut.ID, pid)
@@ -126,21 +140,13 @@ func TestInsertDeleteMatchesBruteForce(t *testing.T) {
 			e.Insert(p)
 			live[p.ID] = p
 		} else {
-			var id int
-			stop := rng.Intn(len(live))
-			i := 0
-			for x := range live {
-				if i == stop {
-					id = x
-					break
-				}
-				i++
-			}
+			id := pickLive(rng, live)
 			e.Delete(id)
 			delete(live, id)
 		}
 		if op%25 == 0 {
 			cur := make([]geom.Point, 0, len(live))
+			//fdrms:orderinvariant brutePhi's result is a threshold set, independent of input order
 			for _, p := range live {
 				cur = append(cur, p)
 			}
@@ -162,6 +168,7 @@ func TestChangesAreExactDeltas(t *testing.T) {
 		out := make(map[int]map[int]bool)
 		for _, ut := range utils {
 			m := make(map[int]bool)
+			//fdrms:orderinvariant building a set, insertion order immaterial
 			for pid := range e.Members(ut.ID) {
 				m[pid] = true
 			}
@@ -184,16 +191,7 @@ func TestChangesAreExactDeltas(t *testing.T) {
 			changes = e.Insert(p)
 			live[p.ID] = p
 		} else {
-			var id int
-			stop := rng.Intn(len(live))
-			i := 0
-			for x := range live {
-				if i == stop {
-					id = x
-					break
-				}
-				i++
-			}
+			id := pickLive(rng, live)
 			changes = e.Delete(id)
 			delete(live, id)
 		}
@@ -211,10 +209,12 @@ func TestChangesAreExactDeltas(t *testing.T) {
 			}
 		}
 		now := snapshot()
+		//fdrms:orderinvariant each utility is checked independently; pass/fail does not depend on order
 		for uid, m := range now {
 			if len(m) != len(prev[uid]) {
 				t.Fatalf("op %d: replayed membership of u%d has %d members, engine has %d", op, uid, len(prev[uid]), len(m))
 			}
+			//fdrms:orderinvariant conjunctive membership check, any order
 			for pid := range m {
 				if !prev[uid][pid] {
 					t.Fatalf("op %d: replay misses u%d/p%d", op, uid, pid)
@@ -375,11 +375,9 @@ func TestEngineExactQuick(t *testing.T) {
 				if len(live) == 0 {
 					continue
 				}
-				for id := range live {
-					e.Delete(id)
-					delete(live, id)
-					break
-				}
+				id := pickLive(rng, live)
+				e.Delete(id)
+				delete(live, id)
 			case 3:
 				u := randomUtilities(rng, 1, d)[0]
 				u.ID = nextU
@@ -396,6 +394,7 @@ func TestEngineExactQuick(t *testing.T) {
 			}
 		}
 		cur := make([]geom.Point, 0, len(live))
+		//fdrms:orderinvariant brutePhi's result is a threshold set, independent of input order
 		for _, p := range live {
 			cur = append(cur, p)
 		}
@@ -405,6 +404,7 @@ func TestEngineExactQuick(t *testing.T) {
 			if len(got) != len(want) {
 				return false
 			}
+			//fdrms:orderinvariant conjunctive membership check, any order
 			for pid := range want {
 				if _, ok := got[pid]; !ok {
 					return false

@@ -72,6 +72,7 @@ func TestDecodeOpsRejectsDamage(t *testing.T) {
 	huge := AppendU64(nil, 1)
 	huge = AppendU32(huge, 1<<30)
 	cases["huge count"] = huge
+	//fdrms:orderinvariant each corruption case is asserted independently
 	for name, data := range cases {
 		if _, _, err := DecodeOps(data); err == nil {
 			t.Errorf("%s: decode accepted corrupt payload", name)
@@ -276,6 +277,7 @@ func TestCheckpointRoundTripAndFallback(t *testing.T) {
 		10: bytes.Repeat([]byte{0xA5}, 1000),
 		25: []byte("newest"),
 	}
+	//fdrms:orderinvariant NewestCheckpoint scans the directory for the max seq; write order immaterial
 	for seq, p := range payloads {
 		if err := WriteCheckpoint(dir, seq, p); err != nil {
 			t.Fatal(err)

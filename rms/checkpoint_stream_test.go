@@ -1,0 +1,172 @@
+package rms
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fdrms/internal/wal"
+)
+
+// The deterministic half of the streaming-checkpoint contract. With the
+// chunk size shrunk so the capture needs many windows, the step hook — which
+// runs at exactly the instants the writer lock is released between windows —
+// applies fresh batches MID-CHECKPOINT and proves that:
+//
+//   - writers complete (log append + apply) while the checkpoint is in
+//     flight, i.e. no writer blocks for the capture/encode duration;
+//   - the checkpoint still covers exactly the pre-arm seq, and its payload
+//     is byte-identical to a quiesced capture taken at that point;
+//   - the mid-checkpoint batches land in the live state exactly as they do
+//     on a plain engine that never checkpointed.
+func TestCheckpointStreamsBetweenWriterBatches(t *testing.T) {
+	defer func(old int) { checkpointChunk = old }(checkpointChunk)
+	checkpointChunk = 4 // 32 utilities / 4 => 8 windows, 7 hook firings
+
+	rng := rand.New(rand.NewSource(61))
+	d := 3
+	initial := durableTestPoints(rng, 80, d, 0)
+	churn := durableTestBatches(rng, initial, 20, d)
+	mid := durableTestBatches(rng, initial, 8, d)
+	dir := t.TempDir()
+
+	ds, err := OpenDurable(dir, d, initial, durableTestOptions(), DurableOptions{SyncEveryBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	for i, b := range churn {
+		if err := ds.ApplyBatch(b); err != nil {
+			t.Fatalf("churn batch %d: %v", i, err)
+		}
+	}
+
+	armSeq := ds.LastSeq()
+	want := engineState(t, ds.store.d.f) // quiesced capture at the arm point
+
+	windows, applied := 0, 0
+	ds.ckptStepHook = func() {
+		windows++
+		if applied >= len(mid) {
+			return
+		}
+		if err := ds.ApplyBatch(mid[applied]); err != nil {
+			t.Errorf("mid-checkpoint batch %d: %v", applied, err)
+			return
+		}
+		applied++
+		if got := ds.LastSeq(); got != armSeq+uint64(applied) {
+			t.Errorf("mid-checkpoint write %d did not reach the log: seq %d, want %d",
+				applied, got, armSeq+uint64(applied))
+		}
+	}
+	seq, err := ds.Checkpoint()
+	ds.ckptStepHook = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows < 2 || applied < 2 {
+		t.Fatalf("capture yielded %d windows, %d interleaved writes — not streaming", windows, applied)
+	}
+	if seq != armSeq {
+		t.Fatalf("checkpoint covers seq %d, want the pre-arm %d (interleaved writes must land after it)", seq, armSeq)
+	}
+
+	ckSeq, payload, ok, err := wal.NewestCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("reading back the checkpoint: ok=%v err=%v", ok, err)
+	}
+	if ckSeq != seq {
+		t.Fatalf("newest checkpoint on disk covers seq %d, want %d", ckSeq, seq)
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatal("streamed checkpoint is not byte-identical to the quiesced capture at the pinned seq")
+	}
+
+	// The mid-checkpoint writes must have applied exactly: replay the whole
+	// stream on a plain engine and compare states byte for byte.
+	ref, err := NewDynamic(d, initial, durableTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range churn {
+		if err := ref.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range mid[:applied] {
+		if err := ref.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(engineState(t, ds.store.d.f), engineState(t, ref.f)) {
+		t.Fatal("mid-checkpoint writes left the live state diverged from the plain engine")
+	}
+}
+
+// The nondeterministic half, for the race detector: a writer goroutine
+// hammers ApplyBatch the whole time repeated streaming checkpoints run.
+// Afterwards the store must recover from disk to exactly its live state —
+// checkpoint plus log tail re-create whatever interleaving actually
+// happened.
+func TestCheckpointConcurrentWithWrites(t *testing.T) {
+	defer func(old int) { checkpointChunk = old }(checkpointChunk)
+	checkpointChunk = 4
+
+	rng := rand.New(rand.NewSource(67))
+	d := 3
+	initial := durableTestPoints(rng, 80, d, 0)
+	batches := durableTestBatches(rng, initial, 200, d)
+	dir := t.TempDir()
+
+	ds, err := OpenDurable(dir, d, initial, durableTestOptions(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := ds.ApplyBatch(batches[i%len(batches)]); err != nil {
+				t.Errorf("writer batch %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		if _, err := ds.Checkpoint(); err != nil {
+			t.Errorf("checkpoint %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		ds.Close()
+		t.FailNow()
+	}
+
+	if err := ds.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	live := engineState(t, ds.store.d.f)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, 0, nil, Options{}, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !bytes.Equal(engineState(t, re.store.d.f), live) {
+		t.Fatal("recovery after concurrent checkpoints diverged from the live state")
+	}
+}

@@ -69,9 +69,12 @@ func (o DurableOptions) withDefaults() DurableOptions {
 //
 // Reads (Result, Len, Contains, Stats) are served by the embedded Store and
 // never touch the log. Writers serialize on the store's write lock plus the
-// log; a Checkpoint captures its snapshot under that lock (a pure in-memory
-// copy) and performs the encoding and disk writes after releasing it, so
-// ingestion stalls only for the capture, and readers not at all.
+// log; a Checkpoint STREAMS its capture — it pins the state under the
+// writer lock (an O(arena) generation pin, not an O(state) copy), then
+// captures bounded chunks between writer batches and encodes and writes
+// off the lock entirely — so ingestion keeps flowing for the whole
+// checkpoint, pausing only for the pin plus one chunk at a time, and
+// readers not at all.
 type DurableStore struct {
 	store *Store
 	dir   string
@@ -85,6 +88,17 @@ type DurableStore struct {
 	closed bool     // guarded by wmu
 
 	ops []topk.Op // reusable batch-conversion scratch; guarded by wmu
+
+	// ckptMu serializes whole checkpoints (manual calls racing each other or
+	// the auto trigger): the engine supports one armed streaming capture at
+	// a time. It nests OUTSIDE wmu and is held across the entire capture,
+	// including the off-lock chunk windows writers slip through.
+	ckptMu sync.Mutex
+
+	// ckptStepHook, when set (tests only, before any concurrency starts),
+	// runs between chunk windows of a streaming checkpoint — the instants
+	// where writers are free to cut in.
+	ckptStepHook func()
 
 	// Auto-checkpoint state (see DurableOptions.CheckpointEveryOps /
 	// CheckpointInterval). ckptBusy keeps concurrent triggering writers from
@@ -349,23 +363,40 @@ func (ds *DurableStore) applyLocked(batch []Update) error {
 	return nil
 }
 
+// checkpointChunk bounds how many utilities one streaming-capture window
+// copies while holding the writer lock — the unit of writer pause a running
+// checkpoint can impose after its initial pin. A variable only so the
+// concurrency tests can shrink it to force many windows on small universes.
+var checkpointChunk = 1024
+
 // Checkpoint persists a full snapshot of the current state and prunes the
-// log segments and older checkpoint files it makes redundant. The snapshot
-// is captured in memory under the write lock (no I/O); encoding, the
-// temp-file write, the fsync, and the pruning all run after the lock is
-// released, so concurrent ingestion resumes immediately and readers are
+// log segments and older checkpoint files it makes redundant. The capture
+// STREAMS: under the write lock the state is only pinned (the log seq, the
+// cover assignment, an epoch-pinned view of the tuple index — nothing
+// proportional to Σ|Φ|), then utility states are copied in
+// checkpointChunk-bounded windows with the lock RELEASED between windows,
+// so concurrent writer batches interleave with the capture and land in the
+// log after seq, exactly where replay expects them. Copy-on-first-write
+// overlays (package topk) keep every captured value at its pin-point
+// version, so the resulting snapshot — assembled, encoded, and written
+// entirely off the lock — is bit-identical to a stop-the-world capture at
+// seq; the concurrency suite enforces this byte for byte. Readers are
 // never blocked. Returns the WAL seq the checkpoint covers.
 func (ds *DurableStore) Checkpoint() (uint64, error) {
+	// One streaming capture at a time: the engine has a single overlay
+	// session. Held across the whole capture; writers do NOT take ckptMu,
+	// so they keep flowing through the chunk windows.
+	ds.ckptMu.Lock()
+	defer ds.ckptMu.Unlock()
 	var (
 		seq      uint64
-		snap     *core.Snapshot
+		sess     *core.SnapshotSession
 		prevOps  int
 		prevTime time.Time
 		myStamp  time.Time
 	)
-	// The locked capture runs under a deferred unlock so a panic anywhere in
-	// the capture (engine invariants, snapshot encoding growth) cannot wedge
-	// the store for a caller that recovers.
+	// The locked pin runs under a deferred unlock so a panic anywhere in it
+	// cannot wedge the store for a caller that recovers.
 	if err := func() error {
 		ds.wmu.Lock()
 		defer ds.wmu.Unlock()
@@ -389,19 +420,41 @@ func (ds *DurableStore) Checkpoint() (uint64, error) {
 		myStamp = time.Now()
 		ds.lastCkpt = myStamp
 		seq = ds.log.LastSeq()
-		// Capture under the store's writer mutex: readers (which only load
-		// generation handles) still flow, while any non-wmu writer path is
-		// excluded for the duration of the in-memory copy.
+		// Arm the capture under the store's writer mutex: holding wmu at the
+		// same time makes "state at seq" exact — no batch can slip between
+		// the LastSeq read and the pin. Readers (which only load generation
+		// handles) still flow.
 		ds.store.withWriteLock(func() {
-			snap = ds.store.d.f.Snapshot()
+			sess = ds.store.d.f.StartSnapshot()
 		})
 		return nil
 	}(); err != nil {
 		return 0, err
 	}
 
-	// A fresh buffer per call: concurrent Checkpoints are pointless but
-	// legal, and a shared encode buffer here would race once wmu is dropped.
+	// Stream the utility states out in bounded windows. Each window takes
+	// only the store's writer mutex — NOT wmu — so writer batches (which
+	// hold wmu across log append + apply) interleave between windows; their
+	// mutations hit the copy-on-first-write overlay and cannot perturb the
+	// pinned capture.
+	for {
+		var done bool
+		ds.store.withWriteLock(func() {
+			done = sess.Step(checkpointChunk)
+		})
+		if done {
+			break
+		}
+		if ds.ckptStepHook != nil {
+			ds.ckptStepHook()
+		}
+	}
+	// Assembly, encoding, and the file write all run off every lock.
+	snap := sess.Finish()
+
+	// A fresh buffer per call: Checkpoints are serialized by ckptMu, but a
+	// shared encode buffer would outlive the call via wal internals for no
+	// gain.
 	if err := wal.WriteCheckpoint(ds.dir, seq, core.EncodeSnapshot(nil, snap)); err != nil {
 		ds.wmu.Lock()
 		// The ops this capture covered reached no durable checkpoint, so

@@ -585,6 +585,7 @@ func TestDurableStoreAutoCheckpointEveryOps(t *testing.T) {
 	}
 
 	want := engineState(t, ref.f)
+	//fdrms:orderinvariant each crash image recovers into its own TempDir and is checked independently
 	for name, dir := range map[string]string{"auto": autoDir, "manual": manualDir} {
 		crash := t.TempDir()
 		copyTree(t, dir, crash)

@@ -2,8 +2,22 @@ package rms
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 )
+
+// pickLive selects a deterministic random victim from the live-point map:
+// the keys are sorted first so a failing seed replays the exact same
+// deletion schedule instead of one sampled from map iteration order.
+func pickLive(rng *rand.Rand, live map[int]Point) int {
+	ids := make([]int, 0, len(live))
+	//fdrms:orderinvariant ids are sorted before use
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids[rng.Intn(len(ids))]
+}
 
 func hotelPoints() []Point {
 	// The paper's Fig. 1 tuples, read as (x = price score, y = rating).
@@ -178,16 +192,16 @@ func TestDynamicVsStaticEndToEnd(t *testing.T) {
 		live[p.ID] = p
 	}
 	for i := 0; i < 100; i++ {
-		for id := range live {
-			d.Delete(id)
-			delete(live, id)
-			break
-		}
+		id := pickLive(rng, live)
+		d.Delete(id)
+		delete(live, id)
 	}
 	cur := make([]Point, 0, len(live))
+	//fdrms:orderinvariant cur is sorted by id immediately below
 	for _, p := range live {
 		cur = append(cur, p)
 	}
+	sort.Slice(cur, func(i, j int) bool { return cur[i].ID < cur[j].ID })
 	dynMRR := MaxRegretRatio(cur, d.Result(), 3, 1, 10000, 2)
 	sphere, err := Compute("Sphere", cur, 3, 1, 8, 1)
 	if err != nil {
