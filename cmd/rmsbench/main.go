@@ -26,6 +26,13 @@
 // comparable across commits and runners. Every JSON row carries the
 // gomaxprocs and shards that produced it.
 //
+// With -metrics, every benchmarked instance is instrumented against one
+// obs registry and its Prometheus text dump is printed after each
+// experiment — both a way to eyeball internals (requery rates, slab reuse,
+// phase breakdown) and the live half of the instrumentation-overhead
+// comparison: run an experiment with and without -metrics and diff the
+// throughput columns.
+//
 // Profiling hooks for the multi-core work: -cpuprofile, -memprofile and
 // -mutexprofile write pprof profiles covering the selected experiments
 // (mutex profiling is only enabled when requested — it taxes every lock).
@@ -46,6 +53,7 @@ import (
 	"time"
 
 	"fdrms/internal/bench"
+	"fdrms/internal/obs"
 )
 
 func main() {
@@ -60,6 +68,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
 		jsonOut    = flag.Bool("json", false, "also write BENCH_<exp>.json with machine-readable rows")
+		metrics    = flag.Bool("metrics", false, "instrument benchmarked instances and print the metrics registry after each experiment")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
@@ -99,6 +108,9 @@ func main() {
 		MaxRecomputes: *recomputes,
 		StaticBudget:  *budget,
 		Seed:          *seed,
+	}
+	if *metrics {
+		opt.Metrics = obs.NewRegistry()
 	}
 	var names []string
 	if *datasets != "" {
@@ -190,6 +202,11 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+		}
+		if opt.Metrics != nil {
+			fmt.Printf("--- metrics after %s ---\n", e)
+			opt.Metrics.WriteText(os.Stdout)
+			fmt.Println()
 		}
 		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n", e, time.Since(start).Round(time.Millisecond))
 	}

@@ -12,12 +12,19 @@
 //	GET  /regret?u=0.3,0.7        k-regret ratio of the answer for one user
 //	GET  /stats                   database size, answer size, maintenance stats
 //	GET  /healthz                 liveness probe
+//	GET  /metrics                 Prometheus text exposition of every layer's metrics
+//	GET  /debug/vars              recent batch traces + cumulative phase breakdown, JSON
 //	POST /update                  JSON batch: {"insert": [{"id":..,"values":[..]}], "delete": [ids]}
+//
+// With -pprof, the standard net/http/pprof profiling handlers are mounted
+// under /debug/pprof/. A request hitting a registered path with the wrong
+// method gets 405 with an Allow header rather than 404.
 //
 // Example:
 //
 //	rmsserve -addr :8080 -n 10000 -d 4 -r 20
 //	curl 'localhost:8080/topk?u=0.5,0.5,0.2,0.1&k=3'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -26,23 +33,27 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
 	"fdrms/internal/dataset"
+	"fdrms/internal/obs"
 	"fdrms/rms"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		n    = flag.Int("n", 10000, "initial synthetic database size")
-		d    = flag.Int("d", 4, "attribute count")
-		k    = flag.Int("k", 1, "regret rank k")
-		r    = flag.Int("r", 20, "maximum answer size r")
-		m    = flag.Int("m", 2048, "utility sample upper bound M")
-		eps  = flag.Float64("eps", 0, "top-k slack epsilon (0 = auto-tune)")
-		seed = flag.Int64("seed", 1, "random seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+		n        = flag.Int("n", 10000, "initial synthetic database size")
+		d        = flag.Int("d", 4, "attribute count")
+		k        = flag.Int("k", 1, "regret rank k")
+		r        = flag.Int("r", 20, "maximum answer size r")
+		m        = flag.Int("m", 2048, "utility sample upper bound M")
+		eps      = flag.Float64("eps", 0, "top-k slack epsilon (0 = auto-tune)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		usePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -59,9 +70,13 @@ func main() {
 	}
 	defer store.Close()
 
+	reg := obs.NewRegistry()
+	tel := rms.NewTelemetry(reg)
+	store.SetTelemetry(tel)
+
 	log.Printf("rmsserve: serving n=%d d=%d k=%d r=%d on %s (generation %d)",
 		store.Len(), *d, *k, *r, *addr, store.Current().ID())
-	log.Fatal(http.ListenAndServe(*addr, newMux(store)))
+	log.Fatal(http.ListenAndServe(*addr, newMux(store, tel, reg, *usePprof)))
 }
 
 // pointJSON is the wire form of a tuple.
@@ -88,14 +103,25 @@ type updateRequest struct {
 // newMux wires the read and update handlers around a store. Every read
 // handler pins ONE generation for its whole response, so the fields of a
 // single response are mutually consistent even while batches commit.
-func newMux(store *rms.Store) *http.ServeMux {
+//
+// tel and reg are optional: a nil reg skips /metrics, a nil tel skips
+// /debug/vars. Routes are registered through a method table so a wrong
+// method on a known path answers 405 with an Allow header — the JSON error
+// convention of this server, guaranteed here rather than inherited from
+// whatever the stdlib mux of the moment does.
+func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
+	allowed := map[string][]string{}
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+path, h)
+		allowed[path] = append(allowed[path], method)
+	}
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+	handle(http.MethodGet, "/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 
-	mux.HandleFunc("GET /result", func(w http.ResponseWriter, req *http.Request) {
+	handle(http.MethodGet, "/result", func(w http.ResponseWriter, req *http.Request) {
 		g := store.Current()
 		writeOK(w, map[string]any{
 			"generation": g.ID(),
@@ -103,7 +129,7 @@ func newMux(store *rms.Store) *http.ServeMux {
 		})
 	})
 
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+	handle(http.MethodGet, "/stats", func(w http.ResponseWriter, req *http.Request) {
 		g := store.Current()
 		st := g.Stats()
 		writeOK(w, map[string]any{
@@ -115,7 +141,7 @@ func newMux(store *rms.Store) *http.ServeMux {
 		})
 	})
 
-	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, req *http.Request) {
+	handle(http.MethodGet, "/topk", func(w http.ResponseWriter, req *http.Request) {
 		u, ok := parseUtility(w, req)
 		if !ok {
 			return
@@ -146,7 +172,7 @@ func newMux(store *rms.Store) *http.ServeMux {
 		writeOK(w, map[string]any{"generation": g.ID(), "topk": out})
 	})
 
-	mux.HandleFunc("GET /regret", func(w http.ResponseWriter, req *http.Request) {
+	handle(http.MethodGet, "/regret", func(w http.ResponseWriter, req *http.Request) {
 		u, ok := parseUtility(w, req)
 		if !ok {
 			return
@@ -164,7 +190,7 @@ func newMux(store *rms.Store) *http.ServeMux {
 		})
 	})
 
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, req *http.Request) {
+	handle(http.MethodPost, "/update", func(w http.ResponseWriter, req *http.Request) {
 		var ur updateRequest
 		if err := json.NewDecoder(req.Body).Decode(&ur); err != nil {
 			httpError(w, http.StatusBadRequest, "bad body: %v", err)
@@ -188,6 +214,36 @@ func newMux(store *rms.Store) *http.ServeMux {
 			"n":          g.Len(),
 		})
 	})
+
+	if reg != nil {
+		handle(http.MethodGet, "/metrics", reg.ServeHTTP)
+	}
+	if tel != nil {
+		handle(http.MethodGet, "/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+			writeOK(w, tel.DebugVars())
+		})
+	}
+	if usePprof {
+		// Registered without method patterns and outside the 405 table: the
+		// pprof handlers do their own method handling (symbol accepts POST).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	// Bare-path fallbacks: a method pattern is more specific than the
+	// method-less pattern for the same path, so these catch exactly the
+	// wrong-method hits.
+	for path, methods := range allowed {
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
+		mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Allow", allow)
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", req.Method, req.URL.Path)
+		})
+	}
 
 	return mux
 }

@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"fdrms/internal/obs"
 	"fdrms/rms"
 )
 
@@ -49,7 +52,7 @@ func get(t *testing.T, srv *httptest.Server, path string, wantCode int) map[stri
 
 func TestServeEndpoints(t *testing.T) {
 	store := testStore(t, 200, 3)
-	srv := httptest.NewServer(newMux(store))
+	srv := httptest.NewServer(newMux(store, nil, nil, false))
 	defer srv.Close()
 
 	if resp, err := srv.Client().Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
@@ -101,7 +104,7 @@ func TestServeEndpoints(t *testing.T) {
 
 func TestServeUpdateAdvancesGeneration(t *testing.T) {
 	store := testStore(t, 100, 2)
-	srv := httptest.NewServer(newMux(store))
+	srv := httptest.NewServer(newMux(store, nil, nil, false))
 	defer srv.Close()
 
 	body := `{"insert": [{"id": 1000, "values": [2.0, 2.0]}], "delete": [0, 1]}`
@@ -148,7 +151,7 @@ func TestServeUpdateAdvancesGeneration(t *testing.T) {
 
 func TestServeConcurrentReadsDuringUpdates(t *testing.T) {
 	store := testStore(t, 150, 2)
-	srv := httptest.NewServer(newMux(store))
+	srv := httptest.NewServer(newMux(store, nil, nil, false))
 	defer srv.Close()
 
 	done := make(chan error, 1)
@@ -188,5 +191,148 @@ func TestServeConcurrentReadsDuringUpdates(t *testing.T) {
 		} else {
 			lastGen = g
 		}
+	}
+}
+
+// A wrong method on a registered path must answer 405 with an Allow header
+// and the server's JSON error shape — not a bare 404.
+func TestServeMethodNotAllowed(t *testing.T) {
+	store := testStore(t, 50, 2)
+	reg := obs.NewRegistry()
+	tel := rms.NewTelemetry(reg)
+	store.SetTelemetry(tel)
+	srv := httptest.NewServer(newMux(store, tel, reg, false))
+	defer srv.Close()
+
+	cases := []struct {
+		method, path, allow string
+	}{
+		{"POST", "/result", "GET"},
+		{"DELETE", "/topk", "GET"},
+		{"POST", "/healthz", "GET"},
+		{"GET", "/update", "POST"},
+		{"PUT", "/metrics", "GET"},
+		{"POST", "/debug/vars", "GET"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Fatalf("%s %s: Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s %s: non-JSON 405 body: %v", c.method, c.path, err)
+		}
+		resp.Body.Close()
+		if body["error"] == "" {
+			t.Fatalf("%s %s: 405 body carries no error message", c.method, c.path)
+		}
+	}
+
+	// Unknown paths still 404.
+	resp, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// /metrics must expose every instrumented layer's families and /debug/vars
+// the batch traces, after traffic has flowed through the store.
+func TestServeMetricsAndDebugVars(t *testing.T) {
+	store := testStore(t, 100, 2)
+	reg := obs.NewRegistry()
+	tel := rms.NewTelemetry(reg)
+	store.SetTelemetry(tel)
+	srv := httptest.NewServer(newMux(store, tel, reg, false))
+	defer srv.Close()
+
+	body := `{"insert": [{"id": 3000, "values": [1.5, 1.5]}], "delete": [0]}`
+	resp, err := srv.Client().Post(srv.URL+"/update", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("update: status %d", resp.StatusCode)
+	}
+	get(t, srv, "/topk?u=0.5,0.5&k=3", 200)
+
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != 200 {
+		t.Fatalf("metrics: status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(raw)
+	for _, prefix := range []string{"fdrms_topk_", "fdrms_pool_", "fdrms_setcover_", "fdrms_wal_", "fdrms_store_"} {
+		if !strings.Contains(scrape, prefix) {
+			t.Fatalf("scrape is missing family prefix %q", prefix)
+		}
+	}
+	if !strings.Contains(scrape, "fdrms_store_publishes_total 1") {
+		t.Fatal("scrape does not count the committed update")
+	}
+
+	dv := get(t, srv, "/debug/vars", 200)
+	traces, ok := dv["traces"].([]any)
+	if !ok || len(traces) != 1 {
+		t.Fatalf("debug/vars traces = %v, want exactly one record", dv["traces"])
+	}
+	tr := traces[0].(map[string]any)
+	if tr["ops"].(float64) != 2 || tr["inserts"].(float64) != 1 || tr["deletes"].(float64) != 1 {
+		t.Fatalf("trace record %v, want ops 2 / inserts 1 / deletes 1", tr)
+	}
+	phase, ok := dv["phase"].(map[string]any)
+	if !ok || phase["runs"].(float64) == 0 {
+		t.Fatalf("debug/vars phase = %v, want a run counted", dv["phase"])
+	}
+}
+
+// -pprof mounts the profiling handlers; without it the paths are 404.
+func TestServePprofOptIn(t *testing.T) {
+	store := testStore(t, 30, 2)
+	on := httptest.NewServer(newMux(store, nil, nil, true))
+	defer on.Close()
+	resp, err := on.Client().Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline with -pprof: status %d, want 200", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(newMux(store, nil, nil, false))
+	defer off.Close()
+	resp, err = off.Client().Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof cmdline without -pprof: status %d, want 404", resp.StatusCode)
 	}
 }

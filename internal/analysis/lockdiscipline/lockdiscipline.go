@@ -233,7 +233,15 @@ func lockHeld(pass *analysis.Pass, fc fieldContract, root *ast.Ident, rootObj ty
 			return true
 		}
 	}
-	// A lexically preceding <root>.<guard>.Lock() in any enclosing body.
+	// A lexically preceding <root>.<guard>.Lock() in an enclosing body that
+	// is not superseded by a later Unlock of the same mutex. Tracking only
+	// the Lock would bless unlock-then-write — code that locks, unlocks
+	// early, and keeps writing — so the scan keeps the LAST Lock and Unlock
+	// positions before the write and requires the Lock to win. A deferred
+	// Unlock runs at function exit, after every write in the body, so defer
+	// statements are skipped entirely; nested func literals (not enclosing
+	// the write) are skipped too — their lock calls act in their own frame,
+	// and their bodies get their own pass through funcs.
 	for _, fn := range funcs {
 		var body *ast.BlockStmt
 		switch f := fn.(type) {
@@ -245,14 +253,20 @@ func lockHeld(pass *analysis.Pass, fc fieldContract, root *ast.Ident, rootObj ty
 		if body == nil {
 			continue
 		}
-		held := false
+		var lastLock, lastUnlock token.Pos
 		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && (writePos < lit.Pos() || writePos >= lit.End()) {
+				return false
+			}
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return false
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok || call.Pos() >= writePos {
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Lock" {
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
 				return true
 			}
 			mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
@@ -260,11 +274,15 @@ func lockHeld(pass *analysis.Pass, fc fieldContract, root *ast.Ident, rootObj ty
 				return true
 			}
 			if mr := analysis.RootIdent(mutexSel.X); mr != nil && sameObject(pass, mr, root) {
-				held = true
+				if sel.Sel.Name == "Lock" {
+					lastLock = call.Pos()
+				} else {
+					lastUnlock = call.Pos()
+				}
 			}
 			return true
 		})
-		if held {
+		if lastLock != token.NoPos && lastLock > lastUnlock {
 			return true
 		}
 	}

@@ -76,3 +76,48 @@ func (s *store) escapedClosure() {
 	f := func() { s.n = 5 } // want "guarded by mu"
 	f()
 }
+
+func (s *store) unlockThenWrite() {
+	s.mu.Lock()
+	s.n = 8 // ok: between Lock and Unlock
+	s.mu.Unlock()
+	s.n = 9 // want "guarded by mu"
+}
+
+func (s *store) relockAfterUnlock() {
+	s.mu.Lock()
+	s.n = 10 // ok
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.n = 11 // ok: the re-Lock supersedes the Unlock
+	s.mu.Unlock()
+}
+
+func (s *store) deferredUnlockStillHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if true {
+		s.n = 12 // ok: the deferred Unlock runs after this write
+	}
+	s.n = 13 // ok
+}
+
+func (s *store) nestedLitUnlockDoesNotLeak() {
+	s.mu.Lock()
+	f := func() {
+		s.mu.Unlock() // the literal's calls act in its own frame...
+		s.mu.Lock()
+	}
+	_ = f
+	s.n = 14 // ok: ...so the enclosing body's Lock still counts here
+	s.mu.Unlock()
+}
+
+func (s *store) nestedLitLockDoesNotLeak() {
+	f := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	_ = f
+	s.n = 15 // want "guarded by mu"
+}

@@ -70,6 +70,9 @@ func Serve(o Options) *Table {
 		if err != nil {
 			panic(err)
 		}
+		if o.Metrics != nil {
+			store.SetTelemetry(rms.NewTelemetry(o.Metrics))
+		}
 
 		done := make(chan struct{})
 		readers := make([]*serveReader, nReaders)
@@ -181,7 +184,8 @@ func Serve(o Options) *Table {
 		"one writer streams sliding-window ApplyBatch commits for the whole run; readers never take a lock",
 		"consistent = generation ids monotonic per reader, every read valid, final generation = initial + batches",
 		"reads/s is per-kind (each reader cycles result, topk, regret every iteration)",
-		"needs GOMAXPROCS > readers to show concurrency; single-core runs interleave rather than overlap")
+		"needs GOMAXPROCS > readers to show concurrency; single-core runs interleave rather than overlap",
+		latResolutionNote)
 	return t
 }
 

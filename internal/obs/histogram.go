@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log₂ octaves refined into 16 linear sub-buckets.
+//
+// Values 0..15 land in their own exact bucket. A value v ≥ 16 with highest
+// set bit e (e = bits.Len64(v)-1 ≥ 4) lands in octave e, sub-bucket
+// (v >> (e-4)) & 15 — the four bits below the leading bit — covering
+// [(16+sub) << (e-4), (17+sub) << (e-4)). Bucket widths therefore grow
+// geometrically but any bucket's width is at most 1/16 of its lower edge,
+// which bounds the RELATIVE quantile resolution error at 6.25%: Quantile
+// reports a bucket's inclusive upper edge, so it never understates a
+// latency and overstates it by less than 1/16. Max is tracked exactly on
+// the side and clips every quantile, so max (and any quantile that falls
+// in the max's bucket) is exact.
+//
+// 16 exact buckets + 60 octaves × 16 sub-buckets = 976 buckets (~7.6 KiB
+// of atomics per histogram) cover the full uint64 range — nanosecond
+// observations never saturate or clamp at the top.
+const (
+	histSubBuckets = 16
+	histBuckets    = histSubBuckets + (64-4)*histSubBuckets // 976
+)
+
+// Histogram is a fixed-bucket concurrent histogram. Observe is lock-free
+// (one atomic add per field it touches), allocation-free, and safe on a
+// nil receiver. Readout methods are for scrape time: they walk the bucket
+// array on the stack and may observe a torn view under concurrent writes
+// (count/sum/buckets each internally consistent, mutually off by in-flight
+// observations) — fine for monitoring, documented here so nobody builds an
+// invariant on top.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Uint64
+	max   atomic.Uint64
+	_     [40]byte // keep the hot triple off the bucket array's lines
+	bkt   [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram. (Histograms embedded in other
+// structs need no constructor; the zero value is ready.)
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // ≥ 4
+	sub := (v >> uint(e-4)) & (histSubBuckets - 1)
+	return (e-3)*histSubBuckets + int(sub)
+}
+
+// bucketUpper returns the inclusive upper edge of bucket b. The top bucket
+// computes (32 << 59) - 1, which wraps to exactly MaxUint64.
+func bucketUpper(b int) uint64 {
+	if b < histSubBuckets {
+		return uint64(b)
+	}
+	e := uint(b/histSubBuckets + 3)
+	sub := uint64(b % histSubBuckets)
+	return ((histSubBuckets+sub+1)<<(e-4) - 1)
+}
+
+// Observe records one value. Negative observations (a clock that stepped
+// backwards) clamp to 0 rather than corrupting the unsigned accounting.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.bkt[bucketOf(u)].Add(1)
+	for {
+		old := h.max.Load()
+		if u <= old || h.max.CompareAndSwap(old, u) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the exact maximum observed value (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) of the
+// observed values: the inclusive upper edge of the bucket holding the
+// rank-⌈q·count⌉ observation, clipped to the exact max. The bound is tight
+// to within the 6.25% bucket resolution (see the layout comment above);
+// values below 16 are exact. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	// One consistent pass: snapshot the buckets on the stack, derive the
+	// total from the snapshot itself so rank and cumulative counts agree
+	// even under concurrent Observes.
+	var snap [histBuckets]uint64
+	var total uint64
+	for i := range h.bkt {
+		c := h.bkt[i].Load()
+		snap[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range snap {
+		cum += snap[i]
+		if cum >= rank {
+			hi := bucketUpper(i)
+			if mx := h.max.Load(); mx > 0 && hi > mx {
+				return mx
+			}
+			return hi
+		}
+	}
+	return h.max.Load() // unreachable unless racing; max is the safe answer
+}

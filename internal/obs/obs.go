@@ -1,0 +1,89 @@
+// Package obs is the repo's stdlib-only metrics core: padded atomic
+// counters and gauges, fixed-bucket log₂-scale histograms, a registry with
+// Prometheus text-format exposition, and a fixed-size per-batch trace ring.
+//
+// The design contract, shared with the engine's scratch/slab reuse story,
+// is ZERO ALLOCATIONS ON THE HOT PATH: Counter.Add, Gauge.Set,
+// Histogram.Observe and TraceRing.Record never allocate (CI-gated by
+// AllocsPerRun tests), and every handle is nil-safe — a nil *Counter's Add
+// is a single branch, so uninstrumented runs pay one predictable compare
+// per site and no registry needs to exist. Allocation and locking are
+// confined to registration and scrape time, which are cold by definition.
+//
+// Instrumented packages hold typed handles (obtained once from a Registry
+// via get-or-create) rather than the registry itself, so the per-update
+// path is an atomic add on a cache-line-padded word with no map lookups,
+// no label formatting, and no interface boxing.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing uint64, padded to its own cache
+// line so independently updated counters never false-share. All methods
+// are safe on a nil receiver (they no-op / return 0).
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64B: hot counters must not share a line
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Counters are monotone; deltas are unsigned by design.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64, padded like Counter. All methods are safe on
+// a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label is one name="value" pair. Labels are plain structs (not maps) so
+// building a label set never allocates beyond the slice literal at
+// registration time.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for Label{Key: k, Value: v} at registration sites.
+func L(k, v string) Label { return Label{Key: k, Value: v} }

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestNilHandlesNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *TraceRing
+	var reg *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(9)
+	r.Record(&BatchTrace{})
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 || r.Total() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if reg.Counter("x", "") != nil || reg.Gauge("x", "") != nil || reg.Histogram("x", "") != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	reg.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := reg.WriteText(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil ring snapshot must be nil")
+	}
+}
+
+func TestBucketMapping(t *testing.T) {
+	// Exact small values.
+	for v := uint64(0); v < 16; v++ {
+		if b := bucketOf(v); b != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want %d", v, b, v)
+		}
+		if u := bucketUpper(int(v)); u != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, u, v)
+		}
+	}
+	// Buckets tile the range: every value's bucket upper edge is >= the
+	// value, the previous bucket's edge is < the value, and edges are
+	// strictly increasing.
+	prev := uint64(0)
+	for b := 1; b < histBuckets; b++ {
+		u := bucketUpper(b)
+		if u <= prev {
+			t.Fatalf("bucket edges not increasing at %d: %d <= %d", b, u, prev)
+		}
+		prev = u
+	}
+	if bucketUpper(histBuckets-1) != math.MaxUint64 {
+		t.Fatalf("top bucket edge = %d, want MaxUint64", bucketUpper(histBuckets-1))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		b := bucketOf(v)
+		if hi := bucketUpper(b); v > hi {
+			t.Fatalf("v=%d above its bucket %d edge %d", v, b, hi)
+		}
+		if b > 0 {
+			if lo := bucketUpper(b - 1); v <= lo {
+				t.Fatalf("v=%d at or below previous bucket edge %d (bucket %d)", v, lo, b)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..10000: true p50=5000, p99=9900, max=10000.
+	for v := int64(1); v <= 10000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 10000*10001/2 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Max() != 10000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	check := func(q float64, truth uint64) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < truth {
+			t.Fatalf("q%.3f = %d understates true %d", q, got, truth)
+		}
+		if float64(got) > float64(truth)*(1+1.0/16)+1 {
+			t.Fatalf("q%.3f = %d exceeds %d by more than the 6.25%% bound", q, got, truth)
+		}
+	}
+	check(0.5, 5000)
+	check(0.99, 9900)
+	check(0.999, 9990)
+	if got := h.Quantile(1); got != 10000 {
+		t.Fatalf("q1 = %d, want exact max 10000", got)
+	}
+	// Negative observations clamp to zero.
+	h2 := NewHistogram()
+	h2.Observe(-5)
+	if h2.Quantile(0.5) != 0 || h2.Sum() != 0 || h2.Count() != 1 {
+		t.Fatal("negative observation must clamp to 0")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("fdrms_test_total", "help", Label{"kind", "x"})
+	b := reg.Counter("fdrms_test_total", "help", Label{"kind", "x"})
+	if a != b {
+		t.Fatal("same (name, labels) must return the same handle")
+	}
+	c := reg.Counter("fdrms_test_total", "help", Label{"kind", "y"})
+	if a == c {
+		t.Fatal("different labels must return distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash must panic")
+		}
+	}()
+	reg.Gauge("fdrms_test_total", "help")
+}
+
+func TestRegistryText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fdrms_b_total", "b help", Label{"kind", "x"}).Add(3)
+	reg.Gauge("fdrms_a_gauge", "a help").Set(-2)
+	reg.GaugeFunc("fdrms_f", "f help", func() float64 { return 1.5 })
+	h := reg.Histogram("fdrms_lat_ns", "lat help", Label{"op", `q"uo\te`})
+	h.Observe(100)
+	h.Observe(200)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE fdrms_a_gauge gauge",
+		"fdrms_a_gauge -2",
+		"# TYPE fdrms_b_total counter",
+		`fdrms_b_total{kind="x"} 3`,
+		"fdrms_f 1.5",
+		"# TYPE fdrms_lat_ns summary",
+		`quantile="0.5"`,
+		`quantile="0.999"`,
+		`fdrms_lat_ns_sum{op="q\"uo\\te"} 300`,
+		`fdrms_lat_ns_count{op="q\"uo\\te"} 2`,
+		"# TYPE fdrms_lat_ns_max gauge",
+		`fdrms_lat_ns_max{op="q\"uo\\te"} 200`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must come out name-sorted (deterministic exposition).
+	if strings.Index(out, "fdrms_a_gauge") > strings.Index(out, "fdrms_b_total") {
+		t.Fatal("families not sorted by name")
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("fdrms_age", "", func() float64 { return 1 })
+	reg.GaugeFunc("fdrms_age", "", func() float64 { return 2 })
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fdrms_age 2") {
+		t.Fatalf("GaugeFunc re-registration must replace the function:\n%s", sb.String())
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(&BatchTrace{Ops: i})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 || r.Total() != 6 {
+		t.Fatalf("len=%d total=%d, want 4/6", len(snap), r.Total())
+	}
+	for i, tr := range snap {
+		if tr.Ops != i+2 || tr.Seq != uint64(i+2) {
+			t.Fatalf("slot %d = ops %d seq %d, want oldest-first window 2..5", i, tr.Ops, tr.Seq)
+		}
+	}
+}
+
+// TestHotPathZeroAllocs is the CI gate for the package's core contract:
+// counter adds, gauge sets, histogram observes and trace records allocate
+// NOTHING per operation.
+func TestHotPathZeroAllocs(t *testing.T) {
+	c := new(Counter)
+	g := new(Gauge)
+	h := NewHistogram()
+	r := NewTraceRing(64)
+	tr := BatchTrace{Ops: 1, CandNs: 5}
+	var v int64
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"counter-add", func() { c.Add(3) }},
+		{"counter-inc", func() { c.Inc() }},
+		{"gauge-set", func() { v++; g.Set(v) }},
+		{"gauge-add", func() { g.Add(-1) }},
+		{"histogram-observe", func() { v++; h.Observe(v) }},
+		{"ring-record", func() { r.Record(&tr) }},
+		{"nil-counter-add", func() { (*Counter)(nil).Add(1) }},
+		{"nil-histogram-observe", func() { (*Histogram)(nil).Observe(1) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentScrape is the registry's race gate: N writer goroutines
+// hammer one counter, one per-writer counter, a shared histogram and the
+// trace ring while a scraper loops over the text exposition. Run under
+// -race this exercises every handle's concurrency contract; the assertions
+// check the scraper's view is monotone and the final totals are exact.
+func TestConcurrentScrape(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	reg := NewRegistry()
+	shared := reg.Counter("fdrms_race_shared_total", "shared across writers")
+	hist := reg.Histogram("fdrms_race_lat_ns", "shared histogram")
+	ring := NewTraceRing(32)
+	perWriter := make([]*Counter, writers)
+	for i := range perWriter {
+		perWriter[i] = reg.Counter("fdrms_race_writer_total", "per-writer", L("writer", string(rune('a'+i))))
+	}
+	reg.GaugeFunc("fdrms_race_func", "scrape-time func", func() float64 { return float64(shared.Load()) })
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perW; i++ {
+				shared.Inc()
+				perWriter[w].Add(2)
+				hist.Observe(int64(i))
+				ring.Record(&BatchTrace{Ops: i, Generation: uint64(w)})
+			}
+		}(w)
+	}
+
+	// Scraper: full text exposition in a tight loop, plus monotonicity of
+	// the shared counter and sanity of the histogram totals mid-flight.
+	scrapeDone := make(chan error, 1)
+	go func() {
+		var last uint64
+		var lastCount uint64
+		for !stop.Load() {
+			if err := reg.WriteText(io.Discard); err != nil {
+				scrapeDone <- err
+				return
+			}
+			cur := shared.Load()
+			if cur < last {
+				t.Errorf("shared counter went backwards: %d -> %d", last, cur)
+			}
+			last = cur
+			cnt, sum, mx := hist.Count(), hist.Sum(), hist.Max()
+			if cnt < lastCount {
+				t.Errorf("histogram count went backwards: %d -> %d", lastCount, cnt)
+			}
+			lastCount = cnt
+			if mx > perW {
+				t.Errorf("histogram max %d exceeds any observed value", mx)
+			}
+			if sum > uint64(writers)*perW*(perW+1)/2 {
+				t.Errorf("histogram sum %d exceeds the final total", sum)
+			}
+			_ = hist.Quantile(0.99)
+			_ = ring.Snapshot()
+		}
+		scrapeDone <- nil
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	if err := <-scrapeDone; err != nil {
+		t.Fatalf("scrape error: %v", err)
+	}
+
+	if got := shared.Load(); got != writers*perW {
+		t.Fatalf("shared counter = %d, want %d", got, writers*perW)
+	}
+	for w, c := range perWriter {
+		if got := c.Load(); got != 2*perW {
+			t.Fatalf("writer %d counter = %d, want %d", w, got, 2*perW)
+		}
+	}
+	if got := hist.Count(); got != writers*perW {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perW)
+	}
+	if got := hist.Sum(); got != uint64(writers)*perW*(perW+1)/2 {
+		t.Fatalf("histogram sum = %d", got)
+	}
+	if got := hist.Max(); got != perW {
+		t.Fatalf("histogram max = %d, want %d", got, perW)
+	}
+	if got := ring.Total(); got != writers*perW {
+		t.Fatalf("ring total = %d, want %d", got, writers*perW)
+	}
+
+	// The final exposition must contain every family with exact values.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fdrms_race_shared_total 40000") {
+		t.Fatalf("final scrape missing exact shared total:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates a family's exposition shape.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance within a family. Exactly one of the value
+// fields is set, per the family's kind.
+type series struct {
+	labels []Label // sorted by key at registration
+	c      *Counter
+	g      *Gauge
+	f      func() float64
+	h      *Histogram
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series // registration order (deterministic: single registrar)
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration is get-or-create: asking twice for the
+// same (name, labels) returns the SAME handle, so independently constructed
+// components (e.g. successive bench cells) can share accumulators without
+// coordination. All constructors are safe on a nil *Registry and return
+// nil handles — the universal "instrumentation off" path.
+//
+// Registration and scrape take a mutex; neither is a hot path. The handles
+// they return are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted family names for deterministic exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter named name with the given labels, creating
+// family and series as needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(kindCounter, name, help, labels)
+	if s.c == nil {
+		s.c = new(Counter)
+	}
+	r.mu.Unlock()
+	return s.c
+}
+
+// Gauge returns the gauge named name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(kindGauge, name, help, labels)
+	if s.g == nil {
+		s.g = new(Gauge)
+	}
+	r.mu.Unlock()
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by f at scrape time.
+// f must be safe to call from the scraper goroutine at any moment — it may
+// only read atomically published or immutable state. Re-registering the
+// same (name, labels) REPLACES the function (last writer wins), which is
+// what sequential component lifecycles (close one store, open another
+// against the same registry) want.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.lookup(kindGaugeFunc, name, help, labels)
+	s.f = f
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram named name with the given labels. It is
+// exposed as a Prometheus summary (quantile series + _sum/_count) plus a
+// companion <name>_max gauge family holding the exact maximum.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(kindHistogram, name, help, labels)
+	if s.h == nil {
+		s.h = new(Histogram)
+	}
+	r.mu.Unlock()
+	return s.h
+}
+
+// lookup returns the series for (name, labels), creating family and series
+// slots as needed. It returns WITH r.mu HELD so the caller can fill the
+// value slot before unlocking; a kind clash with an existing family is a
+// programmer error and panics.
+func (r *Registry) lookup(kind metricKind, name, help string, labels []Label) *series {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	r.mu.Lock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.families[name] = fam
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	}
+	if fam.kind != kind {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, fam.kind, kind))
+	}
+	for _, s := range fam.series {
+		if labelsEqual(s.labels, sorted) {
+			return s
+		}
+	}
+	s := &series{labels: sorted}
+	fam.series = append(fam.series, s)
+	return s
+}
+
+func labelsEqual(a, b []Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// histQuantiles are the summary quantiles every histogram exposes.
+var histQuantiles = []struct {
+	tag string
+	q   float64
+}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
+
+// WriteText renders every family in the Prometheus text exposition format,
+// families in name order, series in registration order. Safe to call while
+// writers hammer the handles: values are atomic loads.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.names {
+		fam := r.families[name]
+		writeHeader(&b, fam.name, fam.help, fam.kind.String())
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				writeSample(&b, fam.name, "", s.labels, "", strconv.FormatUint(s.c.Load(), 10))
+			case kindGauge:
+				writeSample(&b, fam.name, "", s.labels, "", strconv.FormatInt(s.g.Load(), 10))
+			case kindGaugeFunc:
+				v := 0.0
+				if s.f != nil {
+					v = s.f()
+				}
+				writeSample(&b, fam.name, "", s.labels, "", strconv.FormatFloat(v, 'g', -1, 64))
+			case kindHistogram:
+				for _, hq := range histQuantiles {
+					writeSample(&b, fam.name, "", s.labels, hq.tag, strconv.FormatUint(s.h.Quantile(hq.q), 10))
+				}
+				writeSample(&b, fam.name, "_sum", s.labels, "", strconv.FormatUint(s.h.Sum(), 10))
+				writeSample(&b, fam.name, "_count", s.labels, "", strconv.FormatUint(s.h.Count(), 10))
+			}
+		}
+		if fam.kind == kindHistogram {
+			// The exact maximum rides along as a sibling gauge family: the
+			// summary proper has no max slot, and clipping quantiles to an
+			// exposed max keeps tail readings honest.
+			writeHeader(&b, fam.name+"_max", fam.help+" (exact maximum)", "gauge")
+			for _, s := range fam.series {
+				writeSample(&b, fam.name, "_max", s.labels, "", strconv.FormatUint(s.h.Max(), 10))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(help)
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// writeSample emits one `name suffix{labels,quantile="q"} value` line.
+func writeSample(b *strings.Builder, name, suffix string, labels []Label, quantile, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || quantile != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			escapeLabel(b, l.Value)
+			b.WriteByte('"')
+		}
+		if quantile != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`quantile="`)
+			b.WriteString(quantile)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// escapeLabel writes v with the three characters the text format reserves
+// in label values (backslash, double quote, newline) escaped.
+func escapeLabel(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// ServeHTTP exposes the registry as a Prometheus scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r == nil {
+		return
+	}
+	_ = r.WriteText(w)
+}

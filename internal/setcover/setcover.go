@@ -81,6 +81,10 @@ type Solver struct {
 	// Stats counters for the ablation harness.
 	Takeovers     int // STABILIZE takeover steps executed
 	Reassignments int // element reassignments due to set-member removals
+
+	// metrics, when set, mirrors the counters above and the slab traffic
+	// into obs handles (see metrics.go). Written only via SetMetrics.
+	metrics *Metrics
 }
 
 // setRec is the per-set state. cover and level are meaningful while chosen;
@@ -521,6 +525,7 @@ func (sv *Solver) RemoveSetMember(s, e int) {
 			sv.assignTo(ei, s2)
 			sv.relevel(s2)
 			sv.Reassignments++
+			sv.metrics.mirrorReassignment()
 		} else {
 			sv.nOrphans++
 		}
@@ -627,6 +632,7 @@ func (sv *Solver) stabilize() {
 			continue // stale entry
 		}
 		sv.Takeovers++
+		sv.metrics.mirrorTakeover()
 		// Take over every element of S ∩ A_j, in ascending element id.
 		moved := append(sv.moved[:0], sv.arena.view(b)...)
 		slices.SortFunc(moved, func(x, y int32) int {

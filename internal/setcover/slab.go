@@ -75,6 +75,11 @@ type slab struct {
 
 	free [slabClasses]int32
 	_    [16]byte // round the freelist heads up to whole cache lines
+
+	// met, when set, mirrors allocation traffic into obs handles. Read-only
+	// after SetMetrics, so it rides after the padded hot words without
+	// re-introducing the sharing the padding exists to prevent.
+	met *Metrics
 }
 
 func (a *slab) init() {
@@ -88,6 +93,10 @@ func (a *slab) init() {
 func (a *slab) alloc(cls int8) int32 {
 	if h := a.free[cls]; h >= 0 {
 		a.free[cls] = a.data[h]
+		if m := a.met; m != nil {
+			m.AllocReuse.Inc()
+			m.SlabLiveWords.Add(int64(spanCap(cls)))
+		}
 		return h
 	}
 	n := spanCap(cls)
@@ -101,6 +110,11 @@ func (a *slab) alloc(cls int8) int32 {
 		a.data = slices.Grow(a.data, n)
 	}
 	a.data = a.data[:off+n]
+	if m := a.met; m != nil {
+		m.AllocFresh.Inc()
+		m.SlabWords.Set(int64(len(a.data)))
+		m.SlabLiveWords.Add(int64(n))
+	}
 	return int32(off)
 }
 
@@ -108,6 +122,10 @@ func (a *slab) alloc(cls int8) int32 {
 func (a *slab) release(off int32, cls int8) {
 	a.data[off] = a.free[cls]
 	a.free[cls] = off
+	if m := a.met; m != nil {
+		m.Releases.Inc()
+		m.SlabLiveWords.Add(-int64(spanCap(cls)))
+	}
 }
 
 // view returns the live values of sp. The slice aliases the slab: it stays

@@ -83,13 +83,14 @@ type taggedChange struct {
 // bump (false sharing), which profiles as memory stalls precisely on the
 // multi-core path this fan-out exists for.
 type shardResult struct {
-	changes   []taggedChange
-	touched   []int // utilities whose threshold changed (dupes allowed)
-	processed int   // exact affected-utility count, summed over operations
-	requeries int   // fresh tuple-index top-k queries issued (delete phases)
-	busyNanos int64 // worker wall time this phase (phase profiling only)
+	changes    []taggedChange
+	touched    []int // utilities whose threshold changed (dupes allowed)
+	processed  int   // exact affected-utility count, summed over operations
+	requeries  int   // fresh tuple-index top-k queries issued (delete phases)
+	promotions int   // top-k vacancies filled by a buffered runner-up
+	busyNanos  int64 // worker wall time this phase (phase profiling only)
 
-	_ [56]byte // pad to 128 bytes: no two slots share a cache line
+	_ [48]byte // pad to 128 bytes: no two slots share a cache line
 }
 
 // ApplyBatch applies the operations in order and returns the concatenated
@@ -305,6 +306,7 @@ func (e *Engine) phaseScratch() (tasks [][]insTask, results []shardResult) {
 		sc.results[s].touched = sc.results[s].touched[:0]
 		sc.results[s].processed = 0
 		sc.results[s].requeries = 0
+		sc.results[s].promotions = 0
 		sc.results[s].busyNanos = 0
 		sc.cursors[s] = 0
 	}
@@ -332,6 +334,7 @@ func (e *Engine) flushInsertRun(run []insOp, emit func(op Op, changes []Change))
 		e.tree.Insert(run[i].op.Point)
 	}
 	e.InsertOps += len(run)
+	e.metrics.mirrorOps(false, len(run))
 	t2 := e.now()
 
 	tasks, results := e.phaseScratch()
@@ -432,6 +435,7 @@ func (e *Engine) flushDeleteRun(run []Op, emit func(op Op, changes []Change)) {
 		e.tree.Delete(op.ID)
 	}
 	e.DeleteOps += len(run)
+	e.metrics.mirrorOps(true, len(run))
 	t2 := e.now()
 
 	e.runPhase(true, nil, run, base, runPos, total)
@@ -481,6 +485,7 @@ func (e *Engine) runPhase(del bool, insRun []insOp, delRun []Op, base uint64, ru
 		return
 	}
 	e.prof.Parallel++
+	e.metrics.mirrorParallel()
 	e.dispatch(phaseJob{del: del, insRun: insRun, delRun: delRun, base: base, runPos: runPos}, active)
 }
 
@@ -629,6 +634,8 @@ func (e *Engine) deleteWorker(sh *shard, run []Op, base uint64, runPos map[int]i
 						fresh := e.tree.TopKAtInto(st.u, e.maxTopK(), asOf, &sh.qs)
 						st.topk = append(st.topk[:0], fresh...)
 					}
+				} else {
+					res.promotions++ // the buffered runner-up filled the vacancy
 				}
 				newThresh := e.threshold(st)
 				if newThresh < oldThresh {
@@ -698,6 +705,8 @@ func (e *Engine) emitRunGroups(n int, insRun []insOp, delRun []Op, results []sha
 	for s := range results {
 		total += len(results[s].changes)
 	}
+	e.Changes += total
+	e.metrics.mirrorChanges(total)
 	var backing []Change
 	if total > 0 {
 		backing = make([]Change, 0, total)
@@ -828,9 +837,13 @@ func (e *Engine) mergeLanes(backing []Change, offs []int, n, total int, results 
 // cone tree's thresholds, once per touched utility (the cone tree is not
 // safe for concurrent mutation, so this runs after the parallel phase).
 func (e *Engine) mergePhase(results []shardResult) {
+	var affected, requeries, promotions int
+	var busy int64
 	for s := range results {
-		e.AffectedTotal += results[s].processed
-		e.Requeries += results[s].requeries
+		affected += results[s].processed
+		requeries += results[s].requeries
+		promotions += results[s].promotions
+		busy += results[s].busyNanos
 		if e.clock != nil && e.prof.Busy != nil {
 			e.prof.Busy[s] += results[s].busyNanos
 		}
@@ -841,4 +854,8 @@ func (e *Engine) mergePhase(results []shardResult) {
 			}
 		}
 	}
+	e.AffectedTotal += affected
+	e.Requeries += requeries
+	e.Promotions += promotions
+	e.metrics.mirrorMerge(affected, requeries, promotions, busy)
 }

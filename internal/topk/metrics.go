@@ -1,0 +1,156 @@
+// Engine metrics: obs mirrors of the maintenance counters and the phase
+// clock, updated at RUN granularity, not per operation — every mirror
+// update folds an already-computed per-run delta into a padded atomic, so
+// the instrumented hot path costs a handful of atomic adds per run and
+// zero allocations, and a nil *Metrics costs one branch per site.
+//
+// Timing never comes from this package reading a clock: the per-phase
+// nanosecond mirrors republish deltas of the caller-injected phase clock
+// (SetPhaseClock), keeping the nondet determinism contract intact — with
+// no clock installed the phase mirrors simply stay zero.
+package topk
+
+import "fdrms/internal/obs"
+
+// Metrics holds the engine's obs handles. Construct with NewMetrics and
+// install with SetMetrics; a nil *Metrics disables mirroring entirely.
+type Metrics struct {
+	// Maintenance counters (mirror the exported Engine counters).
+	InsertOps  *obs.Counter // fdrms_topk_ops_total{kind="insert"}
+	DeleteOps  *obs.Counter // fdrms_topk_ops_total{kind="delete"}
+	Affected   *obs.Counter // fdrms_topk_affected_total
+	Requeries  *obs.Counter // fdrms_topk_requeries_total
+	Promotions *obs.Counter // fdrms_topk_promotions_total
+	Changes    *obs.Counter // fdrms_topk_changes_total
+
+	// Run/phase accounting.
+	Runs         *obs.Counter // fdrms_topk_runs_total
+	ParallelRuns *obs.Counter // fdrms_topk_parallel_runs_total
+	CandNs       *obs.Counter // fdrms_topk_phase_ns_total{phase="candidate"}
+	IndexNs      *obs.Counter // fdrms_topk_phase_ns_total{phase="index"}
+	FanoutNs     *obs.Counter // fdrms_topk_phase_ns_total{phase="fanout"}
+	MergeNs      *obs.Counter // fdrms_topk_phase_ns_total{phase="merge"}
+	EmitNs       *obs.Counter // fdrms_topk_phase_ns_total{phase="emit"}
+
+	// Worker pool.
+	PoolDispatches *obs.Counter // fdrms_pool_dispatches_total
+	PoolShardJobs  *obs.Counter // fdrms_pool_shard_jobs_total
+	PoolBusyNs     *obs.Counter // fdrms_pool_busy_ns_total
+	PoolQueueDepth *obs.Gauge   // fdrms_pool_queue_depth
+}
+
+// NewMetrics registers the engine's metric families on r and returns the
+// handle set, or nil when r is nil. Get-or-create registration means every
+// engine sharing one registry shares one set of accumulators.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	phase := func(p string) *obs.Counter {
+		return r.Counter("fdrms_topk_phase_ns_total",
+			"nanoseconds per batch pipeline phase (injected phase clock; 0 without one)",
+			obs.L("phase", p))
+	}
+	return &Metrics{
+		InsertOps:  r.Counter("fdrms_topk_ops_total", "operations processed by the engine", obs.L("kind", "insert")),
+		DeleteOps:  r.Counter("fdrms_topk_ops_total", "operations processed by the engine", obs.L("kind", "delete")),
+		Affected:   r.Counter("fdrms_topk_affected_total", "utilities whose Phi changed, summed over operations"),
+		Requeries:  r.Counter("fdrms_topk_requeries_total", "fresh tuple-index top-k queries during maintenance"),
+		Promotions: r.Counter("fdrms_topk_promotions_total", "top-k vacancies filled by a buffered runner-up (no requery)"),
+		Changes:    r.Counter("fdrms_topk_changes_total", "membership changes emitted to the set-cover layer"),
+
+		Runs:         r.Counter("fdrms_topk_runs_total", "insert/delete runs executed by the batch path"),
+		ParallelRuns: r.Counter("fdrms_topk_parallel_runs_total", "runs whose fan-out went through the worker pool"),
+		CandNs:       phase("candidate"),
+		IndexNs:      phase("index"),
+		FanoutNs:     phase("fanout"),
+		MergeNs:      phase("merge"),
+		EmitNs:       phase("emit"),
+
+		PoolDispatches: r.Counter("fdrms_pool_dispatches_total", "parallel phases dispatched to the worker pool"),
+		PoolShardJobs:  r.Counter("fdrms_pool_shard_jobs_total", "shard jobs enqueued across pool dispatches"),
+		PoolBusyNs:     r.Counter("fdrms_pool_busy_ns_total", "summed worker wall time across phases (injected phase clock)"),
+		PoolQueueDepth: r.Gauge("fdrms_pool_queue_depth", "shard jobs of the in-flight phase (0 between phases)"),
+	}
+}
+
+// SetMetrics installs (or, with nil, removes) the engine's metric mirrors.
+// Must be called by the engine's single writer, like every mutating entry
+// point; the handles themselves are safe for concurrent scraping.
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics = m }
+
+// The mirror* methods are the engine's per-run update sites: each is a
+// nil-receiver no-op, so an uninstrumented engine pays one branch per run
+// phase and nothing else.
+
+// mirrorOps folds one run's operation count.
+func (m *Metrics) mirrorOps(del bool, n int) {
+	if m == nil {
+		return
+	}
+	if del {
+		m.DeleteOps.Add(uint64(n))
+	} else {
+		m.InsertOps.Add(uint64(n))
+	}
+}
+
+// mirrorMerge folds one run's per-shard worker counters (already summed by
+// mergePhase).
+func (m *Metrics) mirrorMerge(affected, requeries, promotions int, busyNanos int64) {
+	if m == nil {
+		return
+	}
+	m.Affected.Add(uint64(affected))
+	m.Requeries.Add(uint64(requeries))
+	m.Promotions.Add(uint64(promotions))
+	m.PoolBusyNs.Add(uint64(busyNanos))
+}
+
+// mirrorChanges folds one run's emitted change count.
+func (m *Metrics) mirrorChanges(n int) {
+	if m == nil {
+		return
+	}
+	m.Changes.Add(uint64(n))
+}
+
+// mirrorPhase folds one run's phase-clock deltas (all zero with no clock).
+func (m *Metrics) mirrorPhase(cand, index, fanout, merge, emit int64) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.CandNs.Add(uint64(cand))
+	m.IndexNs.Add(uint64(index))
+	m.FanoutNs.Add(uint64(fanout))
+	m.MergeNs.Add(uint64(merge))
+	m.EmitNs.Add(uint64(emit))
+}
+
+// mirrorParallel marks one run as pool-dispatched.
+func (m *Metrics) mirrorParallel() {
+	if m == nil {
+		return
+	}
+	m.ParallelRuns.Inc()
+}
+
+// mirrorDispatch records one pool dispatch of active shard jobs; the queue
+// depth gauge holds the phase's job count until mirrorDrained resets it.
+func (m *Metrics) mirrorDispatch(active int) {
+	if m == nil {
+		return
+	}
+	m.PoolDispatches.Inc()
+	m.PoolShardJobs.Add(uint64(active))
+	m.PoolQueueDepth.Set(int64(active))
+}
+
+// mirrorDrained marks the in-flight phase complete.
+func (m *Metrics) mirrorDrained() {
+	if m == nil {
+		return
+	}
+	m.PoolQueueDepth.Set(0)
+}

@@ -55,6 +55,14 @@ func (e *Engine) PhaseProfile() PhaseProfile {
 	return p
 }
 
+// PhaseTotals returns the accumulated per-phase nanosecond counters
+// without copying the per-shard busy slice — the allocation-free form the
+// serving telemetry snapshots around every batch. Caller must hold the
+// engine's single-writer role, like PhaseProfile.
+func (e *Engine) PhaseTotals() (candidate, index, fanout, merge, emit int64) {
+	return e.prof.CandidateNanos, e.prof.IndexNanos, e.prof.FanoutNanos, e.prof.MergeNanos, e.prof.EmitNanos
+}
+
 // ResetPhaseProfile zeroes the accumulated breakdown (the installed clock
 // stays).
 func (e *Engine) ResetPhaseProfile() {
@@ -80,11 +88,18 @@ func (e *Engine) now() int64 {
 func (e *Engine) recordPhase(probe0, probe1, index1, build1, fanout1, merge1, emit1 int64) {
 	e.prof.Phases++
 	if e.clock == nil {
+		e.metrics.mirrorPhase(0, 0, 0, 0, 0)
 		return
 	}
-	e.prof.CandidateNanos += (probe1 - probe0) + (build1 - index1)
-	e.prof.IndexNanos += index1 - probe1
-	e.prof.FanoutNanos += fanout1 - build1
-	e.prof.MergeNanos += merge1 - fanout1
-	e.prof.EmitNanos += emit1 - merge1
+	cand := (probe1 - probe0) + (build1 - index1)
+	index := index1 - probe1
+	fanout := fanout1 - build1
+	merge := merge1 - fanout1
+	emit := emit1 - merge1
+	e.prof.CandidateNanos += cand
+	e.prof.IndexNanos += index
+	e.prof.FanoutNanos += fanout
+	e.prof.MergeNanos += merge
+	e.prof.EmitNanos += emit
+	e.metrics.mirrorPhase(cand, index, fanout, merge, emit)
 }

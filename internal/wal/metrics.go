@@ -1,0 +1,38 @@
+// WAL metrics: obs mirrors of append/sync/rotation traffic. The wal
+// package sits outside the engine's determinism contract (it already owns
+// wall-clock sync pacing), so fsync latency is timed here directly; the
+// nil-receiver mirrors keep an uninstrumented log at one branch per site.
+package wal
+
+import "fdrms/internal/obs"
+
+// Metrics holds the log's obs handles. Construct with NewMetrics and
+// install with SetMetrics; a nil *Metrics disables mirroring.
+type Metrics struct {
+	Appends       *obs.Counter   // fdrms_wal_appends_total
+	AppendedBytes *obs.Counter   // fdrms_wal_appended_bytes_total
+	Fsyncs        *obs.Counter   // fdrms_wal_fsyncs_total
+	FsyncNs       *obs.Histogram // fdrms_wal_fsync_ns
+	Rotations     *obs.Counter   // fdrms_wal_rotations_total
+	SegmentBytes  *obs.Gauge     // fdrms_wal_segment_bytes
+}
+
+// NewMetrics registers the log's metric families on r and returns the
+// handle set, or nil when r is nil.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Appends:       r.Counter("fdrms_wal_appends_total", "update batches appended to the log"),
+		AppendedBytes: r.Counter("fdrms_wal_appended_bytes_total", "record bytes appended (header included)"),
+		Fsyncs:        r.Counter("fdrms_wal_fsyncs_total", "fsyncs of the active segment"),
+		FsyncNs:       r.Histogram("fdrms_wal_fsync_ns", "latency of one segment fsync, nanoseconds"),
+		Rotations:     r.Counter("fdrms_wal_rotations_total", "segment rotations (first open included)"),
+		SegmentBytes:  r.Gauge("fdrms_wal_segment_bytes", "bytes in the active segment, header included"),
+	}
+}
+
+// SetMetrics installs (or, with nil, removes) the log's metric mirrors.
+// Like every Log method it must not race appends; install before serving.
+func (l *Log) SetMetrics(m *Metrics) { l.met = m }

@@ -96,6 +96,10 @@ type Log struct {
 	lastSync time.Time
 
 	enc []byte // payload scratch, reused across appends
+
+	// met, when set, mirrors append/sync/rotation traffic into obs handles
+	// (see metrics.go). Written only via SetMetrics.
+	met *Metrics
 }
 
 // segName returns the file name of a segment whose first record is seq.
@@ -318,6 +322,11 @@ func (l *Log) Append(ops []topk.Op) (uint64, error) {
 	l.size += int64(recHdrBytes + len(l.enc))
 	l.next = seq + 1
 	l.dirty = true
+	if m := l.met; m != nil {
+		m.Appends.Inc()
+		m.AppendedBytes.Add(uint64(recHdrBytes + len(l.enc)))
+		m.SegmentBytes.Set(l.size)
+	}
 	if l.opt.SyncEveryAppend ||
 		(l.opt.SyncInterval > 0 && time.Since(l.lastSync) >= l.opt.SyncInterval) {
 		if err := l.Sync(); err != nil {
@@ -337,8 +346,16 @@ func (l *Log) Sync() error {
 		return err
 	}
 	if l.dirty {
+		var start time.Time
+		if l.met != nil {
+			start = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return err
+		}
+		if m := l.met; m != nil {
+			m.Fsyncs.Inc()
+			m.FsyncNs.Observe(int64(time.Since(start)))
 		}
 		l.dirty = false
 	}
@@ -379,6 +396,10 @@ func (l *Log) rotate() error {
 	l.w = bufio.NewWriter(f)
 	l.size = int64(len(segMagic))
 	l.dirty = false
+	if m := l.met; m != nil {
+		m.Rotations.Inc()
+		m.SegmentBytes.Set(l.size)
+	}
 	return nil
 }
 

@@ -108,6 +108,11 @@ type DurableStore struct {
 	opsSinceCkpt int       // guarded by wmu
 	lastCkpt     time.Time // guarded by wmu
 	ckptBusy     atomic.Bool
+
+	// tel, when set, mirrors checkpoint traffic into obs handles (the store
+	// and WAL wire their own shares; see DurableStore.SetTelemetry). Atomic
+	// so a checkpoint never races the attach.
+	tel atomic.Pointer[Telemetry]
 }
 
 // OpenDurable opens (or creates) a durable store rooted at dir.
@@ -388,6 +393,11 @@ func (ds *DurableStore) Checkpoint() (uint64, error) {
 	// so they keep flowing through the chunk windows.
 	ds.ckptMu.Lock()
 	defer ds.ckptMu.Unlock()
+	tel := ds.tel.Load()
+	var ckptStart int64
+	if tel != nil {
+		ckptStart = monotonicNanos()
+	}
 	var (
 		seq      uint64
 		sess     *core.SnapshotSession
@@ -439,9 +449,17 @@ func (ds *DurableStore) Checkpoint() (uint64, error) {
 	// pinned capture.
 	for {
 		var done bool
+		var w0 int64
+		if tel != nil {
+			w0 = monotonicNanos()
+		}
 		ds.store.withWriteLock(func() {
 			done = sess.Step(checkpointChunk)
 		})
+		if tel != nil {
+			tel.ckptChunks.Inc()
+			tel.ckptStallNs.Observe(monotonicNanos() - w0)
+		}
 		if done {
 			break
 		}
@@ -474,6 +492,10 @@ func (ds *DurableStore) Checkpoint() (uint64, error) {
 		}
 		ds.wmu.Unlock()
 		return 0, err
+	}
+	if tel != nil {
+		tel.checkpoints.Inc()
+		tel.ckptNs.Observe(monotonicNanos() - ckptStart)
 	}
 	if err := wal.PruneCheckpoints(ds.dir, ds.opt.KeepCheckpoints); err != nil {
 		return 0, err

@@ -26,6 +26,7 @@ type Generation struct {
 	k      int          // rank depth for regret evaluation
 	dim    int          // attribute count, for query validation
 	index  *kdtree.View // the database pinned at this generation's epoch
+	born   int64        // monotonicNanos at publish, for the age gauge
 }
 
 // ID returns the generation number: 1 for the initial build, +1 per

@@ -30,6 +30,11 @@ type Store struct {
 	gen atomic.Pointer[Generation] // published only by publishLocked; loads are lock-free
 
 	deltas []idDelta // per-write membership delta scratch; guarded by wmu
+
+	// tel, when set, mirrors serving traffic into obs handles (see
+	// SetTelemetry in telemetry.go). Atomic so lock-free readers can pick it
+	// up without racing the attach; nil costs readers one load+branch.
+	tel atomic.Pointer[Telemetry]
 }
 
 // NewStore builds the maintenance structure over the initial database and
@@ -88,6 +93,7 @@ func (s *Store) publishLocked(prevID uint64, delta []idDelta) {
 		k:      fz.K,
 		dim:    s.d.dim,
 		index:  fz.Index,
+		born:   monotonicNanos(),
 	})
 }
 
@@ -102,11 +108,13 @@ func (s *Store) Current() *Generation { return s.gen.Load() }
 func (s *Store) Insert(p Point) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	ts := s.traceBegin()
 	prev := s.gen.Load().id
 	err := s.d.Insert(p)
 	if err == nil {
 		s.deltas = append(s.deltas[:0], idDelta{id: p.ID, live: true})
 		s.publishLocked(prev, s.deltas)
+		s.traceEnd(ts, 1, 0)
 	}
 	return err
 }
@@ -126,10 +134,12 @@ func (s *Store) Delete(id int) {
 	if !s.d.Contains(id) {
 		return
 	}
+	ts := s.traceBegin()
 	prev := s.gen.Load().id
 	s.d.Delete(id)
 	s.deltas = append(s.deltas[:0], idDelta{id: id, live: false})
 	s.publishLocked(prev, s.deltas)
+	s.traceEnd(ts, 0, 1)
 }
 
 // ApplyBatch applies the updates in order as one write: readers either see
@@ -140,18 +150,22 @@ func (s *Store) Delete(id int) {
 func (s *Store) ApplyBatch(batch []Update) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	ts := s.traceBegin()
 	prev := s.gen.Load().id
 	err := s.d.ApplyBatch(batch)
 	if err == nil && len(batch) > 0 {
 		s.deltas = s.deltas[:0]
+		dels := 0
 		for _, u := range batch {
 			if u.Delete {
 				s.deltas = append(s.deltas, idDelta{id: u.ID, live: false})
+				dels++
 			} else {
 				s.deltas = append(s.deltas, idDelta{id: u.Point.ID, live: true})
 			}
 		}
 		s.publishLocked(prev, s.deltas)
+		s.traceEnd(ts, len(batch)-dels, dels)
 	}
 	return err
 }
@@ -161,7 +175,16 @@ func (s *Store) ApplyBatch(batch []Update) error {
 // reads between writes return the same shared slice without copying.
 // Callers must treat the returned points as read-only; a caller that needs
 // private mutable tuples should copy them. Equivalent to Current().Result().
-func (s *Store) Result() []Point { return s.gen.Load().Result() }
+func (s *Store) Result() []Point {
+	t := s.tel.Load()
+	if t == nil {
+		return s.gen.Load().Result()
+	}
+	start := monotonicNanos()
+	out := s.gen.Load().Result()
+	t.readResultNs.Observe(monotonicNanos() - start)
+	return out
+}
 
 // Len returns the current database size.
 func (s *Store) Len() int { return s.gen.Load().Len() }
@@ -175,13 +198,27 @@ func (s *Store) Stats() core.Stats { return s.gen.Load().Stats() }
 // TopK returns the k live tuples scoring highest under the utility, with
 // scores, against the current generation (see Generation.TopK).
 func (s *Store) TopK(utility []float64, k int) ([]Scored, error) {
-	return s.gen.Load().TopK(utility, k)
+	t := s.tel.Load()
+	if t == nil {
+		return s.gen.Load().TopK(utility, k)
+	}
+	start := monotonicNanos()
+	out, err := s.gen.Load().TopK(utility, k)
+	t.readTopKNs.Observe(monotonicNanos() - start)
+	return out, err
 }
 
 // RegretRatioFor evaluates the current answer against one preference
 // (see Generation.RegretRatioFor).
 func (s *Store) RegretRatioFor(utility []float64) (float64, error) {
-	return s.gen.Load().RegretRatioFor(utility)
+	t := s.tel.Load()
+	if t == nil {
+		return s.gen.Load().RegretRatioFor(utility)
+	}
+	start := monotonicNanos()
+	out, err := s.gen.Load().RegretRatioFor(utility)
+	t.readRegretNs.Observe(monotonicNanos() - start)
+	return out, err
 }
 
 // applyOps applies already-validated engine operations as one write — the
@@ -191,18 +228,22 @@ func (s *Store) RegretRatioFor(utility []float64) (float64, error) {
 func (s *Store) applyOps(ops []topk.Op) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	ts := s.traceBegin()
 	prev := s.gen.Load().id
 	s.d.f.ApplyBatch(ops)
 	if len(ops) > 0 {
 		s.deltas = s.deltas[:0]
+		dels := 0
 		for _, op := range ops {
 			if op.Delete {
 				s.deltas = append(s.deltas, idDelta{id: op.ID, live: false})
+				dels++
 			} else {
 				s.deltas = append(s.deltas, idDelta{id: op.Point.ID, live: true})
 			}
 		}
 		s.publishLocked(prev, s.deltas)
+		s.traceEnd(ts, len(ops)-dels, dels)
 	}
 }
 

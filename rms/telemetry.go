@@ -1,0 +1,254 @@
+// Serving telemetry: one Telemetry value aggregates the obs handles of
+// every layer under a store — engine (topk), cover (setcover), WAL,
+// checkpoints, and the store's own publish/read accounting — plus the
+// per-batch trace ring behind /debug/vars.
+//
+// NewTelemetry registers EVERY family up front, so a scrape of a freshly
+// attached store already exposes all five layer prefixes (fdrms_topk_,
+// fdrms_pool_, fdrms_setcover_, fdrms_wal_, fdrms_store_) at zero rather
+// than families popping into existence with traffic — monitoring rules can
+// be written against a fixed set.
+//
+// The rms package sits outside the engine's determinism contract, so it
+// may read the wall clock; timings cross into the contract-bound engine
+// only through the audited SetPhaseClock injection boundary (see
+// core.Instrument).
+package rms
+
+import (
+	"time"
+
+	"fdrms/internal/obs"
+	"fdrms/internal/setcover"
+	"fdrms/internal/topk"
+	"fdrms/internal/wal"
+)
+
+// processStart anchors the process-local monotonic clock. Durations derived
+// from it are immune to wall-clock steps.
+var processStart = time.Now()
+
+// monotonicNanos is the phase clock injected into the engine and the
+// timestamp source for every rms-level timing. Safe for concurrent calls.
+func monotonicNanos() int64 { return int64(time.Since(processStart)) }
+
+// traceRingSize is how many recent batch traces /debug/vars retains.
+const traceRingSize = 256
+
+// Telemetry is the handle bundle one registry's worth of store
+// instrumentation. Build it once with NewTelemetry and attach it with
+// Store.SetTelemetry (or DurableStore.SetTelemetry, which also wires the
+// WAL); several sequential stores may share one Telemetry.
+type Telemetry struct {
+	reg *obs.Registry
+
+	// Per-layer handle sets, installed into the respective components.
+	Engine *topk.Metrics
+	Cover  *setcover.Metrics
+	WAL    *wal.Metrics
+
+	publishes *obs.Counter
+
+	readResultNs *obs.Histogram
+	readTopKNs   *obs.Histogram
+	readRegretNs *obs.Histogram
+
+	checkpoints *obs.Counter
+	ckptNs      *obs.Histogram
+	ckptChunks  *obs.Counter
+	ckptStallNs *obs.Histogram
+
+	traces *obs.TraceRing
+}
+
+// NewTelemetry registers every layer's metric families on reg and returns
+// the bundle, or nil when reg is nil (instrumentation off).
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	readNs := func(kind string) *obs.Histogram {
+		return reg.Histogram("fdrms_store_read_ns", "latency of one lock-free store read, nanoseconds", obs.L("kind", kind))
+	}
+	return &Telemetry{
+		reg:    reg,
+		Engine: topk.NewMetrics(reg),
+		Cover:  setcover.NewMetrics(reg),
+		WAL:    wal.NewMetrics(reg),
+
+		publishes: reg.Counter("fdrms_store_publishes_total", "generations published (committed writes)"),
+
+		readResultNs: readNs("result"),
+		readTopKNs:   readNs("topk"),
+		readRegretNs: readNs("regret"),
+
+		checkpoints: reg.Counter("fdrms_store_checkpoints_total", "checkpoints persisted"),
+		ckptNs:      reg.Histogram("fdrms_store_checkpoint_ns", "wall time of one whole streaming checkpoint, nanoseconds"),
+		ckptChunks:  reg.Counter("fdrms_store_checkpoint_chunks_total", "streaming-capture chunk windows taken under the writer lock"),
+		ckptStallNs: reg.Histogram("fdrms_store_checkpoint_stall_ns", "writer-lock hold time of one capture chunk window, nanoseconds"),
+
+		traces: obs.NewTraceRing(traceRingSize),
+	}
+}
+
+// Trace returns the per-batch trace ring (nil on a nil Telemetry).
+func (t *Telemetry) Trace() *obs.TraceRing {
+	if t == nil {
+		return nil
+	}
+	return t.traces
+}
+
+// PhaseVars is the phase breakdown served by /debug/vars, read from the
+// engine's atomic mirrors (safe against a concurrent writer).
+type PhaseVars struct {
+	Runs         uint64 `json:"runs"`
+	ParallelRuns uint64 `json:"parallel_runs"`
+	CandidateNs  uint64 `json:"candidate_ns"`
+	IndexNs      uint64 `json:"index_ns"`
+	FanoutNs     uint64 `json:"fanout_ns"`
+	MergeNs      uint64 `json:"merge_ns"`
+	EmitNs       uint64 `json:"emit_ns"`
+}
+
+// DebugVars is the JSON document served by /debug/vars: the recent batch
+// traces plus the cumulative phase breakdown.
+type DebugVars struct {
+	TracesTotal uint64           `json:"traces_total"`
+	Traces      []obs.BatchTrace `json:"traces"`
+	Phase       PhaseVars        `json:"phase"`
+}
+
+// DebugVars assembles the current /debug/vars document. Safe to call from
+// any goroutine.
+func (t *Telemetry) DebugVars() DebugVars {
+	if t == nil {
+		return DebugVars{}
+	}
+	return DebugVars{
+		TracesTotal: t.traces.Total(),
+		Traces:      t.traces.Snapshot(),
+		Phase: PhaseVars{
+			Runs:         t.Engine.Runs.Load(),
+			ParallelRuns: t.Engine.ParallelRuns.Load(),
+			CandidateNs:  t.Engine.CandNs.Load(),
+			IndexNs:      t.Engine.IndexNs.Load(),
+			FanoutNs:     t.Engine.FanoutNs.Load(),
+			MergeNs:      t.Engine.MergeNs.Load(),
+			EmitNs:       t.Engine.EmitNs.Load(),
+		},
+	}
+}
+
+// SetTelemetry attaches the bundle to the store: metric mirrors and the
+// phase clock go into the engine and cover solver, and gauges for the
+// published generation (id, age, live tuples) are registered against this
+// store (re-attaching another store to the same Telemetry repoints them —
+// last writer wins, matching sequential store lifecycles). A nil Telemetry
+// detaches instrumentation. Reads pick the change up atomically; writers
+// must not race the call, so attach before heavy ingestion starts.
+func (s *Store) SetTelemetry(t *Telemetry) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if t == nil {
+		s.tel.Store(nil)
+		s.d.f.Instrument(nil, nil, nil)
+		return
+	}
+	s.d.f.Instrument(t.Engine, t.Cover, monotonicNanos)
+	t.reg.GaugeFunc("fdrms_store_generation", "id of the newest published generation", func() float64 {
+		if g := s.gen.Load(); g != nil {
+			return float64(g.id)
+		}
+		return 0
+	})
+	t.reg.GaugeFunc("fdrms_store_generation_age_seconds", "age of the newest published generation", func() float64 {
+		if g := s.gen.Load(); g != nil {
+			return float64(monotonicNanos()-g.born) / 1e9
+		}
+		return 0
+	})
+	t.reg.GaugeFunc("fdrms_store_live_tuples", "database size of the newest published generation", func() float64 {
+		if g := s.gen.Load(); g != nil {
+			return float64(g.Len())
+		}
+		return 0
+	})
+	s.tel.Store(t)
+}
+
+// traceSnap is the pre-write snapshot behind one BatchTrace: engine
+// counters and phase totals before the batch, so the record carries exact
+// per-batch deltas. The zero value means "tracing off".
+type traceSnap struct {
+	on        bool
+	t0        int64
+	requeries int
+	changes   int
+	cand      int64
+	index     int64
+	fanout    int64
+	merge     int64
+	emit      int64
+}
+
+// traceBegin snapshots the engine counters before a write; wmu must be
+// held. Free (one branch) when no telemetry is attached.
+func (s *Store) traceBegin() traceSnap {
+	t := s.tel.Load()
+	if t == nil {
+		return traceSnap{}
+	}
+	e := s.d.f.Engine()
+	ts := traceSnap{on: true, t0: monotonicNanos(), requeries: e.Requeries, changes: e.Changes}
+	ts.cand, ts.index, ts.fanout, ts.merge, ts.emit = e.PhaseTotals()
+	return ts
+}
+
+// traceEnd records one committed write into the trace ring and counts the
+// publish; wmu must still be held (the engine counters and the published
+// generation are read in writer context).
+func (s *Store) traceEnd(ts traceSnap, inserts, deletes int) {
+	t := s.tel.Load()
+	if t == nil || !ts.on {
+		return
+	}
+	t.publishes.Inc()
+	e := s.d.f.Engine()
+	cand, index, fanout, merge, emit := e.PhaseTotals()
+	var gen uint64
+	if g := s.gen.Load(); g != nil {
+		gen = g.id
+	}
+	t.traces.Record(&obs.BatchTrace{
+		Generation: gen,
+		Ops:        inserts + deletes,
+		Inserts:    inserts,
+		Deletes:    deletes,
+		Changes:    e.Changes - ts.changes,
+		Requeries:  e.Requeries - ts.requeries,
+		CandNs:     cand - ts.cand,
+		IndexNs:    index - ts.index,
+		FanoutNs:   fanout - ts.fanout,
+		MergeNs:    merge - ts.merge,
+		EmitNs:     emit - ts.emit,
+		TotalNs:    monotonicNanos() - ts.t0,
+	})
+}
+
+// SetTelemetry attaches the bundle to the durable store: the embedded
+// Store is wired as in Store.SetTelemetry, the WAL gets its mirrors, and
+// checkpoints get duration/chunk-stall instrumentation. Attach before
+// serving; a nil Telemetry detaches.
+func (ds *DurableStore) SetTelemetry(t *Telemetry) {
+	ds.store.SetTelemetry(t)
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if t == nil {
+		ds.tel.Store(nil)
+		ds.log.SetMetrics(nil)
+		return
+	}
+	ds.log.SetMetrics(t.WAL)
+	ds.tel.Store(t)
+}

@@ -1,0 +1,163 @@
+package rms_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fdrms/internal/obs"
+	"fdrms/rms"
+)
+
+// metricFamilyPrefixes is what a scrape of a freshly attached store must
+// already expose: one family per instrumented layer, traffic or not.
+var metricFamilyPrefixes = []string{
+	"fdrms_topk_",
+	"fdrms_pool_",
+	"fdrms_setcover_",
+	"fdrms_wal_",
+	"fdrms_store_",
+}
+
+// Attaching telemetry must expose every layer's families up front, count
+// publishes per committed write, record one trace per write with consistent
+// op counts, and time the read paths.
+func TestStoreTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := 3
+	store, err := rms.NewStore(d, randomTuples(rng, 60, d, 0), rms.Options{K: 1, R: 5, Epsilon: 0.05, MaxUtilities: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	reg := obs.NewRegistry()
+	tel := rms.NewTelemetry(reg)
+	store.SetTelemetry(tel)
+
+	var scrape strings.Builder
+	reg.WriteText(&scrape)
+	for _, prefix := range metricFamilyPrefixes {
+		if !strings.Contains(scrape.String(), prefix) {
+			t.Fatalf("idle scrape is missing family prefix %q:\n%s", prefix, scrape.String())
+		}
+	}
+
+	// Three committed writes: one insert, one batch, one delete.
+	if err := store.Insert(rms.Point{ID: 500, Values: []float64{0.9, 0.9, 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	var batch []rms.Update
+	for _, p := range randomTuples(rng, 10, d, 600) {
+		batch = append(batch, rms.Ins(p))
+	}
+	batch = append(batch, rms.Del(0), rms.Del(1))
+	if err := store.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	store.Delete(2)
+
+	pubs := reg.Counter("fdrms_store_publishes_total", "").Load()
+	if pubs != 3 {
+		t.Fatalf("publishes = %d, want 3", pubs)
+	}
+	traces := tel.Trace().Snapshot()
+	if len(traces) != 3 {
+		t.Fatalf("trace ring holds %d records, want 3", len(traces))
+	}
+	wantOps := []struct{ ins, del int }{{1, 0}, {10, 2}, {0, 1}}
+	for i, tr := range traces {
+		if tr.Inserts != wantOps[i].ins || tr.Deletes != wantOps[i].del {
+			t.Fatalf("trace[%d] = %d ins / %d del, want %d/%d", i, tr.Inserts, tr.Deletes, wantOps[i].ins, wantOps[i].del)
+		}
+		if tr.Ops != tr.Inserts+tr.Deletes {
+			t.Fatalf("trace[%d].Ops = %d, want inserts+deletes = %d", i, tr.Ops, tr.Inserts+tr.Deletes)
+		}
+		if tr.Generation == 0 {
+			t.Fatalf("trace[%d] has no generation id", i)
+		}
+	}
+	if traces[2].Generation != store.Current().ID() {
+		t.Fatalf("last trace generation = %d, want current %d", traces[2].Generation, store.Current().ID())
+	}
+
+	// Read-path latency histograms fill in once the wrapped reads run.
+	u := []float64{0.2, 0.3, 0.5}
+	if _, err := store.TopK(u, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.RegretRatioFor(u); err != nil {
+		t.Fatal(err)
+	}
+	store.Result()
+	for _, kind := range []string{"result", "topk", "regret"} {
+		h := reg.Histogram("fdrms_store_read_ns", "", obs.L("kind", kind))
+		if h.Count() == 0 {
+			t.Fatalf("read histogram kind=%q saw no observations", kind)
+		}
+	}
+
+	dv := tel.DebugVars()
+	if dv.TracesTotal != 3 || len(dv.Traces) != 3 {
+		t.Fatalf("DebugVars traces = %d/%d, want 3/3", dv.TracesTotal, len(dv.Traces))
+	}
+	if dv.Phase.Runs == 0 {
+		t.Fatal("DebugVars phase breakdown shows no engine runs")
+	}
+
+	// Detaching stops mirroring: no further publish counts or traces.
+	store.SetTelemetry(nil)
+	store.Delete(3)
+	if got := reg.Counter("fdrms_store_publishes_total", "").Load(); got != pubs {
+		t.Fatalf("publishes moved to %d after detach", got)
+	}
+}
+
+// The durable store wires the WAL and checkpoint shares on top of the
+// store's: appends and fsyncs mirror per batch, Checkpoint counts itself
+// with duration and chunk-stall samples.
+func TestDurableStoreTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := 2
+	ds, err := rms.OpenDurable(t.TempDir(), d, randomTuples(rng, 40, d, 0),
+		rms.Options{K: 1, R: 4, Epsilon: 0.05, MaxUtilities: 32, Seed: 3},
+		rms.DurableOptions{SyncEveryBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	reg := obs.NewRegistry()
+	tel := rms.NewTelemetry(reg)
+	ds.SetTelemetry(tel)
+
+	var batch []rms.Update
+	for _, p := range randomTuples(rng, 20, d, 100) {
+		batch = append(batch, rms.Ins(p))
+	}
+	if err := ds.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("fdrms_wal_appends_total", "").Load(); got != 1 {
+		t.Fatalf("wal appends = %d, want 1", got)
+	}
+	if got := reg.Counter("fdrms_wal_fsyncs_total", "").Load(); got == 0 {
+		t.Fatal("no fsyncs mirrored under SyncEveryBatch")
+	}
+
+	if _, err := ds.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("fdrms_store_checkpoints_total", "").Load(); got != 1 {
+		t.Fatalf("checkpoints = %d, want 1", got)
+	}
+	if reg.Counter("fdrms_store_checkpoint_chunks_total", "").Load() == 0 {
+		t.Fatal("checkpoint recorded no capture chunk windows")
+	}
+	if reg.Histogram("fdrms_store_checkpoint_ns", "").Count() != 1 {
+		t.Fatal("checkpoint duration histogram is empty")
+	}
+	if reg.Histogram("fdrms_store_checkpoint_stall_ns", "").Count() == 0 {
+		t.Fatal("chunk stall histogram is empty")
+	}
+}
