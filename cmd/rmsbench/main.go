@@ -58,7 +58,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | serve | scaling | all")
+		exp        = flag.String("exp", "all", "experiment: table1 | fig4 | fig5 | fig6 | fig7 | fig8 | ablation-cover | ablation-cone | ablation-topk | nonlinear | batch | window | recover | serve | replicate | scaling | all")
 		batches    = flag.String("batches", "", "comma-separated batch sizes for -exp batch, window and scaling (default 1,16,256; scaling: 1,64,256)")
 		scale      = flag.Float64("scale", 0.05, "fraction of the paper's dataset sizes (1.0 = full scale)")
 		samples    = flag.Int("samples", 20000, "mrr test-set size (paper: 500000)")
@@ -190,6 +190,8 @@ func main() {
 			emit(bench.Recovery(opt))
 		case "serve":
 			emit(bench.Serve(opt))
+		case "replicate":
+			emit(bench.Replicate(opt))
 		default:
 			fmt.Fprintf(os.Stderr, "rmsbench: unknown experiment %q\n", e)
 			flag.Usage()
@@ -213,7 +215,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover", "serve", "scaling"} {
+			"ablation-cover", "ablation-cone", "ablation-topk", "nonlinear", "batch", "window", "recover", "serve", "replicate", "scaling"} {
 			run(e)
 		}
 		return

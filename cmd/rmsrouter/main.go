@@ -1,0 +1,55 @@
+// Command rmsrouter fans reads across a replication fleet: one durable
+// primary (rmsserve -wal-dir) and any number of WAL-tailing followers
+// (rmsserve -follow). It probes every backend's /readyz, routes reads to
+// followers that are ready and within the staleness bound (round-robin,
+// with one retry against a different follower and failover to the primary),
+// and forwards writes to the primary exactly once — never retried, because
+// a double-applied batch changes a path-dependent FD-RMS answer.
+//
+//	rmsrouter -addr :8090 \
+//	  -primary http://10.0.0.1:8080 \
+//	  -followers http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	  -staleness-bound 2s
+//
+// GET /routerz reports the router's own health and the per-backend table.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"fdrms/internal/replica"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		primary   = flag.String("primary", "http://localhost:8080", "primary base URL (writes and read failover)")
+		followers = flag.String("followers", "", "comma-separated follower base URLs")
+		stale     = flag.Duration("staleness-bound", 5*time.Second, "eject followers reporting staleness past this bound")
+		probe     = flag.Duration("probe-interval", 250*time.Millisecond, "health probe cadence")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-attempt forward timeout")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*followers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	r := replica.NewRouter(*primary, urls, replica.RouterOptions{
+		ProbeInterval:  *probe,
+		StalenessBound: *stale,
+		RequestTimeout: *timeout,
+	})
+	r.Start()
+	defer r.Close()
+
+	log.Printf("rmsrouter: routing on %s — primary %s, %d followers, staleness bound %v",
+		*addr, *primary, len(urls), *stale)
+	log.Fatal(http.ListenAndServe(*addr, r))
+}

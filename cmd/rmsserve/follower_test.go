@@ -1,0 +1,144 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"fdrms/internal/replica"
+	"fdrms/rms"
+)
+
+// waitReady polls a server's /readyz until it answers 200.
+func waitReady(t *testing.T, srv *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := srv.Client().Get(srv.URL + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+func TestServeLivenessReadinessSplit(t *testing.T) {
+	// A follower pointed at a primary that does not exist: alive (the
+	// process serves) but NOT ready (nothing consistent to serve yet).
+	fol := replica.Open(filepath.Join(t.TempDir(), "nope"), replica.Options{
+		PollInterval: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	defer fol.Close()
+	srv := httptest.NewServer(newMux(&followerBackend{fol: fol}, nil, nil, false))
+	defer srv.Close()
+
+	live := get(t, srv, "/healthz", http.StatusOK)
+	if live["state"] != "bootstrapping" {
+		t.Fatalf("healthz state = %v, want bootstrapping", live["state"])
+	}
+	notReady := get(t, srv, "/readyz", http.StatusServiceUnavailable)
+	if notReady["ready"] != false || notReady["reason"] == nil {
+		t.Fatalf("readyz while bootstrapping: %v", notReady)
+	}
+	// Reads have no generation to pin yet: 503, not a wrong answer.
+	get(t, srv, "/result", http.StatusServiceUnavailable)
+
+	// The in-memory backend is ready the moment it exists.
+	mem := httptest.NewServer(newMux(memBackend{store: testStore(t, 50, 3)}, nil, nil, false))
+	defer mem.Close()
+	ready := get(t, mem, "/readyz", http.StatusOK)
+	if ready["ready"] != true || ready["state"] != "serving" {
+		t.Fatalf("memory readyz: %v", ready)
+	}
+}
+
+func TestServeFollowerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := rms.OpenDurable(dir, 3, synthetic(120, 3, 7),
+		rms.Options{K: 1, R: 5, Epsilon: 0.05, MaxUtilities: 128, Seed: 1},
+		rms.DurableOptions{SyncEveryBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if _, err := ds.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	primary := httptest.NewServer(newMux(&durableBackend{ds: ds}, nil, nil, false))
+	defer primary.Close()
+
+	fol := replica.Open(dir, replica.Options{
+		PollInterval: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	defer fol.Close()
+	follower := httptest.NewServer(newMux(&followerBackend{fol: fol}, nil, nil, false))
+	defer follower.Close()
+
+	// Write through the PRIMARY's HTTP surface; the follower must become
+	// ready and serve the identical answer set.
+	body := `{"insert":[{"id":9001,"values":[0.99,0.99,0.99]},{"id":9002,"values":[0.98,0.01,0.97]}],"delete":[0]}`
+	resp, err := primary.Client().Post(primary.URL+"/update", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary update: status %d", resp.StatusCode)
+	}
+	waitReady(t, follower)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rb := get(t, follower, "/readyz", http.StatusOK)
+		if uint64(rb["applied_seq"].(float64)) >= ds.AppliedSeq() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at applied_seq %v, primary at %d", rb["applied_seq"], ds.AppliedSeq())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resultIDs := func(srv *httptest.Server) []int {
+		doc := get(t, srv, "/result", http.StatusOK)
+		var ids []int
+		for _, it := range doc["result"].([]any) {
+			ids = append(ids, int(it.(map[string]any)["id"].(float64)))
+		}
+		sort.Ints(ids)
+		return ids
+	}
+	p, f := resultIDs(primary), resultIDs(follower)
+	if len(p) == 0 || len(p) != len(f) {
+		t.Fatalf("result sets differ in size: primary %v, follower %v", p, f)
+	}
+	for i := range p {
+		if p[i] != f[i] {
+			t.Fatalf("result sets differ: primary %v, follower %v", p, f)
+		}
+	}
+
+	// Follower reads are annotated with the replication position.
+	doc := get(t, follower, "/result", http.StatusOK)
+	if doc["state"] != "following" || doc["applied_seq"] == nil || doc["staleness_ms"] == nil {
+		t.Fatalf("follower read missing replication annotations: %v", doc)
+	}
+
+	// Writes against a follower are refused, not queued, not applied.
+	resp, err = follower.Client().Post(follower.URL+"/update", "application/json",
+		strings.NewReader(`{"insert":[{"id":1,"values":[0.5,0.5,0.5]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower update: status %d, want 403", resp.StatusCode)
+	}
+}

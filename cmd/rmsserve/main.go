@@ -1,9 +1,16 @@
 // Command rmsserve exposes a dynamic k-regret minimizing set over HTTP —
-// the serving half of the FD-RMS reproduction. It loads a synthetic
-// anti-correlated database, maintains its k-RMS under updates, and answers
-// every query lock-free from the newest committed generation (see
-// rms.Store): queries never wait on ingestion, and each response reports
-// the generation it was served from so clients can reason about versions.
+// the serving half of the FD-RMS reproduction. It runs in three modes:
+//
+//   - memory (default): loads a synthetic anti-correlated database and
+//     serves it from a purely in-memory rms.Store.
+//   - primary (-wal-dir): same serving surface backed by rms.DurableStore —
+//     every update is WAL-logged before it is applied, checkpoints run
+//     automatically, and the WAL directory doubles as the replication feed
+//     followers tail.
+//   - follower (-follow): bootstraps from the newest checkpoint in a
+//     primary's WAL directory and tails its segments (internal/replica),
+//     serving the same lock-free read API read-only with an applied seq and
+//     staleness annotation on every response; /update answers 403.
 //
 // Endpoints:
 //
@@ -11,10 +18,15 @@
 //	GET  /topk?u=0.3,0.7&k=5      top-k tuples under a preference vector
 //	GET  /regret?u=0.3,0.7        k-regret ratio of the answer for one user
 //	GET  /stats                   database size, answer size, maintenance stats
-//	GET  /healthz                 liveness probe
+//	GET  /healthz                 liveness: 200 while the process serves, with state JSON
+//	GET  /readyz                  readiness: 503 until bootstrap/recovery completes and staleness <= bound
 //	GET  /metrics                 Prometheus text exposition of every layer's metrics
 //	GET  /debug/vars              recent batch traces + cumulative phase breakdown, JSON
 //	POST /update                  JSON batch: {"insert": [{"id":..,"values":[..]}], "delete": [ids]}
+//
+// Every read response carries the generation it was served from plus the
+// backend's replication position (state, applied_seq, staleness_ms where
+// meaningful), so clients and routers can reason about versions and lag.
 //
 // With -pprof, the standard net/http/pprof profiling handlers are mounted
 // under /debug/pprof/. A request hitting a registered path with the wrong
@@ -22,13 +34,14 @@
 //
 // Example:
 //
-//	rmsserve -addr :8080 -n 10000 -d 4 -r 20
-//	curl 'localhost:8080/topk?u=0.5,0.5,0.2,0.1&k=3'
-//	curl 'localhost:8080/metrics'
+//	rmsserve -addr :8080 -n 10000 -d 4 -r 20 -wal-dir /data/rms   # primary
+//	rmsserve -addr :8081 -follow /data/rms                        # follower
+//	curl 'localhost:8081/topk?u=0.5,0.5,0.2,0.1&k=3'
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,9 +50,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"fdrms/internal/dataset"
 	"fdrms/internal/obs"
+	"fdrms/internal/replica"
 	"fdrms/rms"
 )
 
@@ -54,29 +69,168 @@ func main() {
 		eps      = flag.Float64("eps", 0, "top-k slack epsilon (0 = auto-tune)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		usePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		walDir   = flag.String("wal-dir", "", "serve as a durable primary rooted at this WAL directory")
+		follow   = flag.String("follow", "", "serve as a read-only follower tailing this primary WAL directory")
+		stale    = flag.Duration("staleness-bound", 5*time.Second, "follower staleness past which /readyz degrades")
+		poll     = flag.Duration("poll", 25*time.Millisecond, "follower poll interval for new WAL records")
+		syncEach = flag.Bool("sync", true, "primary: fsync the WAL after every batch")
+		ckptOps  = flag.Int("ckpt-ops", 50000, "primary: auto-checkpoint after this many applied ops (0 = off)")
 	)
 	flag.Parse()
+	if *walDir != "" && *follow != "" {
+		log.Fatal("rmsserve: -wal-dir and -follow are mutually exclusive")
+	}
 
-	ds := dataset.AntiCor(*n, *d, *seed)
+	reg := obs.NewRegistry()
+	tel := rms.NewTelemetry(reg)
+	opts := rms.Options{K: *k, R: *r, Epsilon: *eps, MaxUtilities: *m, Seed: *seed}
+
+	var b backend
+	switch {
+	case *follow != "":
+		fol := replica.Open(*follow, replica.Options{
+			PollInterval:   *poll,
+			StalenessBound: *stale,
+			Metrics:        replica.NewMetrics(reg),
+			Telemetry:      tel,
+		})
+		defer fol.Close()
+		b = &followerBackend{fol: fol}
+		log.Printf("rmsserve: following %s on %s (staleness bound %v)", *follow, *addr, *stale)
+	case *walDir != "":
+		ds, err := rms.OpenDurable(*walDir, *d, synthetic(*n, *d, *seed), opts, rms.DurableOptions{
+			SyncEveryBatch:     *syncEach,
+			CheckpointEveryOps: *ckptOps,
+			RetainSegments:     2,
+		})
+		if err != nil {
+			log.Fatalf("rmsserve: %v", err)
+		}
+		defer ds.Close()
+		ds.SetTelemetry(tel)
+		b = &durableBackend{ds: ds}
+		log.Printf("rmsserve: durable primary at %s, n=%d on %s (applied seq %d)",
+			*walDir, ds.Len(), *addr, ds.AppliedSeq())
+	default:
+		store, err := rms.NewStore(*d, synthetic(*n, *d, *seed), opts)
+		if err != nil {
+			log.Fatalf("rmsserve: %v", err)
+		}
+		defer store.Close()
+		store.SetTelemetry(tel)
+		b = memBackend{store: store}
+		log.Printf("rmsserve: serving n=%d d=%d k=%d r=%d on %s (generation %d)",
+			store.Len(), *d, *k, *r, *addr, store.Current().ID())
+	}
+
+	log.Fatal(http.ListenAndServe(*addr, newMux(b, tel, reg, *usePprof)))
+}
+
+// synthetic builds the default anti-correlated initial database.
+func synthetic(n, d int, seed int64) []rms.Point {
+	ds := dataset.AntiCor(n, d, seed)
 	initial := make([]rms.Point, len(ds.Points))
 	for i, p := range ds.Points {
 		initial[i] = rms.Point{ID: p.ID, Values: p.Coords}
 	}
-	store, err := rms.NewStore(*d, initial, rms.Options{
-		K: *k, R: *r, Epsilon: *eps, MaxUtilities: *m, Seed: *seed,
-	})
-	if err != nil {
-		log.Fatalf("rmsserve: %v", err)
+	return initial
+}
+
+// meta is a backend's replication position, annotated onto every read
+// response and both health endpoints.
+type meta struct {
+	State        string // "serving" | "bootstrapping" | "following" | "degraded"
+	AppliedSeq   uint64
+	HasSeq       bool
+	StalenessMS  int64
+	HasStaleness bool
+	Reason       string // why not ready / degraded; "" otherwise
+}
+
+// backend abstracts what the HTTP surface serves from: an in-memory store,
+// a durable primary, or a replication follower. Gen may return nil while a
+// follower bootstraps.
+type backend interface {
+	Gen() *rms.Generation
+	Meta() meta
+	Ready() (bool, meta)
+	Apply(batch []rms.Update) (*rms.Generation, error)
+}
+
+// errReadOnly marks backends that do not accept writes.
+var errReadOnly = errors.New("read-only follower: send updates to the primary")
+
+// memBackend serves a plain rms.Store (no durability, no replication).
+type memBackend struct{ store *rms.Store }
+
+func (b memBackend) Gen() *rms.Generation { return b.store.Current() }
+func (b memBackend) Meta() meta           { return meta{State: "serving"} }
+func (b memBackend) Ready() (bool, meta)  { return true, b.Meta() }
+func (b memBackend) Apply(batch []rms.Update) (*rms.Generation, error) {
+	if err := b.store.ApplyBatch(batch); err != nil {
+		return nil, err
 	}
-	defer store.Close()
+	return b.store.Current(), nil
+}
 
-	reg := obs.NewRegistry()
-	tel := rms.NewTelemetry(reg)
-	store.SetTelemetry(tel)
+// durableBackend serves a durable primary; reads annotate the lock-free
+// applied-seq mirror.
+type durableBackend struct{ ds *rms.DurableStore }
 
-	log.Printf("rmsserve: serving n=%d d=%d k=%d r=%d on %s (generation %d)",
-		store.Len(), *d, *k, *r, *addr, store.Current().ID())
-	log.Fatal(http.ListenAndServe(*addr, newMux(store, tel, reg, *usePprof)))
+func (b *durableBackend) Gen() *rms.Generation { return b.ds.Current() }
+func (b *durableBackend) Meta() meta {
+	return meta{State: "serving", AppliedSeq: b.ds.AppliedSeq(), HasSeq: true}
+}
+func (b *durableBackend) Ready() (bool, meta) { return true, b.Meta() }
+func (b *durableBackend) Apply(batch []rms.Update) (*rms.Generation, error) {
+	err := b.ds.ApplyBatch(batch)
+	if err != nil && errors.Is(err, rms.ErrAutoCheckpoint) {
+		// The write IS applied and durable; only the background checkpoint
+		// failed. Alarm, serve the success — retrying the batch would
+		// double-apply it.
+		log.Printf("rmsserve: %v", err)
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b.ds.Current(), nil
+}
+
+// followerBackend serves a replication follower read-only.
+type followerBackend struct{ fol *replica.Follower }
+
+func (b *followerBackend) Gen() *rms.Generation {
+	g, _ := b.fol.Current()
+	return g
+}
+
+func (b *followerBackend) Meta() meta {
+	st := b.fol.Status()
+	return meta{
+		State:        st.State.String(),
+		AppliedSeq:   st.AppliedSeq,
+		HasSeq:       true,
+		StalenessMS:  st.Staleness.Milliseconds(),
+		HasStaleness: true,
+		Reason:       st.Reason,
+	}
+}
+
+func (b *followerBackend) Ready() (bool, meta) {
+	mt := b.Meta()
+	if mt.State != replica.StateFollowing.String() {
+		if mt.Reason == "" {
+			mt.Reason = "replication not live (state " + mt.State + ")"
+		}
+		return false, mt
+	}
+	return true, mt
+}
+
+func (b *followerBackend) Apply([]rms.Update) (*rms.Generation, error) {
+	return nil, errReadOnly
 }
 
 // pointJSON is the wire form of a tuple.
@@ -100,7 +254,32 @@ type updateRequest struct {
 	Delete []int       `json:"delete"`
 }
 
-// newMux wires the read and update handlers around a store. Every read
+// annotate merges the backend's replication position into a response body.
+func annotate(body map[string]any, mt meta) map[string]any {
+	body["state"] = mt.State
+	if mt.HasSeq {
+		body["applied_seq"] = mt.AppliedSeq
+	}
+	if mt.HasStaleness {
+		body["staleness_ms"] = mt.StalenessMS
+	}
+	if mt.Reason != "" {
+		body["reason"] = mt.Reason
+	}
+	return body
+}
+
+// healthBody is the document both health endpoints serve (and the router's
+// prober parses).
+func healthBody(g *rms.Generation, mt meta) map[string]any {
+	body := map[string]any{"generation": uint64(0)}
+	if g != nil {
+		body["generation"] = g.ID()
+	}
+	return annotate(body, mt)
+}
+
+// newMux wires the read and update handlers around a backend. Every read
 // handler pins ONE generation for its whole response, so the fields of a
 // single response are mutually consistent even while batches commit.
 //
@@ -109,7 +288,7 @@ type updateRequest struct {
 // method on a known path answers 405 with an Allow header — the JSON error
 // convention of this server, guaranteed here rather than inherited from
 // whatever the stdlib mux of the moment does.
-func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bool) *http.ServeMux {
+func newMux(b backend, tel *rms.Telemetry, reg *obs.Registry, usePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	allowed := map[string][]string{}
 	handle := func(method, path string, h http.HandlerFunc) {
@@ -117,28 +296,64 @@ func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bo
 		allowed[path] = append(allowed[path], method)
 	}
 
+	// requireGen loads the serving generation or answers 503 (a follower
+	// that has not bootstrapped yet has nothing consistent to serve).
+	requireGen := func(w http.ResponseWriter) (*rms.Generation, bool) {
+		g := b.Gen()
+		if g == nil {
+			httpError(w, http.StatusServiceUnavailable, "no generation yet: backend is %s", b.Meta().State)
+			return nil, false
+		}
+		return g, true
+	}
+
+	// Liveness: 200 as long as the process serves requests — a degraded
+	// follower is still alive (and still serving its last consistent
+	// generation); orchestrators must not restart it for lag.
 	handle(http.MethodGet, "/healthz", func(w http.ResponseWriter, req *http.Request) {
-		w.WriteHeader(http.StatusOK)
+		writeOK(w, healthBody(b.Gen(), b.Meta()))
+	})
+
+	// Readiness: 503 until recovery/bootstrap completed AND replication
+	// staleness is within bound — the signal routers and load balancers eject
+	// on.
+	handle(http.MethodGet, "/readyz", func(w http.ResponseWriter, req *http.Request) {
+		ready, mt := b.Ready()
+		body := healthBody(b.Gen(), mt)
+		body["ready"] = ready
+		if !ready {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(body)
+			return
+		}
+		writeOK(w, body)
 	})
 
 	handle(http.MethodGet, "/result", func(w http.ResponseWriter, req *http.Request) {
-		g := store.Current()
-		writeOK(w, map[string]any{
+		g, ok := requireGen(w)
+		if !ok {
+			return
+		}
+		writeOK(w, annotate(map[string]any{
 			"generation": g.ID(),
 			"result":     toJSON(g.Result()),
-		})
+		}, b.Meta()))
 	})
 
 	handle(http.MethodGet, "/stats", func(w http.ResponseWriter, req *http.Request) {
-		g := store.Current()
+		g, ok := requireGen(w)
+		if !ok {
+			return
+		}
 		st := g.Stats()
-		writeOK(w, map[string]any{
+		writeOK(w, annotate(map[string]any{
 			"generation":  g.ID(),
 			"n":           g.Len(),
 			"result_size": len(g.Result()),
 			"epoch":       g.Epoch(),
 			"stats":       st,
-		})
+		}, b.Meta()))
 	})
 
 	handle(http.MethodGet, "/topk", func(w http.ResponseWriter, req *http.Request) {
@@ -155,7 +370,10 @@ func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bo
 			}
 			k = v
 		}
-		g := store.Current()
+		g, ok := requireGen(w)
+		if !ok {
+			return
+		}
 		res, err := g.TopK(u, k)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
@@ -169,7 +387,7 @@ func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bo
 		for i, s := range res {
 			out[i] = scored{pointJSON{ID: s.Point.ID, Values: s.Point.Values}, s.Score}
 		}
-		writeOK(w, map[string]any{"generation": g.ID(), "topk": out})
+		writeOK(w, annotate(map[string]any{"generation": g.ID(), "topk": out}, b.Meta()))
 	})
 
 	handle(http.MethodGet, "/regret", func(w http.ResponseWriter, req *http.Request) {
@@ -177,17 +395,20 @@ func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bo
 		if !ok {
 			return
 		}
-		g := store.Current()
+		g, ok := requireGen(w)
+		if !ok {
+			return
+		}
 		ratio, err := g.RegretRatioFor(u)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeOK(w, map[string]any{
+		writeOK(w, annotate(map[string]any{
 			"generation":   g.ID(),
 			"regret_ratio": ratio,
 			"result_size":  len(g.Result()),
-		})
+		}, b.Meta()))
 	})
 
 	handle(http.MethodPost, "/update", func(w http.ResponseWriter, req *http.Request) {
@@ -203,16 +424,20 @@ func newMux(store *rms.Store, tel *rms.Telemetry, reg *obs.Registry, usePprof bo
 		for _, id := range ur.Delete {
 			batch = append(batch, rms.Del(id))
 		}
-		if err := store.ApplyBatch(batch); err != nil {
+		g, err := b.Apply(batch)
+		if errors.Is(err, errReadOnly) {
+			httpError(w, http.StatusForbidden, "%v", err)
+			return
+		}
+		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		g := store.Current()
-		writeOK(w, map[string]any{
+		writeOK(w, annotate(map[string]any{
 			"generation": g.ID(),
 			"applied":    len(batch),
 			"n":          g.Len(),
-		})
+		}, b.Meta()))
 	})
 
 	if reg != nil {

@@ -52,7 +52,7 @@ func get(t *testing.T, srv *httptest.Server, path string, wantCode int) map[stri
 
 func TestServeEndpoints(t *testing.T) {
 	store := testStore(t, 200, 3)
-	srv := httptest.NewServer(newMux(store, nil, nil, false))
+	srv := httptest.NewServer(newMux(memBackend{store: store}, nil, nil, false))
 	defer srv.Close()
 
 	if resp, err := srv.Client().Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
@@ -104,7 +104,7 @@ func TestServeEndpoints(t *testing.T) {
 
 func TestServeUpdateAdvancesGeneration(t *testing.T) {
 	store := testStore(t, 100, 2)
-	srv := httptest.NewServer(newMux(store, nil, nil, false))
+	srv := httptest.NewServer(newMux(memBackend{store: store}, nil, nil, false))
 	defer srv.Close()
 
 	body := `{"insert": [{"id": 1000, "values": [2.0, 2.0]}], "delete": [0, 1]}`
@@ -151,7 +151,7 @@ func TestServeUpdateAdvancesGeneration(t *testing.T) {
 
 func TestServeConcurrentReadsDuringUpdates(t *testing.T) {
 	store := testStore(t, 150, 2)
-	srv := httptest.NewServer(newMux(store, nil, nil, false))
+	srv := httptest.NewServer(newMux(memBackend{store: store}, nil, nil, false))
 	defer srv.Close()
 
 	done := make(chan error, 1)
@@ -201,7 +201,7 @@ func TestServeMethodNotAllowed(t *testing.T) {
 	reg := obs.NewRegistry()
 	tel := rms.NewTelemetry(reg)
 	store.SetTelemetry(tel)
-	srv := httptest.NewServer(newMux(store, tel, reg, false))
+	srv := httptest.NewServer(newMux(memBackend{store: store}, tel, reg, false))
 	defer srv.Close()
 
 	cases := []struct {
@@ -257,7 +257,7 @@ func TestServeMetricsAndDebugVars(t *testing.T) {
 	reg := obs.NewRegistry()
 	tel := rms.NewTelemetry(reg)
 	store.SetTelemetry(tel)
-	srv := httptest.NewServer(newMux(store, tel, reg, false))
+	srv := httptest.NewServer(newMux(memBackend{store: store}, tel, reg, false))
 	defer srv.Close()
 
 	body := `{"insert": [{"id": 3000, "values": [1.5, 1.5]}], "delete": [0]}`
@@ -314,7 +314,7 @@ func TestServeMetricsAndDebugVars(t *testing.T) {
 // -pprof mounts the profiling handlers; without it the paths are 404.
 func TestServePprofOptIn(t *testing.T) {
 	store := testStore(t, 30, 2)
-	on := httptest.NewServer(newMux(store, nil, nil, true))
+	on := httptest.NewServer(newMux(memBackend{store: store}, nil, nil, true))
 	defer on.Close()
 	resp, err := on.Client().Get(on.URL + "/debug/pprof/cmdline")
 	if err != nil {
@@ -325,7 +325,7 @@ func TestServePprofOptIn(t *testing.T) {
 		t.Fatalf("pprof cmdline with -pprof: status %d, want 200", resp.StatusCode)
 	}
 
-	off := httptest.NewServer(newMux(store, nil, nil, false))
+	off := httptest.NewServer(newMux(memBackend{store: store}, nil, nil, false))
 	defer off.Close()
 	resp, err = off.Client().Get(off.URL + "/debug/pprof/cmdline")
 	if err != nil {

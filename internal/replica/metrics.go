@@ -1,0 +1,54 @@
+package replica
+
+import "fdrms/internal/obs"
+
+// Metrics is the obs handle bundle of one follower: replay progress and
+// throughput, tail retry/backoff traffic, fault accounting, and the
+// replication-lag gauges scraped from /metrics. Handles are nil-safe, so an
+// uninstrumented follower (nil Metrics) pays only nil checks.
+type Metrics struct {
+	// Bootstraps counts checkpoint loads: the initial one plus every
+	// gap-driven resync.
+	Bootstraps *obs.Counter
+	// ReplayedBatches / ReplayedOps count WAL records and decoded operations
+	// applied to the local store (replay throughput = rate of ReplayedOps).
+	ReplayedBatches *obs.Counter
+	ReplayedOps     *obs.Counter
+	// TailPolls counts every Poll against the primary's directory;
+	// TailRetries counts the ones that came back pending (torn tail, delayed
+	// visibility) and scheduled a backoff.
+	TailPolls   *obs.Counter
+	TailRetries *obs.Counter
+	// Quarantines counts transitions into corruption quarantine; Resyncs
+	// counts gap-driven re-bootstraps from a newer checkpoint.
+	Quarantines *obs.Counter
+	Resyncs     *obs.Counter
+	// AppliedSeq and StalenessNs mirror the follower's replication position:
+	// the last WAL seq applied and the time since the follower last proved
+	// itself caught up or advancing.
+	AppliedSeq  *obs.Gauge
+	StalenessNs *obs.Gauge
+	// ApplyNs is the latency of applying one replayed batch to the MVCC
+	// store (publish included).
+	ApplyNs *obs.Histogram
+}
+
+// NewMetrics registers the follower metric family on reg (nil reg returns
+// nil: instrumentation off).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Bootstraps:      reg.Counter("fdrms_replica_bootstraps_total", "checkpoint loads: initial bootstrap plus gap-driven resyncs"),
+		ReplayedBatches: reg.Counter("fdrms_replica_replayed_batches_total", "WAL records replayed into the follower store"),
+		ReplayedOps:     reg.Counter("fdrms_replica_replayed_ops_total", "decoded operations replayed into the follower store"),
+		TailPolls:       reg.Counter("fdrms_replica_tail_polls_total", "polls of the primary's WAL directory"),
+		TailRetries:     reg.Counter("fdrms_replica_tail_retries_total", "polls answered with a pending condition (torn tail, delayed visibility)"),
+		Quarantines:     reg.Counter("fdrms_replica_quarantines_total", "transitions into sealed-segment corruption quarantine"),
+		Resyncs:         reg.Counter("fdrms_replica_resyncs_total", "gap-driven re-bootstraps from a newer checkpoint"),
+		AppliedSeq:      reg.Gauge("fdrms_replica_applied_seq", "last WAL seq applied to the follower store"),
+		StalenessNs:     reg.Gauge("fdrms_replica_staleness_ns", "time since the follower last advanced or proved itself caught up"),
+		ApplyNs:         reg.Histogram("fdrms_replica_apply_ns", "latency of applying one replayed batch, nanoseconds"),
+	}
+}

@@ -1,0 +1,360 @@
+// Read routing across a replication fleet. The Router is a small reverse
+// proxy that knows the fleet's topology (one primary, N followers) and its
+// health: a background prober polls every backend's /readyz, and reads are
+// fanned across the followers that are ready and within the staleness
+// bound. Writes always go to the primary — and are never retried, because
+// FD-RMS state is path-dependent: a double-applied batch changes the
+// answer, so at-most-once is the only safe write policy a proxy can offer.
+//
+// Reads get a per-request timeout, one bounded retry against a DIFFERENT
+// follower, and a final failover to the primary — so a router with any
+// backend inside the staleness bound never turns a single slow or dying
+// follower into a client-visible error.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// ProbeInterval is the health-poll cadence (default 250ms).
+	ProbeInterval time.Duration
+	// StalenessBound ejects a follower whose reported staleness exceeds it
+	// (default 5s). The follower's own /readyz applies its local bound too;
+	// the router's is the routing SLO.
+	StalenessBound time.Duration
+	// RequestTimeout bounds each forwarded attempt (default 2s).
+	RequestTimeout time.Duration
+	// Client issues probes and forwards; nil builds a default with sane
+	// connection pooling.
+	Client *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.StalenessBound <= 0 {
+		o.StalenessBound = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	return o
+}
+
+// backendHealth is one probe's digest of a backend's /readyz.
+type backendHealth struct {
+	ready       bool
+	state       string
+	appliedSeq  uint64
+	stalenessMS int64
+	checked     time.Time
+}
+
+// backend is one upstream server plus its last observed health.
+type backend struct {
+	url     string // base URL, no trailing slash
+	primary bool
+
+	mu     sync.Mutex
+	health backendHealth
+}
+
+func (b *backend) setHealth(h backendHealth) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.health = h
+}
+
+func (b *backend) getHealth() backendHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.health
+}
+
+// readyzBody is the JSON shape rmsserve's health endpoints emit (the fields
+// the router routes on; unknown fields are ignored).
+type readyzBody struct {
+	State       string `json:"state"`
+	AppliedSeq  uint64 `json:"applied_seq"`
+	StalenessMS int64  `json:"staleness_ms"`
+}
+
+// Router fans reads across healthy followers and writes to the primary.
+// Build with NewRouter, start probing with Start, serve it as an
+// http.Handler, stop with Close.
+type Router struct {
+	primary   *backend
+	followers []*backend
+	opt       RouterOptions
+
+	rr   atomic.Uint64 // round-robin cursor over eligible followers
+	stop chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+// NewRouter builds a router over one primary and any number of follower
+// base URLs (e.g. "http://10.0.0.2:8080").
+func NewRouter(primaryURL string, followerURLs []string, opt RouterOptions) *Router {
+	r := &Router{
+		primary: &backend{url: strings.TrimRight(primaryURL, "/"), primary: true},
+		opt:     opt.withDefaults(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, u := range followerURLs {
+		r.followers = append(r.followers, &backend{url: strings.TrimRight(u, "/")})
+	}
+	return r
+}
+
+// Start probes every backend once synchronously (so the first request after
+// Start routes on real health) and then keeps probing in the background.
+func (r *Router) Start() {
+	r.probeAll()
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.opt.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the prober.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+	})
+}
+
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range append([]*backend{r.primary}, r.followers...) {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			r.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe GETs one backend's /readyz and records the digest. A failed or
+// not-ready probe marks the backend ineligible until the next success.
+func (r *Router) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opt.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
+	if err != nil {
+		b.setHealth(backendHealth{checked: time.Now()})
+		return
+	}
+	resp, err := r.opt.Client.Do(req)
+	if err != nil {
+		b.setHealth(backendHealth{checked: time.Now()})
+		return
+	}
+	defer resp.Body.Close()
+	var body readyzBody
+	dec := json.NewDecoder(io.LimitReader(resp.Body, 1<<16))
+	if derr := dec.Decode(&body); derr != nil {
+		b.setHealth(backendHealth{checked: time.Now()})
+		return
+	}
+	b.setHealth(backendHealth{
+		ready:       resp.StatusCode == http.StatusOK,
+		state:       body.State,
+		appliedSeq:  body.AppliedSeq,
+		stalenessMS: body.StalenessMS,
+		checked:     time.Now(),
+	})
+}
+
+// eligible reports whether a follower may serve reads: last probe ready and
+// within the routing staleness bound.
+func (r *Router) eligible(b *backend) bool {
+	h := b.getHealth()
+	return h.ready && time.Duration(h.stalenessMS)*time.Millisecond <= r.opt.StalenessBound
+}
+
+// readPlan orders the backends a read should try: up to two distinct
+// eligible followers (rotated round-robin so load spreads), then the
+// primary as the failover of last resort.
+func (r *Router) readPlan() []*backend {
+	var plan []*backend
+	n := len(r.followers)
+	if n > 0 {
+		start := int(r.rr.Add(1) - 1)
+		for i := 0; i < n && len(plan) < 2; i++ {
+			b := r.followers[(start+i)%n]
+			if r.eligible(b) {
+				plan = append(plan, b)
+			}
+		}
+	}
+	return append(plan, r.primary)
+}
+
+// ServeHTTP routes one request: writes to the primary (no retry), reads
+// through the plan with per-attempt timeouts.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch {
+	case req.URL.Path == "/routerz":
+		r.serveRouterz(w, req)
+	case req.Method == http.MethodPost || req.Method == http.MethodPut || req.Method == http.MethodDelete:
+		r.serveWrite(w, req)
+	default:
+		r.serveRead(w, req)
+	}
+}
+
+// serveWrite forwards to the primary exactly once. A transport error after
+// the body may have reached the primary MUST NOT be retried (the batch may
+// already be applied), so it surfaces as 502 and the client decides.
+func (r *Router) serveWrite(w http.ResponseWriter, req *http.Request) {
+	status, hdr, body, err := r.forward(req, r.primary)
+	if err != nil {
+		httpJSONError(w, http.StatusBadGateway, fmt.Sprintf("primary unreachable: %v", err))
+		return
+	}
+	writeForwarded(w, status, hdr, body, r.primary)
+}
+
+// serveRead tries the plan in order until an attempt returns a usable
+// response. 5xx responses and transport errors fail over; everything else
+// (including 4xx, which would fail identically anywhere) is returned as-is.
+func (r *Router) serveRead(w http.ResponseWriter, req *http.Request) {
+	var lastErr error
+	for _, b := range r.readPlan() {
+		status, hdr, body, err := r.forward(req, b)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status >= 500 {
+			lastErr = fmt.Errorf("%s returned %d", b.url, status)
+			continue
+		}
+		writeForwarded(w, status, hdr, body, b)
+		return
+	}
+	httpJSONError(w, http.StatusServiceUnavailable, fmt.Sprintf("no backend available: %v", lastErr))
+}
+
+// forward replays req against one backend with the per-attempt timeout.
+// The caller receives the full buffered response so a retry never splices
+// two backends' bytes into one reply.
+func (r *Router) forward(req *http.Request, b *backend) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(req.Context(), r.opt.RequestTimeout)
+	defer cancel()
+	var bodyReader io.Reader
+	if req.Body != nil && req.ContentLength != 0 {
+		// Buffer once so the single write attempt sends exactly the client's
+		// bytes (reads have no body; writes are never retried).
+		data, err := io.ReadAll(io.LimitReader(req.Body, 64<<20))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		bodyReader = strings.NewReader(string(data))
+	}
+	out, err := http.NewRequestWithContext(ctx, req.Method, b.url+req.URL.RequestURI(), bodyReader)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.opt.Client.Do(out)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// writeForwarded relays a buffered upstream response, stamping which
+// backend served it (observability and the routing tests key off it).
+func writeForwarded(w http.ResponseWriter, status int, hdr http.Header, body []byte, b *backend) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	role := "follower"
+	if b.primary {
+		role = "primary"
+	}
+	w.Header().Set("X-Fdrms-Backend", b.url)
+	w.Header().Set("X-Fdrms-Backend-Role", role)
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// serveRouterz reports the router's own health: 200 when at least one
+// backend is usable for reads, plus the full per-backend table.
+func (r *Router) serveRouterz(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		URL         string `json:"url"`
+		Role        string `json:"role"`
+		Ready       bool   `json:"ready"`
+		State       string `json:"state"`
+		AppliedSeq  uint64 `json:"applied_seq"`
+		StalenessMS int64  `json:"staleness_ms"`
+		Eligible    bool   `json:"eligible"`
+	}
+	var rows []row
+	usable := false
+	add := func(b *backend, role string, elig bool) {
+		h := b.getHealth()
+		rows = append(rows, row{
+			URL: b.url, Role: role, Ready: h.ready, State: h.state,
+			AppliedSeq: h.appliedSeq, StalenessMS: h.stalenessMS, Eligible: elig,
+		})
+		if elig || (b.primary && h.ready) {
+			usable = true
+		}
+	}
+	add(r.primary, "primary", false)
+	for _, b := range r.followers {
+		add(b, "follower", r.eligible(b))
+	}
+	status := http.StatusOK
+	if !usable {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"usable": usable, "backends": rows})
+}
+
+// httpJSONError mirrors rmsserve's error shape.
+func httpJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,267 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend plays one rmsserve: a /readyz whose verdict the test flips at
+// will, plus read and write endpoints that count what reaches them.
+type fakeBackend struct {
+	name string
+	srv  *httptest.Server
+
+	mu          sync.Mutex
+	ready       bool
+	stalenessMS int64
+	readStatus  int // status for read endpoints (default 200)
+
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+func newFakeBackend(t *testing.T, name string) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{name: name, ready: true, readStatus: http.StatusOK}
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/readyz":
+			b.mu.Lock()
+			ready, stale := b.ready, b.stalenessMS
+			b.mu.Unlock()
+			code := http.StatusOK
+			if !ready {
+				code = http.StatusServiceUnavailable
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]any{
+				"ready": ready, "state": "following", "applied_seq": 7, "staleness_ms": stale,
+			})
+		case r.Method == http.MethodPost:
+			b.writes.Add(1)
+			body, _ := io.ReadAll(r.Body)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"applied_by":%q,"bytes":%d}`, b.name, len(body))
+		default:
+			b.reads.Add(1)
+			b.mu.Lock()
+			code := b.readStatus
+			b.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"served_by":%q}`, b.name)
+		}
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func (b *fakeBackend) setReady(ready bool, stalenessMS int64) {
+	b.mu.Lock()
+	b.ready, b.stalenessMS = ready, stalenessMS
+	b.mu.Unlock()
+}
+
+func (b *fakeBackend) setReadStatus(code int) {
+	b.mu.Lock()
+	b.readStatus = code
+	b.mu.Unlock()
+}
+
+func newTestRouter(t *testing.T, primary *fakeBackend, followers ...*fakeBackend) *Router {
+	t.Helper()
+	var urls []string
+	for _, f := range followers {
+		urls = append(urls, f.srv.URL)
+	}
+	r := NewRouter(primary.srv.URL, urls, RouterOptions{
+		ProbeInterval:  10 * time.Millisecond,
+		StalenessBound: time.Second,
+		RequestTimeout: 2 * time.Second,
+	})
+	r.Start() // probes synchronously: routing below is on real health
+	t.Cleanup(r.Close)
+	return r
+}
+
+// get issues one read through the router and returns status, body, and the
+// backend stamp.
+func get(t *testing.T, r *Router, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.String(), rec.Result().Header.Get("X-Fdrms-Backend")
+}
+
+func TestRouterFansReadsAcrossFollowers(t *testing.T) {
+	primary := newFakeBackend(t, "primary")
+	f1 := newFakeBackend(t, "f1")
+	f2 := newFakeBackend(t, "f2")
+	r := newTestRouter(t, primary, f1, f2)
+
+	seen := map[string]int{}
+	for i := 0; i < 20; i++ {
+		code, _, backend := get(t, r, "/result")
+		if code != http.StatusOK {
+			t.Fatalf("read %d: status %d", i, code)
+		}
+		seen[backend]++
+	}
+	if seen[f1.srv.URL] == 0 || seen[f2.srv.URL] == 0 {
+		t.Fatalf("reads did not spread across followers: %v", seen)
+	}
+	if primary.reads.Load() != 0 {
+		t.Fatalf("primary served %d reads with both followers healthy", primary.reads.Load())
+	}
+}
+
+func TestRouterEjectsStaleFollower(t *testing.T) {
+	primary := newFakeBackend(t, "primary")
+	fresh := newFakeBackend(t, "fresh")
+	stale := newFakeBackend(t, "stale")
+	stale.setReady(true, 5000) // past the 1s routing bound
+	r := newTestRouter(t, primary, fresh, stale)
+
+	for i := 0; i < 10; i++ {
+		code, _, backend := get(t, r, "/result")
+		if code != http.StatusOK {
+			t.Fatalf("read %d: status %d", i, code)
+		}
+		if backend == stale.srv.URL {
+			t.Fatal("router sent a read to a follower past the staleness bound")
+		}
+	}
+	if stale.reads.Load() != 0 {
+		t.Fatalf("stale follower served %d reads", stale.reads.Load())
+	}
+}
+
+func TestRouterRetriesOnDifferentBackendThenSucceeds(t *testing.T) {
+	primary := newFakeBackend(t, "primary")
+	dying := newFakeBackend(t, "dying")
+	healthy := newFakeBackend(t, "healthy")
+	// Ready on probes but 500s on reads: the worst case for routing — the
+	// plan includes it, so the retry path must absorb the failure.
+	dying.setReadStatus(http.StatusInternalServerError)
+	r := newTestRouter(t, primary, dying, healthy)
+
+	for i := 0; i < 20; i++ {
+		code, body, backend := get(t, r, "/result")
+		if code != http.StatusOK {
+			t.Fatalf("read %d: status %d %s — a single dying follower must never surface", i, code, body)
+		}
+		if backend == dying.srv.URL {
+			t.Fatal("router relayed a 5xx backend's response")
+		}
+	}
+}
+
+func TestRouterFailsOverToPrimaryWhenNoFollowerIsUsable(t *testing.T) {
+	primary := newFakeBackend(t, "primary")
+	f1 := newFakeBackend(t, "f1")
+	f2 := newFakeBackend(t, "f2")
+	f1.setReady(false, 0)
+	f2.setReady(true, 60000)
+	r := newTestRouter(t, primary, f1, f2)
+
+	code, _, backend := get(t, r, "/result")
+	if code != http.StatusOK {
+		t.Fatalf("failover read: status %d", code)
+	}
+	if backend != primary.srv.URL {
+		t.Fatalf("read served by %s, want primary failover", backend)
+	}
+
+	// A dead follower process (connection refused), not just a sad /readyz.
+	f2.setReady(true, 0)
+	f2.srv.Close()
+	time.Sleep(30 * time.Millisecond) // let a probe observe the corpse
+	for i := 0; i < 10; i++ {
+		if code, _, _ := get(t, r, "/result"); code != http.StatusOK {
+			t.Fatalf("read %d errored with the primary alive: %d", i, code)
+		}
+	}
+}
+
+func TestRouterWritesGoToPrimaryExactlyOnce(t *testing.T) {
+	primary := newFakeBackend(t, "primary")
+	f1 := newFakeBackend(t, "f1")
+	r := newTestRouter(t, primary, f1)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/update", io.NopCloser(strings.NewReader(`{"insert":[{"id":1,"values":[0.5]}]}`)))
+	req.Header.Set("Content-Type", "application/json")
+	r.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("write: status %d %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Result().Header.Get("X-Fdrms-Backend-Role"); got != "primary" {
+		t.Fatalf("write served by role %q", got)
+	}
+	if primary.writes.Load() != 1 || f1.writes.Load() != 0 {
+		t.Fatalf("write fan-out wrong: primary %d, follower %d", primary.writes.Load(), f1.writes.Load())
+	}
+
+	// A dead primary: the write fails fast with 502 and is NOT retried
+	// anywhere — at-most-once is the router's write contract.
+	primary.srv.Close()
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/update", newBody(`{}`)))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("write to dead primary: status %d, want 502", rec.Code)
+	}
+	if f1.writes.Load() != 0 {
+		t.Fatal("router retried a write against a follower")
+	}
+}
+
+func TestRouterzReportsFleet(t *testing.T) {
+	primary := newFakeBackend(t, "primary")
+	f1 := newFakeBackend(t, "f1")
+	stale := newFakeBackend(t, "stale")
+	stale.setReady(true, 9000)
+	r := newTestRouter(t, primary, f1, stale)
+
+	code, body, _ := get(t, r, "/routerz")
+	if code != http.StatusOK {
+		t.Fatalf("/routerz: status %d", code)
+	}
+	var rep struct {
+		Usable   bool `json:"usable"`
+		Backends []struct {
+			URL      string `json:"url"`
+			Role     string `json:"role"`
+			Eligible bool   `json:"eligible"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/routerz body: %v", err)
+	}
+	if !rep.Usable || len(rep.Backends) != 3 {
+		t.Fatalf("routerz: usable=%v backends=%d", rep.Usable, len(rep.Backends))
+	}
+	for _, b := range rep.Backends {
+		switch b.URL {
+		case f1.srv.URL:
+			if !b.Eligible {
+				t.Fatal("healthy follower reported ineligible")
+			}
+		case stale.srv.URL:
+			if b.Eligible {
+				t.Fatal("stale follower reported eligible")
+			}
+		}
+	}
+}
+
+// newBody builds a fresh request body reader.
+func newBody(s string) io.Reader { return strings.NewReader(s) }

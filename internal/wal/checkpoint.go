@@ -103,22 +103,29 @@ func readCheckpoint(path string) (seq uint64, payload []byte, err error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	return parseCheckpoint(filepath.Base(path), data)
+}
+
+// parseCheckpoint validates the raw bytes of a checkpoint file (base names
+// the file in errors) and returns its seq and payload. Shared between the
+// direct reader above and the TailFS-routed reader in tail.go.
+func parseCheckpoint(base string, data []byte) (seq uint64, payload []byte, err error) {
 	if len(data) < ckptHdrLen || string(data[:len(ckptMagic)]) != ckptMagic {
-		return 0, nil, fmt.Errorf("wal: %s: bad checkpoint magic", filepath.Base(path))
+		return 0, nil, fmt.Errorf("wal: %s: bad checkpoint magic", base)
 	}
 	off := len(ckptMagic)
 	if v := binary.LittleEndian.Uint32(data[off:]); v != ckptVersion {
-		return 0, nil, fmt.Errorf("wal: %s: unsupported checkpoint version %d", filepath.Base(path), v)
+		return 0, nil, fmt.Errorf("wal: %s: unsupported checkpoint version %d", base, v)
 	}
 	seq = binary.LittleEndian.Uint64(data[off+4:])
 	plen := binary.LittleEndian.Uint64(data[off+12:])
 	crc := binary.LittleEndian.Uint32(data[off+20:])
 	if plen != uint64(len(data)-ckptHdrLen) {
-		return 0, nil, fmt.Errorf("wal: %s: payload length %d does not match file size", filepath.Base(path), plen)
+		return 0, nil, fmt.Errorf("wal: %s: payload length %d does not match file size", base, plen)
 	}
 	payload = data[ckptHdrLen:]
 	if crc32.Checksum(payload, crcTable) != crc {
-		return 0, nil, fmt.Errorf("wal: %s: checkpoint CRC mismatch", filepath.Base(path))
+		return 0, nil, fmt.Errorf("wal: %s: checkpoint CRC mismatch", base)
 	}
 	return seq, payload, nil
 }

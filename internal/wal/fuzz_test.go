@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -72,14 +73,94 @@ func FuzzSegmentScan(f *testing.F) {
 	f.Add(full)
 	f.Add(full[:len(full)-5]) // torn tail
 
+	// Tailer-shaped seeds: the damage classes the replication tailer splits
+	// into "primary still writing" (pending) vs real corruption.
+	f.Add(full[:len(segMagic)+recHdrBytes+3])       // truncated mid-record, inside the first payload
+	f.Add(append(clean(2), 0xAA, 0x00, 0x00, 0x00)) // torn header after a clean prefix
+	flipped := append([]byte{}, full...)
+	flipped[len(segMagic)+recHdrBytes+1] ^= 0x01 // byte flip inside a framed record
+	f.Add(flipped)
+	gapped := []byte(segMagic) // valid CRCs, seq 1 then 3: a gap, always fatal
+	gapped = frameRecord(gapped, 1, testBatchF(1))
+	gapped = frameRecord(gapped, 3, testBatchF(3))
+	f.Add(gapped)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
+		// Tail the PRISTINE bytes from a second dir (Open may repair the
+		// first copy in place). Whatever the input, the tailer must not
+		// panic, and its terminal state is checked against Open's verdict
+		// below.
+		tailDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tailDir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tl := NewTailer(tailDir, 0, nil)
+		var tailSeqs []uint64
+		var tailErr error
+		for i := 0; i < 1000; i++ {
+			_, n, perr := tl.Poll(1 << 20)
+			if n > 0 {
+				for s := tl.LastSeq() - uint64(n) + 1; s <= tl.LastSeq(); s++ {
+					tailSeqs = append(tailSeqs, s)
+				}
+			}
+			if perr != nil || n == 0 {
+				tailErr = perr
+				break
+			}
+		}
+
 		l, err := Open(dir, Options{})
 		if err != nil {
-			return // rejected as corrupt: fine
+			return // rejected as corrupt: fine (tailer must only not panic)
+		}
+		// Open accepted (possibly repairing a torn tail). The tailer must
+		// agree: it consumes exactly the records Open kept, and classifies
+		// any trailing damage as pending (an active segment being written),
+		// never as corruption — that split is what keeps a live follower
+		// from quarantining its primary's in-flight write.
+		var kept []uint64
+		if rerr := l.Replay(0, func(seq uint64, _ []topk.Op) error {
+			kept = append(kept, seq)
+			return nil
+		}); rerr != nil {
+			t.Fatalf("replay of accepted log: %v", rerr)
+		}
+		if len(kept) > 0 && kept[0] > 1 {
+			// Open tolerates a first seq above the segment's name; re-anchor
+			// the tailer there for the comparison.
+			tl = NewTailer(tailDir, kept[0]-1, nil)
+			tailSeqs, tailErr = nil, nil
+			for i := 0; i < 1000; i++ {
+				_, n, perr := tl.Poll(1 << 20)
+				if n > 0 {
+					for s := tl.LastSeq() - uint64(n) + 1; s <= tl.LastSeq(); s++ {
+						tailSeqs = append(tailSeqs, s)
+					}
+				}
+				if perr != nil || n == 0 {
+					tailErr = perr
+					break
+				}
+			}
+		}
+		if tailErr != nil {
+			var pend *PendingError
+			if !errors.As(tailErr, &pend) {
+				t.Fatalf("Open accepted but tailer reported %v (want nil or pending)", tailErr)
+			}
+		}
+		if len(tailSeqs) != len(kept) {
+			t.Fatalf("tailer consumed %d records, Open kept %d (%v vs %v)", len(tailSeqs), len(kept), tailSeqs, kept)
+		}
+		for i := range kept {
+			if tailSeqs[i] != kept[i] {
+				t.Fatalf("tailer seq %d at %d, Open kept %d", tailSeqs[i], i, kept[i])
+			}
 		}
 		recovered := l.LastSeq()
 		appended, err := l.Append(testBatchF(1))

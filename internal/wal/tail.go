@@ -1,0 +1,373 @@
+// WAL tailing: the replica-side reader of the segment format.
+//
+// A Tailer consumes a log directory the way a follower process does — through
+// the filesystem only, concurrently with a primary that is still appending.
+// That changes what each kind of damage means compared to Open's crash
+// recovery:
+//
+//   - A short or CRC-broken tail on the NEWEST segment is usually not a torn
+//     write at all — it is the primary's buffered writer mid-flush. The tailer
+//     reports it as pending (ErrKind: back off and re-poll); if the primary
+//     really did crash there, Open on the primary side repairs it and the
+//     next poll sees the truncated file.
+//   - The same damage in a SEALED segment (any segment a newer one follows)
+//     can never heal: sealed segments are closed after a clean final record.
+//     That is corruption — the tailer quarantines instead of guessing.
+//   - A seq discontinuity under a valid CRC is corruption wherever it occurs
+//     (a torn write cannot fabricate a checksum around the wrong seq).
+//   - A segment whose records the tailer still needs disappearing from the
+//     directory (pruned by the primary, see Log.SetRetainFloor) — or a
+//     consumed byte range shrinking or being rewritten — is a Gap: the
+//     follower cannot continue from its position and must re-bootstrap from
+//     a newer checkpoint.
+//
+// All reads go through a TailFS so a fault-injection layer (internal/replica)
+// can truncate mid-record, delay visibility, or flip bytes deterministically.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fdrms/internal/topk"
+)
+
+// TailFS is the filesystem surface a Tailer (and follower bootstrap) reads
+// through. The production implementation is OSFS; tests and the bench inject
+// fault layers. Implementations must be safe for concurrent use.
+type TailFS interface {
+	// ReadDir lists the file names in dir (directories excluded).
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the current contents of path.
+	ReadFile(path string) ([]byte, error)
+}
+
+// OSFS is the passthrough TailFS over the real filesystem.
+type OSFS struct{}
+
+// ReadDir lists the plain files in dir.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// ReadFile reads path in full.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// PendingError reports a condition that the primary's normal forward progress
+// resolves: a torn tail on the active segment, a half-visible header, or a
+// directory/file that has not appeared yet. The caller backs off and re-polls.
+type PendingError struct {
+	Reason string
+}
+
+func (e *PendingError) Error() string { return "wal tail pending: " + e.Reason }
+
+// CorruptError reports structural damage that waiting cannot fix: a CRC or
+// decode failure inside a sealed segment, or a sequence discontinuity under a
+// valid checksum. The follower quarantines the feed and alarms.
+type CorruptError struct {
+	Segment string
+	Offset  int64
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal tail corrupt: segment %s offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// GapError reports that the log no longer contains the tailer's position:
+// the needed records were pruned, or already-consumed bytes were rewritten
+// (a primary crash discarded an unsynced suffix the tailer had read). The
+// follower must re-bootstrap from a checkpoint at or past Need-1.
+type GapError struct {
+	Need   uint64 // first seq the tailer still needs
+	Reason string
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("wal tail gap: need seq %d: %s", e.Need, e.Reason)
+}
+
+// Tailer incrementally reads a WAL directory that another process appends to.
+// Not safe for concurrent use; the follower's replay loop owns it.
+type Tailer struct {
+	dir string
+	fs  TailFS
+
+	lastSeq uint64 // last record seq consumed (records <= lastSeq are skipped)
+	seg     string // segment the cursor sits in; "" = reattach by seq
+	off     int64  // byte offset of the next unread record in seg
+
+	// Fingerprint of the last consumed record: if the same bytes later hold a
+	// different CRC, the primary rewrote history under us (crash recovery of
+	// an unsynced suffix we had already read) — a Gap, not silent divergence.
+	fpOff int64 // start offset of the last consumed record in seg; 0 = none
+	fpCRC uint32
+}
+
+// NewTailer positions a tailer to deliver every record with seq > after from
+// the log in dir, reading through fs (nil means the real filesystem).
+func NewTailer(dir string, after uint64, fs TailFS) *Tailer {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	return &Tailer{dir: dir, fs: fs, lastSeq: after}
+}
+
+// LastSeq returns the seq of the last record delivered by Poll (or the
+// starting position when none has been yet).
+func (t *Tailer) LastSeq() uint64 { return t.lastSeq }
+
+// nameSeq parses the first-record seq a segment file name encodes.
+func nameSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, segPrefix+"%016x"+segSuffix, &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the segment file names visible through the tailer's
+// FS, in seq order.
+func (t *Tailer) listSegments() ([]string, error) {
+	ents, err := t.fs.ReadDir(t.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, n := range ents {
+		if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Poll reads forward from the cursor, appending decoded operations of each
+// consecutive record to a fresh slice, until it reaches the end of the log,
+// accumulates at least maxOps operations, or hits damage. It returns the
+// operations in log order plus the number of records they came from.
+//
+// The error taxonomy is the contract (see the package comment): nil with
+// records == 0 means cleanly caught up; *PendingError means back off and
+// re-poll; *CorruptError means quarantine; *GapError means re-bootstrap.
+// An error is only ever returned with zero records for THIS call — when
+// damage follows a valid prefix, the prefix is delivered first and the next
+// Poll reports the classification.
+func (t *Tailer) Poll(maxOps int) (ops []topk.Op, records int, err error) {
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	names, err := t.listSegments()
+	if err != nil {
+		// The directory not existing (or being hidden by a fault layer) is
+		// indistinguishable from a primary that has not started yet.
+		return nil, 0, &PendingError{Reason: fmt.Sprintf("listing segments: %v", err)}
+	}
+	if len(names) == 0 {
+		// Either a fresh log or everything up to a checkpoint was pruned; in
+		// both cases there is nothing to read and nothing proves loss.
+		return nil, 0, nil
+	}
+	idx := -1
+	if t.seg != "" {
+		for i, n := range names {
+			if n == t.seg {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Our segment vanished. If it was pruned because a checkpoint
+			// covers it, reattach finds the successor; otherwise it reports
+			// the gap.
+			t.seg, t.off, t.fpOff = "", 0, 0
+		}
+	}
+	if idx < 0 {
+		idx, err = t.attach(names)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	for {
+		active := idx == len(names)-1
+		name := names[idx]
+		data, rerr := t.fs.ReadFile(filepath.Join(t.dir, name))
+		if rerr != nil {
+			// Listed a moment ago but unreadable now: pruned between the two
+			// calls, or a fault layer is delaying visibility. Re-poll.
+			return t.deliver(ops, records, &PendingError{Reason: fmt.Sprintf("segment %s unreadable: %v", name, rerr)})
+		}
+		size := int64(len(data))
+		if size < int64(len(segMagic)) || string(data[:len(segMagic)]) != segMagic {
+			if active {
+				// The primary created the file but its header write is not
+				// fully visible yet.
+				return t.deliver(ops, records, &PendingError{Reason: fmt.Sprintf("segment %s header not fully written", name)})
+			}
+			return t.deliver(ops, records, &CorruptError{Segment: name, Offset: 0, Reason: "missing or short segment header in sealed segment"})
+		}
+		if t.off == 0 {
+			t.seg, t.off = name, int64(len(segMagic))
+		}
+		if t.off > size {
+			return t.deliver(ops, records, &GapError{Need: t.lastSeq + 1, Reason: fmt.Sprintf("segment %s shrank below the consumed offset %d", name, t.off)})
+		}
+		if t.fpOff > 0 && t.fpOff+recHdrBytes <= size {
+			if crc := binary.LittleEndian.Uint32(data[t.fpOff+4:]); crc != t.fpCRC {
+				// The record we already consumed now holds different bytes:
+				// the primary recovered from a crash and rewrote an unsynced
+				// suffix we had read ahead of durability.
+				return t.deliver(ops, records, &GapError{Need: t.lastSeq + 1, Reason: fmt.Sprintf("segment %s rewrote the record at offset %d", name, t.fpOff)})
+			}
+		}
+		for t.off < size {
+			recOff := t.off
+			if size-recOff < recHdrBytes {
+				return t.deliver(ops, records, t.tailDamage(active, name, recOff, "short record header"))
+			}
+			plen := int64(binary.LittleEndian.Uint32(data[recOff:]))
+			crc := binary.LittleEndian.Uint32(data[recOff+4:])
+			if plen == 0 || plen > maxRecordBytes || recOff+recHdrBytes+plen > size {
+				return t.deliver(ops, records, t.tailDamage(active, name, recOff, "record length out of bounds"))
+			}
+			payload := data[recOff+recHdrBytes : recOff+recHdrBytes+plen]
+			if crc32.Checksum(payload, crcTable) != crc {
+				return t.deliver(ops, records, t.tailDamage(active, name, recOff, "payload CRC mismatch"))
+			}
+			seq, batch, derr := DecodeOps(payload)
+			if derr != nil {
+				// Valid CRC around an undecodable payload: match Open's
+				// lenient stance on the newest segment (the primary may be
+				// mid-write of a larger buffered flush), fatal when sealed.
+				return t.deliver(ops, records, t.tailDamage(active, name, recOff, derr.Error()))
+			}
+			switch {
+			case seq <= t.lastSeq:
+				// Already applied (a reattach landed mid-segment): skip.
+			case seq == t.lastSeq+1:
+				ops = append(ops, batch...)
+				records++
+				t.lastSeq = seq
+			default:
+				return t.deliver(ops, records, &CorruptError{Segment: name, Offset: recOff, Reason: fmt.Sprintf("sequence gap: record %d follows %d", seq, t.lastSeq)})
+			}
+			t.off = recOff + recHdrBytes + plen
+			t.fpOff, t.fpCRC = recOff, crc
+			if len(ops) >= maxOps {
+				return ops, records, nil
+			}
+		}
+		if active {
+			return ops, records, nil
+		}
+		// Sealed segment finished cleanly: continuity to the next one is
+		// checked by name (its name encodes its first seq) so a pruned-away
+		// middle segment surfaces as a gap, not a silent skip.
+		next := names[idx+1]
+		nseq, okName := nameSeq(next)
+		if !okName {
+			return t.deliver(ops, records, &CorruptError{Segment: next, Offset: 0, Reason: "unparseable segment name"})
+		}
+		if nseq > t.lastSeq+1 {
+			return t.deliver(ops, records, &GapError{Need: t.lastSeq + 1, Reason: fmt.Sprintf("next segment %s starts at %d", next, nseq)})
+		}
+		idx++
+		t.seg, t.off, t.fpOff = next, int64(len(segMagic)), 0
+	}
+}
+
+// attach finds the segment holding seq lastSeq+1 by file name. The fixed
+// invariant of Prune (a segment is removed only when its successor starts at
+// or before the covered seq + 1) makes "the last segment whose name is <=
+// target" the unique candidate.
+func (t *Tailer) attach(names []string) (int, error) {
+	target := t.lastSeq + 1
+	idx := -1
+	for i, n := range names {
+		seq, ok := nameSeq(n)
+		if !ok {
+			continue
+		}
+		if seq <= target {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, &GapError{Need: target, Reason: fmt.Sprintf("oldest segment %s starts past the needed record", names[0])}
+	}
+	t.seg, t.off, t.fpOff = names[idx], 0, 0
+	return idx, nil
+}
+
+// tailDamage classifies record-level damage by where it sits: repairable/
+// in-progress on the active segment, corruption in a sealed one.
+func (t *Tailer) tailDamage(active bool, name string, off int64, reason string) error {
+	if active {
+		return &PendingError{Reason: fmt.Sprintf("segment %s incomplete at offset %d (%s)", name, off, reason)}
+	}
+	return &CorruptError{Segment: name, Offset: off, Reason: reason}
+}
+
+// deliver enforces the progress-first contract: a valid prefix read in this
+// call is returned with a nil error (the cursor already points at the damage,
+// so the NEXT poll returns the classification with zero records).
+func (t *Tailer) deliver(ops []topk.Op, records int, err error) ([]topk.Op, int, error) {
+	if records > 0 {
+		return ops, records, nil
+	}
+	return nil, 0, err
+}
+
+// NewestCheckpointFS is NewestCheckpoint reading through a TailFS, so the
+// follower's bootstrap observes the same (possibly fault-injected) view of
+// the primary's directory as its tailer. Corrupt or torn checkpoint files
+// are skipped in favor of older ones, exactly like the recovery path.
+func NewestCheckpointFS(fs TailFS, dir string) (seq uint64, payload []byte, ok bool, err error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	var names []string
+	for _, n := range ents {
+		if strings.HasPrefix(n, ckptPrefix) && strings.HasSuffix(n, ckptSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for i := len(names) - 1; i >= 0; i-- {
+		data, rerr := fs.ReadFile(filepath.Join(dir, names[i]))
+		if rerr != nil {
+			continue
+		}
+		seq, payload, perr := parseCheckpoint(names[i], data)
+		if perr != nil {
+			continue // fall back to the previous checkpoint
+		}
+		return seq, payload, true, nil
+	}
+	return 0, nil, false, nil
+}

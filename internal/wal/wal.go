@@ -73,6 +73,13 @@ type Options struct {
 	// durable prefix may grow: an append fsyncs when this much time has
 	// passed since the last sync. Zero defers syncing to rotation and Close.
 	SyncInterval time.Duration
+
+	// RetainSegments, when positive, keeps at least this many of the newest
+	// segment files through Prune regardless of checkpoint coverage — a
+	// static cushion for followers tailing the directory (see SetRetainFloor
+	// for the precise, feedback-driven variant). Zero keeps only what
+	// checkpoints require.
+	RetainSegments int
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +103,11 @@ type Log struct {
 	lastSync time.Time
 
 	enc []byte // payload scratch, reused across appends
+
+	// floor, when nonzero, is the oldest seq a replica still needs: Prune
+	// keeps every segment that holds (or could hold) records >= floor even
+	// when a checkpoint already covers them. Written only via SetRetainFloor.
+	floor uint64
 
 	// met, when set, mirrors append/sync/rotation traffic into obs handles
 	// (see metrics.go). Written only via SetMetrics.
@@ -511,16 +523,37 @@ func firstSeqOf(path string) (seq uint64, ok bool, err error) {
 	return binary.LittleEndian.Uint64(buf[len(segMagic)+recHdrBytes:]), true, nil
 }
 
+// SetRetainFloor pins the prune horizon: every record with seq >= seq stays
+// replayable until the floor is raised again. The durable store forwards a
+// follower's applied seq here so checkpoint-driven pruning can never delete
+// a segment a known replica has not consumed yet. Zero clears the floor.
+// Not safe concurrently with Append/Prune; callers hold the writer lock.
+func (l *Log) SetRetainFloor(seq uint64) { l.floor = seq }
+
 // Prune removes segments made redundant by a checkpoint covering every batch
 // with seq <= upTo: a segment can go once the NEXT segment starts at or
 // before upTo+1 (so the next segment already holds the first record a
-// recovery could need). The active segment is never removed.
+// recovery could need). The active segment is never removed, the retention
+// floor (SetRetainFloor) caps how far pruning may reach, and
+// Options.RetainSegments newest segments are always kept.
 func (l *Log) Prune(upTo uint64) error {
+	if l.floor > 0 {
+		if l.floor == 1 {
+			return nil // everything from the first record is still needed
+		}
+		if upTo > l.floor-1 {
+			upTo = l.floor - 1
+		}
+	}
 	names, err := segments(l.dir)
 	if err != nil {
 		return err
 	}
+	left := len(names)
 	for i := 0; i+1 < len(names); i++ {
+		if l.opt.RetainSegments > 0 && left <= l.opt.RetainSegments {
+			break
+		}
 		next, ok, err := firstSeqOf(filepath.Join(l.dir, names[i+1]))
 		if err != nil {
 			return err
@@ -531,6 +564,7 @@ func (l *Log) Prune(upTo uint64) error {
 		if err := os.Remove(filepath.Join(l.dir, names[i])); err != nil {
 			return err
 		}
+		left--
 	}
 	return syncDir(l.dir)
 }

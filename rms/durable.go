@@ -47,6 +47,12 @@ type DurableOptions struct {
 	// also means a lone write after a long idle stretch is what triggers the
 	// catch-up checkpoint). Zero disables the time trigger.
 	CheckpointInterval time.Duration
+
+	// RetainSegments keeps at least this many of the newest log segments
+	// through checkpoint-driven pruning — a static cushion for WAL-shipping
+	// followers tailing the directory, useful when no feedback channel exists
+	// to drive SetRetainFloor. Zero retains only what recovery requires.
+	RetainSegments int
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -109,6 +115,11 @@ type DurableStore struct {
 	lastCkpt     time.Time // guarded by wmu
 	ckptBusy     atomic.Bool
 
+	// appliedSeq mirrors log.LastSeq after every committed write so serving
+	// paths can report the durable position without touching wmu (LastSeq
+	// takes the writer lock; /healthz and per-read annotations must not).
+	appliedSeq atomic.Uint64
+
 	// tel, when set, mirrors checkpoint traffic into obs handles (the store
 	// and WAL wire their own shares; see DurableStore.SetTelemetry). Atomic
 	// so a checkpoint never races the attach.
@@ -142,6 +153,7 @@ func OpenDurable(dir string, dim int, initial []Point, opts Options, dopts Durab
 		SegmentBytes:    dopts.SegmentBytes,
 		SyncEveryAppend: dopts.SyncEveryBatch,
 		SyncInterval:    dopts.SyncInterval,
+		RetainSegments:  dopts.RetainSegments,
 	}
 
 	if !hasState {
@@ -207,6 +219,7 @@ func OpenDurable(dir string, dim int, initial []Point, opts Options, dopts Durab
 	// All segments before the checkpoint may have been pruned; keep the seq
 	// numbering monotonic regardless.
 	ds.log.EnsureNextSeq(seq + 1)
+	ds.appliedSeq.Store(ds.log.LastSeq())
 	// The replayed tail counts toward CheckpointEveryOps: those operations
 	// are applied but not yet covered by any checkpoint, so a store that
 	// keeps crashing short of the threshold still checkpoints on the first
@@ -365,6 +378,7 @@ func (ds *DurableStore) applyLocked(batch []Update) error {
 	}
 	ds.store.applyOps(ds.ops)
 	ds.opsSinceCkpt += len(ds.ops)
+	ds.appliedSeq.Store(ds.log.LastSeq())
 	return nil
 }
 
@@ -546,6 +560,26 @@ func (ds *DurableStore) LastSeq() uint64 {
 	ds.wmu.Lock()
 	defer ds.wmu.Unlock()
 	return ds.log.LastSeq()
+}
+
+// AppliedSeq is LastSeq without the writer lock: a lock-free mirror updated
+// as each write commits, for serving paths (health endpoints, per-response
+// annotations) that must never wait on ingestion. It may trail LastSeq by
+// the in-flight write that is between its log append and its commit.
+func (ds *DurableStore) AppliedSeq() uint64 { return ds.appliedSeq.Load() }
+
+// SetRetainFloor pins WAL pruning so every batch with seq >= seq stays
+// replayable — the feedback channel for replication: point it at the oldest
+// seq any live follower still needs and checkpoint-driven pruning can never
+// race a slow follower out of its position (see wal.Log.SetRetainFloor).
+// Zero clears the floor.
+func (ds *DurableStore) SetRetainFloor(seq uint64) {
+	ds.wmu.Lock()
+	defer ds.wmu.Unlock()
+	if ds.closed {
+		return
+	}
+	ds.log.SetRetainFloor(seq)
 }
 
 // Dir returns the durability directory.

@@ -1,0 +1,161 @@
+package rms
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedDurable builds a primary with a few batches applied and a checkpoint
+// covering them, then closes it and returns the checkpoint seq and the
+// engine state at shutdown.
+func seedDurable(t *testing.T, dir string) (ckptSeq uint64, want []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	d := 3
+	initial := durableTestPoints(rng, 40, d, 0)
+	ds, err := OpenDurable(dir, d, initial, durableTestOptions(), DurableOptions{SyncEveryBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range durableTestBatches(rng, initial, 10, d) {
+		if err := ds.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	ckptSeq, err = ds.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = engineState(t, ds.store.d.f)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ckptSeq, want
+}
+
+// reopenAndVerify reopens the directory, asserts the recovered state and
+// seq, and proves the store still accepts and persists writes.
+func reopenAndVerify(t *testing.T, dir string, wantSeq uint64, want []byte) {
+	t.Helper()
+	re, err := OpenDurable(dir, 3, nil, durableTestOptions(), DurableOptions{SyncEveryBatch: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.LastSeq() != wantSeq {
+		re.Close()
+		t.Fatalf("recovered to seq %d, want %d", re.LastSeq(), wantSeq)
+	}
+	if got := engineState(t, re.store.d.f); !bytes.Equal(got, want) {
+		re.Close()
+		t.Fatal("recovered engine state differs from pre-shutdown state")
+	}
+	// The edge state must not wedge the write path.
+	if err := re.Insert(Point{ID: 999999, Values: []float64{0.1, 0.2, 0.3}}); err != nil {
+		re.Close()
+		t.Fatalf("insert after edge recovery: %v", err)
+	}
+	if re.LastSeq() != wantSeq+1 {
+		re.Close()
+		t.Fatalf("post-recovery write got seq %d, want %d", re.LastSeq(), wantSeq+1)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func removeMatching(t *testing.T, dir, prefix, suffix string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), prefix) && strings.HasSuffix(e.Name(), suffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// A checkpoint with ZERO segment files: the log was fully pruned (or the
+// segments were lost) but the checkpoint covers everything acknowledged.
+// Recovery must come up at the checkpoint seq with nothing to replay.
+func TestOpenDurableCheckpointWithZeroSegments(t *testing.T) {
+	dir := t.TempDir()
+	ckptSeq, want := seedDurable(t, dir)
+	if n := removeMatching(t, dir, "wal-", ".seg"); n == 0 {
+		t.Fatal("no segments to remove — setup broken")
+	}
+	reopenAndVerify(t, dir, ckptSeq, want)
+}
+
+// An EMPTY active segment: rotation (or a crash between create and first
+// append) left a header-only segment after the checkpoint. Zero records is
+// not a gap; recovery must treat it as a clean empty tail.
+func TestOpenDurableEmptyActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	ckptSeq, want := seedDurable(t, dir)
+	removeMatching(t, dir, "wal-", ".seg")
+	name := fmt.Sprintf("wal-%016x.seg", ckptSeq+1)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("FDRMSWL1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndVerify(t, dir, ckptSeq, want)
+}
+
+// A checkpoint NEWER than every segment record: the checkpoint covers seq N
+// while the surviving segments top out at N (or below). Replay must skip
+// everything already covered instead of double-applying or refusing.
+func TestOpenDurableCheckpointNewerThanEverySegment(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(78))
+	d := 3
+	initial := durableTestPoints(rng, 40, d, 0)
+	// KeepCheckpoints is bigger than the checkpoints taken, so Prune never
+	// removes a segment: every record stays on disk BEHIND the checkpoint.
+	ds, err := OpenDurable(dir, d, initial, durableTestOptions(), DurableOptions{
+		SyncEveryBatch: true, KeepCheckpoints: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range durableTestBatches(rng, initial, 10, d) {
+		if err := ds.ApplyBatch(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	ckptSeq, err := ds.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckptSeq != ds.LastSeq() {
+		t.Fatalf("checkpoint at %d with log at %d — want checkpoint covering the whole log", ckptSeq, ds.LastSeq())
+	}
+	want := engineState(t, ds.store.d.f)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			segs++
+		}
+	}
+	if segs == 0 {
+		t.Fatal("pruning removed all segments — the edge state under test is gone")
+	}
+	reopenAndVerify(t, dir, ckptSeq, want)
+}
